@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks over the SAM kernels: one benchmark per
+//! evaluation axis (vector-multiply format, SpM*SpM dataflow, SDDMM variant)
+//! at laptop-friendly sizes. The full paper-scale sweeps are produced by the
+//! `fig*` binaries in `src/bin/`.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sam_core::kernels::sddmm::{sddmm, SddmmVariant};
+use sam_core::kernels::spmm::{spmm, SpmmDataflow};
+use sam_core::kernels::spmv::spmv;
+use sam_core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam_tensor::synth;
+
+fn bench_vecmul(c: &mut Criterion) {
+    let dim = 2000;
+    let b = synth::random_vector(dim, 400, 1);
+    let v = synth::random_vector(dim, 400, 2);
+    let mut group = c.benchmark_group("fig13_vecmul");
+    group.sample_size(10);
+    for fmt in VecFormat::figure13_set() {
+        group.bench_function(fmt.label(), |bench| bench.iter(|| vec_elem_mul(&b, &v, dim, fmt).cycles));
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let b = synth::random_matrix_sparsity(100, 60, 0.95, 3);
+    let m = synth::random_matrix_sparsity(60, 100, 0.95, 4);
+    let mut group = c.benchmark_group("fig12_spmm");
+    group.sample_size(10);
+    for (name, flow) in [
+        ("inner", SpmmDataflow::InnerProduct),
+        ("gustavson", SpmmDataflow::LinearCombination),
+        ("outer", SpmmDataflow::OuterProduct),
+    ] {
+        group.bench_function(name, |bench| bench.iter(|| spmm(&b, &m, flow).cycles));
+    }
+    group.finish();
+}
+
+fn bench_sddmm_and_spmv(c: &mut Criterion) {
+    let b = synth::random_matrix_sparsity(80, 80, 0.95, 5);
+    let cm = synth::dense_matrix(80, 10, 6);
+    let d = synth::dense_matrix(80, 10, 7);
+    let mut group = c.benchmark_group("fig11_sddmm");
+    group.sample_size(10);
+    for variant in [SddmmVariant::FusedLocating, SddmmVariant::FusedCoiteration, SddmmVariant::Unfused] {
+        group.bench_function(variant.label(), |bench| bench.iter(|| sddmm(&b, &cm, &d, variant).cycles));
+    }
+    group.finish();
+
+    let vb = synth::random_matrix_sparsity(200, 150, 0.95, 8);
+    let vc = synth::random_vector(150, 150, 9);
+    c.bench_function("spmv_dcsr_dense", |bench| bench.iter(|| spmv(&vb, &vc).cycles));
+}
+
+criterion_group!(benches, bench_vecmul, bench_spmm, bench_sddmm_and_spmv);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (fused vs unfused SDDMM).
+fn main() {
+    print!("{}", sam_bench::figure11_report(1));
+}

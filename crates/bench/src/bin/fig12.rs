@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (SpM*SpM dataflow orders).
+fn main() {
+    print!("{}", sam_bench::figure12_report(1));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 14 (stream token composition).
+fn main() {
+    print!("{}", sam_bench::figure14_report(usize::MAX));
+}

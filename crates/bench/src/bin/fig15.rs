@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 (finite-memory ExTensor study).
+fn main() {
+    print!("{}", sam_bench::figure15_report());
+}

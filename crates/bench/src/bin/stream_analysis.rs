@@ -1,0 +1,4 @@
+//! Regenerates the Section 3.8 stream-encoding analysis.
+fn main() {
+    print!("{}", sam_bench::stream_analysis_report());
+}

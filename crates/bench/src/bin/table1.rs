@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (primitive composition per expression).
+fn main() {
+    print!("{}", sam_bench::table1_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (primitive-removal ablation).
+fn main() {
+    print!("{}", sam_bench::table2_report());
+}

@@ -1,0 +1,41 @@
+//! Hand-scheduled SAM kernels used throughout the evaluation.
+//!
+//! Every kernel builds a dataflow graph out of `sam-primitives` blocks, runs
+//! it on the `sam-sim` simulator, and returns the result tensor together with
+//! the simulated cycle count. Kernels correspond to the algorithms studied in
+//! the paper's Section 6:
+//!
+//! * [`vecmul`] — element-wise sparse vector multiplication in the six
+//!   storage/acceleration configurations of Figure 13,
+//! * [`spmv`] — sparse matrix-vector multiplication (Table 1's first row),
+//! * [`spmm`] — SpM*SpM in the inner-product, linear-combination-of-rows
+//!   (Gustavson, paper Figure 4) and outer-product (OuterSPACE, paper
+//!   Figure 16) dataflows used by Figure 12,
+//! * [`sddmm`] — fused co-iterating, fused locating and unfused SDDMM
+//!   (Figure 11),
+//! * [`identity`] — the matrix identity expression whose stream composition
+//!   Figure 14 analyzes.
+
+pub mod identity;
+pub mod sddmm;
+pub mod spmm;
+pub mod spmv;
+pub mod vecmul;
+
+use sam_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running one kernel on the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// The computed result tensor (fully compressed storage).
+    pub output: Tensor,
+    /// Simulated cycles until the whole graph quiesced.
+    pub cycles: u64,
+    /// Number of primitive blocks in the simulated graph.
+    pub blocks: usize,
+}
+
+/// Default cycle budget for kernel simulations; large enough for every
+/// workload used in the evaluation harness.
+pub(crate) const MAX_CYCLES: u64 = 200_000_000;

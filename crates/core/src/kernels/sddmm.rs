@@ -1,0 +1,282 @@
+//! Sampled dense-dense matrix multiplication
+//! `X(i,j) = sum_k B(i,j) * C(i,k) * D(j,k)` (paper Figure 11).
+//!
+//! Three algorithm variants are provided:
+//!
+//! * **fused, co-iterating** — the sparse matrix B drives iteration and the
+//!   dense factors' outer dimensions are co-iterated (intersected) against
+//!   B's coordinates;
+//! * **fused, locating** — B's coordinates are located directly into the
+//!   dense factors (Section 4.2), skipping the dense outer scans;
+//! * **unfused** — the dense product `T = C * D^T` is materialized first and
+//!   then sampled by B, the factorized form the paper argues against.
+
+use crate::kernels::spmm::{spmm, SpmmDataflow};
+use crate::kernels::{KernelResult, MAX_CYCLES};
+use crate::wiring::{self, fork};
+use sam_primitives::{AluOp, EmptyFiberPolicy};
+use sam_sim::Simulator;
+use sam_tensor::level::Level;
+use sam_tensor::{CooTensor, Tensor, TensorFormat};
+
+/// The SDDMM algorithm variant (the Figure 11 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SddmmVariant {
+    /// Fused with dense co-iteration on i and j.
+    FusedCoiteration,
+    /// Fused with locate blocks on i and j.
+    FusedLocating,
+    /// Unfused: dense matrix multiply followed by sampling.
+    Unfused,
+}
+
+impl SddmmVariant {
+    /// The label used in the Figure 11 plot.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SddmmVariant::FusedCoiteration => "Fused coiteration",
+            SddmmVariant::FusedLocating => "Fused locating",
+            SddmmVariant::Unfused => "Unfused",
+        }
+    }
+}
+
+/// Runs SDDMM with sparse `B` (I x J) and dense `C` (I x K), `D` (J x K).
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or simulation failure.
+pub fn sddmm(b: &CooTensor, c: &CooTensor, d: &CooTensor, variant: SddmmVariant) -> KernelResult {
+    assert_eq!(b.order(), 2, "B must be a matrix");
+    assert_eq!(c.order(), 2, "C must be a matrix");
+    assert_eq!(d.order(), 2, "D must be a matrix");
+    assert_eq!(b.shape()[0], c.shape()[0], "B and C must agree on i");
+    assert_eq!(b.shape()[1], d.shape()[0], "B and D must agree on j");
+    assert_eq!(c.shape()[1], d.shape()[1], "C and D must agree on k");
+    match variant {
+        SddmmVariant::FusedLocating => fused_locating(b, c, d),
+        SddmmVariant::FusedCoiteration => fused_coiteration(b, c, d),
+        SddmmVariant::Unfused => unfused(b, c, d),
+    }
+}
+
+fn assemble(rows: usize, cols: usize, xi: sam_tensor::level::CompressedLevel, xj: sam_tensor::level::CompressedLevel, vals: Vec<f64>) -> Tensor {
+    Tensor::from_parts(
+        "X",
+        vec![rows, cols],
+        TensorFormat::dcsr(),
+        vec![Level::Compressed(xi), Level::Compressed(xj)],
+        vals,
+    )
+}
+
+/// Shared tail of both fused variants: given per-(i,j) fiber references into
+/// C's and D's k levels, compute the inner product over k, scale by B's
+/// values, and write the result.
+#[allow(clippy::too_many_arguments)]
+fn fused_tail(
+    sim: &mut Simulator,
+    tb: &Tensor,
+    tc: &Tensor,
+    td: &Tensor,
+    c_kfiber_ref: sam_sim::ChannelId,
+    d_kfiber_ref: sam_sim::ChannelId,
+    b_val_ref: sam_sim::ChannelId,
+    xi_crd: sam_sim::ChannelId,
+    xj_crd: sam_sim::ChannelId,
+) -> (sam_primitives::writer::LevelWriterSink, sam_primitives::writer::LevelWriterSink, sam_primitives::writer::ValWriterSink) {
+    let (ck_crd, ck_ref) = wiring::scan(sim, "Ck", tc, 1, c_kfiber_ref);
+    let (dk_crd, dk_ref) = wiring::scan(sim, "Dk", td, 1, d_kfiber_ref);
+    let (_k_crd, k_refs) = wiring::intersect(sim, "int_k", [ck_crd, dk_crd], [ck_ref, dk_ref]);
+    let c_vals = wiring::val_array(sim, "C_vals", tc, k_refs[0]);
+    let d_vals = wiring::val_array(sim, "D_vals", td, k_refs[1]);
+    let prod_cd = wiring::alu(sim, "mul_cd", AluOp::Mul, c_vals, d_vals);
+    let s = wiring::reduce_scalar(sim, "reduce_k", prod_cd, EmptyFiberPolicy::ExplicitZero);
+    let b_vals = wiring::val_array(sim, "B_vals", tb, b_val_ref);
+    let x_vals = wiring::alu(sim, "mul_b", AluOp::Mul, b_vals, s);
+    let xi_sink = wiring::write_level(sim, "Xi", tb.shape()[0], xi_crd);
+    let xj_sink = wiring::write_level(sim, "Xj", tb.shape()[1], xj_crd);
+    let xv_sink = wiring::write_vals(sim, "Xvals", x_vals);
+    (xi_sink, xj_sink, xv_sink)
+}
+
+/// Fused SDDMM where B's coordinates are located into the dense factors.
+fn fused_locating(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], b.shape()[1]);
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    let tc = Tensor::from_coo("C", c, TensorFormat::dense(2));
+    let td = Tensor::from_coo("D", d, TensorFormat::dense(2));
+    let mut sim = Simulator::new();
+
+    let rb = wiring::root(&mut sim, "B");
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let [bi_out, bi_loc, bi_rep_c, bi_rep_d] = fork(&mut sim, "bi_fork", bi_crd);
+    let (bj_crd, bj_ref) = wiring::scan(&mut sim, "Bj", &tb, 1, bi_ref);
+    let [bj_out, bj_loc, bj_rep_d, bj_rep_ci] = fork(&mut sim, "bj_fork", bj_crd);
+
+    // Locate each B row coordinate into C's dense i level.
+    let rc = wiring::root(&mut sim, "C");
+    let rc_per_i = wiring::repeat(&mut sim, "rep_Croot", bi_rep_c, rc);
+    let (_ci_crd, _ci_pass, c_i_ref) = wiring::locate(&mut sim, "loc_Ci", &tc, 0, bi_loc, rc_per_i);
+    // Broadcast that fiber reference over the row's column coordinates.
+    let c_i_per_j = wiring::repeat(&mut sim, "rep_Ci", bj_rep_ci, c_i_ref);
+
+    // Locate each B column coordinate into D's dense j level.
+    let rd = wiring::root(&mut sim, "D");
+    let rd_per_i = wiring::repeat(&mut sim, "rep_Droot_i", bi_rep_d, rd);
+    let rd_per_j = wiring::repeat(&mut sim, "rep_Droot_j", bj_rep_d, rd_per_i);
+    let (_dj_crd, _dj_pass, d_j_ref) = wiring::locate(&mut sim, "loc_Dj", &td, 0, bj_loc, rd_per_j);
+
+    let (xi_sink, xj_sink, xv_sink) = fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, d_j_ref, bj_ref, bi_out, bj_out);
+    let report = sim.run(MAX_CYCLES).expect("fused locating SDDMM simulation");
+    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// Fused SDDMM where the dense outer dimensions are co-iterated against B.
+fn fused_coiteration(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], b.shape()[1]);
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    let tc = Tensor::from_coo("C", c, TensorFormat::dense(2));
+    let td = Tensor::from_coo("D", d, TensorFormat::dense(2));
+    let mut sim = Simulator::new();
+
+    let rb = wiring::root(&mut sim, "B");
+    let rc = wiring::root(&mut sim, "C");
+    let rd = wiring::root(&mut sim, "D");
+
+    // Co-iterate B's i coordinates with C's dense i level.
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let (ci_crd, ci_ref) = wiring::scan(&mut sim, "Ci", &tc, 0, rc);
+    let (i_crd, i_refs) = wiring::intersect(&mut sim, "int_i", [bi_crd, ci_crd], [bi_ref, ci_ref]);
+    let [i_out, i_rep_d] = fork(&mut sim, "i_fork", i_crd);
+
+    // Co-iterate B's j coordinates with D's dense j level (rescanned per row).
+    let (bj_crd, bj_ref) = wiring::scan(&mut sim, "Bj", &tb, 1, i_refs[0]);
+    let rd_per_i = wiring::repeat(&mut sim, "rep_Droot", i_rep_d, rd);
+    let (dj_crd, dj_ref) = wiring::scan(&mut sim, "Dj", &td, 0, rd_per_i);
+    let (j_crd, j_refs) = wiring::intersect(&mut sim, "int_j", [bj_crd, dj_crd], [bj_ref, dj_ref]);
+    let [j_out, j_rep_ci] = fork(&mut sim, "j_fork", j_crd);
+
+    // Broadcast C's row fiber reference over the surviving j coordinates.
+    let c_i_per_j = wiring::repeat(&mut sim, "rep_Ci", j_rep_ci, i_refs[1]);
+
+    let (xi_sink, xj_sink, xv_sink) = fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, j_refs[1], j_refs[0], i_out, j_out);
+    let report = sim.run(MAX_CYCLES).expect("fused coiterating SDDMM simulation");
+    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// The unfused algorithm: materialize `T = C * D^T` with a dense inner-product
+/// matrix multiply, then sample it with B.
+fn unfused(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> KernelResult {
+    // Phase 1: dense T(i,j) = sum_k C(i,k) * D(j,k). Reuse the inner-product
+    // SpM*SpM graph on dense operands (D enters as its transpose).
+    let mut d_t = CooTensor::new(vec![d.shape()[1], d.shape()[0]]);
+    for (p, v) in d.entries() {
+        d_t.push(&[p[1], p[0]], *v).expect("in bounds");
+    }
+    let phase1 = spmm(c, &d_t, SpmmDataflow::InnerProduct);
+    // Phase 2: X = B .* T, an element-wise sampled multiply over B's nonzeros.
+    let t_coo = phase1.output.to_coo();
+    let phase2 = sample_elementwise(b, &t_coo);
+    KernelResult {
+        output: phase2.output,
+        cycles: phase1.cycles + phase2.cycles,
+        blocks: phase1.blocks + phase2.blocks,
+    }
+}
+
+/// Element-wise sampling `X = B .* T` where `T` is dense: iterate B and locate
+/// into T.
+fn sample_elementwise(b: &CooTensor, t: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], b.shape()[1]);
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    let tt = Tensor::from_coo("T", t, TensorFormat::dense(2));
+    let mut sim = Simulator::new();
+    let rb = wiring::root(&mut sim, "B");
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let [bi_out, bi_loc, bi_rep] = fork(&mut sim, "bi_fork", bi_crd);
+    let rt = wiring::root(&mut sim, "T");
+    let rt_per_i = wiring::repeat(&mut sim, "rep_Troot", bi_rep, rt);
+    let (_ti_crd, _ti_pass, ti_ref) = wiring::locate(&mut sim, "loc_Ti", &tt, 0, bi_loc, rt_per_i);
+    let (bj_crd, bj_ref) = wiring::scan(&mut sim, "Bj", &tb, 1, bi_ref);
+    let [bj_out, bj_loc, bj_rep] = fork(&mut sim, "bj_fork", bj_crd);
+    let ti_per_j = wiring::repeat(&mut sim, "rep_Ti", bj_rep, ti_ref);
+    let (_tj_crd, _tj_pass, tj_ref) = wiring::locate(&mut sim, "loc_Tj", &tt, 1, bj_loc, ti_per_j);
+    let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, bj_ref);
+    let t_vals = wiring::val_array(&mut sim, "T_vals", &tt, tj_ref);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, t_vals);
+    let xi_sink = wiring::write_level(&mut sim, "Xi", rows, bi_out);
+    let xj_sink = wiring::write_level(&mut sim, "Xj", cols, bj_out);
+    let xv_sink = wiring::write_vals(&mut sim, "Xvals", prod);
+    let report = sim.run(MAX_CYCLES).expect("sampling simulation");
+    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_tensor::expr::table1;
+    use sam_tensor::reference::Environment;
+    use sam_tensor::synth;
+
+    fn oracle(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> sam_tensor::DenseTensor {
+        let mut env = Environment::new();
+        env.insert("B", Tensor::from_coo("B", b, TensorFormat::dense(2)).to_dense());
+        env.insert("C", Tensor::from_coo("C", c, TensorFormat::dense(2)).to_dense());
+        env.insert("D", Tensor::from_coo("D", d, TensorFormat::dense(2)).to_dense());
+        env.bind_dims(&table1::sddmm(), &[]);
+        env.evaluate(&table1::sddmm()).unwrap()
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let (i, j, k) = (20, 18, 6);
+        let b = synth::random_matrix_sparsity(i, j, 0.9, 1);
+        let c = synth::dense_matrix(i, k, 2);
+        let d = synth::dense_matrix(j, k, 3);
+        let expect = oracle(&b, &c, &d);
+        for variant in [SddmmVariant::FusedLocating, SddmmVariant::FusedCoiteration, SddmmVariant::Unfused] {
+            let result = sddmm(&b, &c, &d, variant);
+            assert!(
+                result.output.to_dense().approx_eq(&expect),
+                "{} disagreed with the reference",
+                variant.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_beats_unfused_on_sparse_samples() {
+        let (i, j, k) = (40, 40, 4);
+        let b = synth::random_matrix_sparsity(i, j, 0.95, 5);
+        let c = synth::dense_matrix(i, k, 6);
+        let d = synth::dense_matrix(j, k, 7);
+        let fused = sddmm(&b, &c, &d, SddmmVariant::FusedLocating);
+        let unfused = sddmm(&b, &c, &d, SddmmVariant::Unfused);
+        assert!(
+            fused.cycles < unfused.cycles,
+            "fused ({}) should beat unfused ({})",
+            fused.cycles,
+            unfused.cycles
+        );
+    }
+
+    #[test]
+    fn locating_beats_coiteration_for_small_k() {
+        let (i, j, k) = (60, 60, 1);
+        let b = synth::random_matrix_sparsity(i, j, 0.95, 8);
+        let c = synth::dense_matrix(i, k, 9);
+        let d = synth::dense_matrix(j, k, 10);
+        let locating = sddmm(&b, &c, &d, SddmmVariant::FusedLocating);
+        let coiter = sddmm(&b, &c, &d, SddmmVariant::FusedCoiteration);
+        assert!(
+            locating.cycles < coiter.cycles,
+            "locating ({}) should beat coiteration ({})",
+            locating.cycles,
+            coiter.cycles
+        );
+    }
+}

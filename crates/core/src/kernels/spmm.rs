@@ -1,0 +1,281 @@
+//! Sparse matrix - sparse matrix multiplication `X(i,j) = sum_k B(i,k)*C(k,j)`
+//! in the three dataflow classes of the paper's Figure 12:
+//!
+//! * inner product (`i -> j -> k`), as built by SIGMA-style accelerators,
+//! * linear combination of rows (`i -> k -> j`), Gustavson's algorithm and
+//!   the paper's running example (Figure 4),
+//! * outer product (`k -> i -> j`), the OuterSPACE dataflow (Figure 16).
+
+use crate::kernels::{KernelResult, MAX_CYCLES};
+use crate::wiring::{self, fork};
+use sam_primitives::{AluOp, EmptyFiberPolicy};
+use sam_sim::Simulator;
+use sam_tensor::level::Level;
+use sam_tensor::{CooTensor, Tensor, TensorFormat};
+
+/// The SpM*SpM dataflow (index-variable iteration order) to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmmDataflow {
+    /// `i -> j -> k`: inner product.
+    InnerProduct,
+    /// `i -> k -> j`: linear combination of rows (Gustavson).
+    LinearCombination,
+    /// `k -> i -> j`: outer product.
+    OuterProduct,
+}
+
+impl SpmmDataflow {
+    /// Human-readable name used in the Figure 12 output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpmmDataflow::InnerProduct => "inner product",
+            SpmmDataflow::LinearCombination => "linear combination of rows",
+            SpmmDataflow::OuterProduct => "outer product",
+        }
+    }
+
+    /// Maps each of the six `ijk` permutations of Figure 12 to its dataflow
+    /// class and whether the computation runs on transposed operands
+    /// (`X^T = C^T B^T`).
+    pub fn from_order(order: &str) -> Option<(SpmmDataflow, bool)> {
+        match order {
+            "ijk" => Some((SpmmDataflow::InnerProduct, false)),
+            "jik" => Some((SpmmDataflow::InnerProduct, true)),
+            "ikj" => Some((SpmmDataflow::LinearCombination, false)),
+            "jki" => Some((SpmmDataflow::LinearCombination, true)),
+            "kij" => Some((SpmmDataflow::OuterProduct, false)),
+            "kji" => Some((SpmmDataflow::OuterProduct, true)),
+            _ => None,
+        }
+    }
+}
+
+/// Runs SpM*SpM on COO operands `B` (I x K) and `C` (K x J) with the given
+/// dataflow, returning the result as a DCSR tensor plus the simulated cycles.
+///
+/// # Panics
+///
+/// Panics if the operand shapes do not agree or the simulation fails.
+pub fn spmm(b: &CooTensor, c: &CooTensor, dataflow: SpmmDataflow) -> KernelResult {
+    assert_eq!(b.order(), 2, "B must be a matrix");
+    assert_eq!(c.order(), 2, "C must be a matrix");
+    assert_eq!(b.shape()[1], c.shape()[0], "inner dimensions must agree");
+    match dataflow {
+        SpmmDataflow::LinearCombination => spmm_gustavson(b, c),
+        SpmmDataflow::InnerProduct => spmm_inner(b, c),
+        SpmmDataflow::OuterProduct => spmm_outer(b, c),
+    }
+}
+
+/// Builds the DCSR result tensor from the two written levels and values.
+fn assemble_result(rows: usize, cols: usize, xi: sam_tensor::level::CompressedLevel, xj: sam_tensor::level::CompressedLevel, vals: Vec<f64>) -> Tensor {
+    Tensor::from_parts(
+        "X",
+        vec![rows, cols],
+        TensorFormat::dcsr(),
+        vec![Level::Compressed(xi), Level::Compressed(xj)],
+        vals,
+    )
+}
+
+/// The linear-combination-of-rows graph of paper Figure 4.
+fn spmm_gustavson(b: &CooTensor, c: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], c.shape()[1]);
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    let tc = Tensor::from_coo("C", c, TensorFormat::dcsr());
+    let mut sim = Simulator::new();
+
+    let rb = wiring::root(&mut sim, "B");
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let [bi_rep, bi_out] = fork(&mut sim, "bi_fork", bi_crd);
+    let (bk_crd, bk_ref) = wiring::scan(&mut sim, "Bk", &tb, 1, bi_ref);
+
+    let rc = wiring::root(&mut sim, "C");
+    let rep_ci = wiring::repeat(&mut sim, "rep_Ci", bi_rep, rc);
+    let (ck_crd, ck_ref) = wiring::scan(&mut sim, "Ck", &tc, 0, rep_ci);
+
+    let (_k_crd, k_refs) = wiring::intersect(&mut sim, "int_k", [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (cj_crd, cj_ref) = wiring::scan(&mut sim, "Cj", &tc, 1, k_refs[1]);
+    let [cj_rep, cj_red] = fork(&mut sim, "cj_fork", cj_crd);
+    let rep_bj = wiring::repeat(&mut sim, "rep_Bj", cj_rep, k_refs[0]);
+
+    let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, rep_bj);
+    let c_vals = wiring::val_array(&mut sim, "C_vals", &tc, cj_ref);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);
+    let (xj_crd, x_vals) = wiring::reduce_vector(&mut sim, "reduce_k", cj_red, prod, EmptyFiberPolicy::Drop);
+    let (xi_out, xj_out) = wiring::crd_drop(&mut sim, "drop_i", bi_out, xj_crd);
+
+    let xi_sink = wiring::write_level(&mut sim, "Xi", rows, xi_out);
+    let xj_sink = wiring::write_level(&mut sim, "Xj", cols, xj_out);
+    let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
+    let report = sim.run(MAX_CYCLES).expect("Gustavson SpM*SpM simulation");
+    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// The inner-product graph (`i -> j -> k`): every (i, j) pair intersects B's
+/// row with C's column. Empty intersections produce explicit zeros.
+fn spmm_inner(b: &CooTensor, c: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], c.shape()[1]);
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    // C is iterated j -> k, i.e. by columns: store it transposed.
+    let tc = Tensor::from_coo("C", c, TensorFormat::dcsc());
+    let mut sim = Simulator::new();
+
+    let rb = wiring::root(&mut sim, "B");
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let [bi_rep, bi_out] = fork(&mut sim, "bi_fork", bi_crd);
+
+    let rc = wiring::root(&mut sim, "C");
+    let rep_cj_root = wiring::repeat(&mut sim, "rep_Cj", bi_rep, rc);
+    let (cj_crd, cj_ref) = wiring::scan(&mut sim, "Cj", &tc, 0, rep_cj_root);
+    let [cj_rep, cj_out] = fork(&mut sim, "cj_fork", cj_crd);
+
+    let rep_bk = wiring::repeat(&mut sim, "rep_Bk", cj_rep, bi_ref);
+    let (bk_crd, bk_ref) = wiring::scan(&mut sim, "Bk", &tb, 1, rep_bk);
+    let (ck_crd, ck_ref) = wiring::scan(&mut sim, "Ck", &tc, 1, cj_ref);
+    let (_k_crd, k_refs) = wiring::intersect(&mut sim, "int_k", [bk_crd, ck_crd], [bk_ref, ck_ref]);
+
+    let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, k_refs[0]);
+    let c_vals = wiring::val_array(&mut sim, "C_vals", &tc, k_refs[1]);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);
+    let x_vals = wiring::reduce_scalar(&mut sim, "reduce_k", prod, EmptyFiberPolicy::ExplicitZero);
+
+    let xi_sink = wiring::write_level(&mut sim, "Xi", rows, bi_out);
+    let xj_sink = wiring::write_level(&mut sim, "Xj", cols, cj_out);
+    let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
+    let report = sim.run(MAX_CYCLES).expect("inner-product SpM*SpM simulation");
+    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// The outer-product graph (`k -> i -> j`) with a matrix accumulator, the
+/// dataflow of OuterSPACE (paper Figure 16 plus its merge phase).
+fn spmm_outer(b: &CooTensor, c: &CooTensor) -> KernelResult {
+    let (rows, cols) = (b.shape()[0], c.shape()[1]);
+    // B is iterated k -> i, i.e. by columns: store it transposed.
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsc());
+    let tc = Tensor::from_coo("C", c, TensorFormat::dcsr());
+    let mut sim = Simulator::new();
+
+    let rb = wiring::root(&mut sim, "B");
+    let (bk_crd, bk_ref) = wiring::scan(&mut sim, "Bk", &tb, 0, rb);
+    let rc = wiring::root(&mut sim, "C");
+    let (ck_crd, ck_ref) = wiring::scan(&mut sim, "Ck", &tc, 0, rc);
+    let (_k_crd, k_refs) = wiring::intersect(&mut sim, "int_k", [bk_crd, ck_crd], [bk_ref, ck_ref]);
+
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 1, k_refs[0]);
+    let [bi_rep, bi_red] = fork(&mut sim, "bi_fork", bi_crd);
+    let rep_cj = wiring::repeat(&mut sim, "rep_Cj", bi_rep, k_refs[1]);
+    let (cj_crd, cj_ref) = wiring::scan(&mut sim, "Cj", &tc, 1, rep_cj);
+    let [cj_rep, cj_red] = fork(&mut sim, "cj_fork", cj_crd);
+    let rep_bval = wiring::repeat(&mut sim, "rep_Bval", cj_rep, bi_ref);
+
+    let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, rep_bval);
+    let c_vals = wiring::val_array(&mut sim, "C_vals", &tc, cj_ref);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);
+    let (x_crds, x_vals) = wiring::reduce_matrix(&mut sim, "reduce_k", [bi_red, cj_red], prod, EmptyFiberPolicy::Drop);
+
+    let xi_sink = wiring::write_level(&mut sim, "Xi", rows, x_crds[0]);
+    let xj_sink = wiring::write_level(&mut sim, "Xj", cols, x_crds[1]);
+    let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
+    let report = sim.run(MAX_CYCLES).expect("outer-product SpM*SpM simulation");
+    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// Runs one of the six `ijk` orders of Figure 12 by mapping it to a dataflow
+/// class, transposing operands for the mirrored orders.
+pub fn spmm_order(b: &CooTensor, c: &CooTensor, order: &str) -> KernelResult {
+    let (dataflow, transposed) = SpmmDataflow::from_order(order)
+        .unwrap_or_else(|| panic!("unknown iteration order `{order}`"));
+    if !transposed {
+        return spmm(b, c, dataflow);
+    }
+    // X^T = C^T * B^T.
+    let transpose = |t: &CooTensor, name: &str| {
+        let mut out = CooTensor::new(vec![t.shape()[1], t.shape()[0]]);
+        for (p, v) in t.entries() {
+            out.push(&[p[1], p[0]], *v).expect("in bounds");
+        }
+        let _ = name;
+        out
+    };
+    let ct = transpose(c, "Ct");
+    let bt = transpose(b, "Bt");
+    let mut result = spmm(&ct, &bt, dataflow);
+    // Transpose the result back.
+    let mut coo = CooTensor::new(vec![b.shape()[0], c.shape()[1]]);
+    for (p, v) in result.output.points() {
+        coo.push(&[p[1], p[0]], v).expect("in bounds");
+    }
+    result.output = Tensor::from_coo("X", &coo, TensorFormat::dcsr());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_tensor::expr::table1;
+    use sam_tensor::reference::Environment;
+    use sam_tensor::synth;
+
+    fn oracle(b: &CooTensor, c: &CooTensor) -> sam_tensor::DenseTensor {
+        let mut env = Environment::new();
+        env.insert("B", Tensor::from_coo("B", b, TensorFormat::dense(2)).to_dense());
+        env.insert("C", Tensor::from_coo("C", c, TensorFormat::dense(2)).to_dense());
+        env.bind_dims(&table1::spmm(), &[]);
+        env.evaluate(&table1::spmm()).unwrap()
+    }
+
+    #[test]
+    fn all_dataflows_match_reference() {
+        let b = synth::random_matrix_sparsity(24, 18, 0.85, 11);
+        let c = synth::random_matrix_sparsity(18, 20, 0.85, 12);
+        let expect = oracle(&b, &c);
+        for dataflow in [
+            SpmmDataflow::LinearCombination,
+            SpmmDataflow::InnerProduct,
+            SpmmDataflow::OuterProduct,
+        ] {
+            let result = spmm(&b, &c, dataflow);
+            assert!(
+                result.output.to_dense().approx_eq(&expect),
+                "{} disagreed with the reference",
+                dataflow.label()
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_orders_match_reference() {
+        let b = synth::random_matrix_sparsity(15, 12, 0.8, 3);
+        let c = synth::random_matrix_sparsity(12, 10, 0.8, 4);
+        let expect = oracle(&b, &c);
+        for order in ["ijk", "jik", "ikj", "jki", "kij", "kji"] {
+            let result = spmm_order(&b, &c, order);
+            assert!(result.output.to_dense().approx_eq(&expect), "order {order} disagreed");
+        }
+    }
+
+    #[test]
+    fn gustavson_beats_inner_product_on_sparse_inputs() {
+        let b = synth::random_matrix_sparsity(60, 40, 0.95, 5);
+        let c = synth::random_matrix_sparsity(40, 60, 0.95, 6);
+        let rows = spmm(&b, &c, SpmmDataflow::LinearCombination);
+        let inner = spmm(&b, &c, SpmmDataflow::InnerProduct);
+        assert!(
+            rows.cycles < inner.cycles,
+            "Gustavson ({}) should beat inner product ({})",
+            rows.cycles,
+            inner.cycles
+        );
+    }
+
+    #[test]
+    fn order_mapping() {
+        assert_eq!(SpmmDataflow::from_order("ikj"), Some((SpmmDataflow::LinearCombination, false)));
+        assert_eq!(SpmmDataflow::from_order("kji"), Some((SpmmDataflow::OuterProduct, true)));
+        assert_eq!(SpmmDataflow::from_order("zzz"), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Sparse matrix-vector multiplication `x(i) = sum_j B(i,j) * c(j)`.
+//!
+//! The graph follows the linear-combination-of-rows pattern: B's rows are
+//! scanned, each row's column coordinates are located into the dense vector
+//! (Section 4.2's iterate-locate optimization), values are multiplied and a
+//! scalar reducer accumulates each row.
+
+use crate::kernels::{KernelResult, MAX_CYCLES};
+use crate::wiring::{self, fork};
+use sam_primitives::{AluOp, EmptyFiberPolicy};
+use sam_sim::Simulator;
+use sam_tensor::{CooTensor, Tensor, TensorFormat};
+
+/// Runs SpMV with `B` stored DCSR and `c` stored dense.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or the simulation fails.
+pub fn spmv(b: &CooTensor, c: &CooTensor) -> KernelResult {
+    assert_eq!(b.order(), 2, "B must be a matrix");
+    assert_eq!(c.order(), 1, "c must be a vector");
+    assert_eq!(b.shape()[1], c.shape()[0], "inner dimensions must agree");
+    let rows = b.shape()[0];
+    let tb = Tensor::from_coo("B", b, TensorFormat::dcsr());
+    let tc = Tensor::from_coo("c", c, TensorFormat::dense_vec());
+
+    let mut sim = Simulator::new();
+    let rb = wiring::root(&mut sim, "B");
+    let (bi_crd, bi_ref) = wiring::scan(&mut sim, "Bi", &tb, 0, rb);
+    let [bi_crd_rep, bi_crd_out] = fork(&mut sim, "bi_fork", bi_crd);
+    let (bj_crd, bj_ref) = wiring::scan(&mut sim, "Bj", &tb, 1, bi_ref);
+    let [bj_crd_rep, bj_crd_loc] = fork(&mut sim, "bj_fork", bj_crd);
+    // Broadcast c's root reference once per row, then once per column
+    // coordinate (paper Figure 4's repeater chain), and locate each column
+    // coordinate into the dense vector.
+    let rc = wiring::root(&mut sim, "c");
+    let c_root_per_i = wiring::repeat(&mut sim, "rep_ci", bi_crd_rep, rc);
+    let c_root_per_j = wiring::repeat(&mut sim, "rep_cj", bj_crd_rep, c_root_per_i);
+    let (_loc_crd, _loc_pass, c_val_ref) = wiring::locate(&mut sim, "loc_c", &tc, 0, bj_crd_loc, c_root_per_j);
+    let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, bj_ref);
+    let c_vals = wiring::val_array(&mut sim, "c_vals", &tc, c_val_ref);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);
+    let x_vals = wiring::reduce_scalar(&mut sim, "reduce_j", prod, EmptyFiberPolicy::ExplicitZero);
+    let xi_sink = wiring::write_level(&mut sim, "xi", rows, bi_crd_out);
+    let xv_sink = wiring::write_vals(&mut sim, "xvals", x_vals);
+    let report = sim.run(MAX_CYCLES).expect("SpMV simulation");
+    let level = wiring::take_level(&xi_sink);
+    let vals = wiring::take_vals(&xv_sink);
+    let output = Tensor::from_parts(
+        "x",
+        vec![rows],
+        TensorFormat::sparse_vec(),
+        vec![sam_tensor::level::Level::Compressed(level)],
+        vals,
+    );
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_tensor::expr::table1;
+    use sam_tensor::reference::Environment;
+    use sam_tensor::synth;
+
+    #[test]
+    fn spmv_matches_reference() {
+        let b = synth::random_matrix_sparsity(40, 30, 0.9, 7);
+        let c = synth::random_vector(30, 30, 8); // fully dense vector
+        let result = spmv(&b, &c);
+        let mut env = Environment::new();
+        env.insert("B", Tensor::from_coo("B", &b, TensorFormat::dense(2)).to_dense());
+        env.insert("c", Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense());
+        env.bind_dims(&table1::spmv(), &[]);
+        let expect = env.evaluate(&table1::spmv()).unwrap();
+        assert!(result.output.to_dense().approx_eq(&expect));
+        assert!(result.cycles > 0);
+        assert!(result.blocks >= 10);
+    }
+
+    #[test]
+    fn spmv_handles_empty_rows() {
+        // Only two rows are populated; DCSR skips the rest.
+        let b = sam_tensor::CooTensor::from_entries(
+            vec![6, 4],
+            vec![(vec![1, 0], 2.0), (vec![1, 3], 3.0), (vec![4, 2], 5.0)],
+        )
+        .unwrap();
+        let c = synth::random_vector(4, 4, 1);
+        let result = spmv(&b, &c);
+        let dense_c = Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense();
+        let x = result.output.to_dense();
+        assert!((x.at(&[1]) - (2.0 * dense_c.at(&[0]) + 3.0 * dense_c.at(&[3]))).abs() < 1e-9);
+        assert!((x.at(&[4]) - 5.0 * dense_c.at(&[2])).abs() < 1e-9);
+        assert_eq!(x.at(&[0]), 0.0);
+    }
+}

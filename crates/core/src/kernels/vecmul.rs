@@ -1,0 +1,305 @@
+//! Element-wise sparse vector multiplication `x(i) = b(i) * c(i)` in the six
+//! configurations of the paper's Figure 13.
+
+use crate::kernels::{KernelResult, MAX_CYCLES};
+use crate::wiring::{self, fork};
+use sam_primitives::bitvector::{bit_result_sink, BitTreeVecMul, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul};
+use sam_primitives::{AluOp, root_stream};
+use sam_sim::Simulator;
+use sam_tensor::level::BitvectorLevel;
+use sam_tensor::{CooTensor, LevelFormat, Tensor, TensorFormat};
+use std::sync::Arc;
+
+/// The vector storage / acceleration configuration (the Figure 13 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VecFormat {
+    /// One uncompressed (dense) level.
+    Dense,
+    /// One compressed coordinate level.
+    Crd,
+    /// One compressed coordinate level with coordinate skipping.
+    CrdSkip,
+    /// Two compressed coordinate levels (the vector split into chunks).
+    CrdSplit {
+        /// Number of chunks the dimension is divided into.
+        split: usize,
+    },
+    /// One pseudo-dense bitvector level.
+    Bv {
+        /// Bits per bitvector word.
+        width: u8,
+    },
+    /// Two bitvector levels (a bit-tree).
+    BvSplit {
+        /// Bits per bitvector word.
+        width: u8,
+    },
+}
+
+impl VecFormat {
+    /// The label used in the Figure 13 plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VecFormat::Dense => "Dense",
+            VecFormat::Crd => "Crd",
+            VecFormat::CrdSkip => "Crd w/ skip",
+            VecFormat::CrdSplit { .. } => "Crd w/ split",
+            VecFormat::Bv { .. } => "BV",
+            VecFormat::BvSplit { .. } => "BV w/ split",
+        }
+    }
+
+    /// The six configurations studied in Figure 13, with the paper's
+    /// parameters (split factor 64, 64-bit words).
+    pub fn figure13_set() -> Vec<VecFormat> {
+        vec![
+            VecFormat::Crd,
+            VecFormat::Dense,
+            VecFormat::CrdSkip,
+            VecFormat::CrdSplit { split: 64 },
+            VecFormat::BvSplit { width: 64 },
+            VecFormat::Bv { width: 64 },
+        ]
+    }
+}
+
+/// Runs element-wise vector multiplication of two COO vectors of dimension
+/// `dim` under the given configuration.
+///
+/// # Panics
+///
+/// Panics if the inputs are not vectors of the stated dimension or the
+/// simulation does not complete.
+pub fn vec_elem_mul(b: &CooTensor, c: &CooTensor, dim: usize, format: VecFormat) -> KernelResult {
+    assert_eq!(b.shape(), &[dim], "b must be a vector of dimension {dim}");
+    assert_eq!(c.shape(), &[dim], "c must be a vector of dimension {dim}");
+    match format {
+        VecFormat::Dense => flat_kernel(b, c, dim, TensorFormat::dense_vec(), false),
+        VecFormat::Crd => flat_kernel(b, c, dim, TensorFormat::sparse_vec(), false),
+        VecFormat::CrdSkip => flat_kernel(b, c, dim, TensorFormat::sparse_vec(), true),
+        VecFormat::CrdSplit { split } => split_kernel(b, c, dim, split),
+        VecFormat::Bv { width } => bitvector_kernel(b, c, dim, width),
+        VecFormat::BvSplit { width } => bittree_kernel(b, c, dim, width),
+    }
+}
+
+/// Single-level kernel: scan both operands, intersect, load values, multiply,
+/// write the result (with optional coordinate skipping).
+fn flat_kernel(b: &CooTensor, c: &CooTensor, dim: usize, fmt: TensorFormat, skip: bool) -> KernelResult {
+    let tb = Tensor::from_coo("b", b, fmt.clone());
+    let tc = Tensor::from_coo("c", c, fmt);
+    let mut sim = Simulator::new();
+    let rb = wiring::root(&mut sim, "b");
+    let rc = wiring::root(&mut sim, "c");
+    let (int_crd, int_ref) = if skip {
+        let (b_crd, b_ref, b_skip) = wiring::scan_with_skip(&mut sim, "bi", &tb, 0, rb);
+        let (c_crd, c_ref, c_skip) = wiring::scan_with_skip(&mut sim, "ci", &tc, 0, rc);
+        wiring::intersect_with_skip(&mut sim, "int_i", [b_crd, c_crd], [b_ref, c_ref], [b_skip, c_skip])
+    } else {
+        let (b_crd, b_ref) = wiring::scan(&mut sim, "bi", &tb, 0, rb);
+        let (c_crd, c_ref) = wiring::scan(&mut sim, "ci", &tc, 0, rc);
+        wiring::intersect(&mut sim, "int_i", [b_crd, c_crd], [b_ref, c_ref])
+    };
+    let bv = wiring::val_array(&mut sim, "b_vals", &tb, int_ref[0]);
+    let cv = wiring::val_array(&mut sim, "c_vals", &tc, int_ref[1]);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, bv, cv);
+    let xi_sink = wiring::write_level(&mut sim, "xi", dim, int_crd);
+    let xv_sink = wiring::write_vals(&mut sim, "xvals", prod);
+    let report = sim.run(MAX_CYCLES).expect("vector multiply simulation");
+    let level = wiring::take_level(&xi_sink);
+    let vals = wiring::take_vals(&xv_sink);
+    let output = Tensor::from_parts(
+        "x",
+        vec![dim],
+        TensorFormat::sparse_vec(),
+        vec![sam_tensor::level::Level::Compressed(level)],
+        vals,
+    );
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// Two-level (split) kernel: the vector is reshaped into `split` chunks and
+/// intersected hierarchically so whole chunks with no overlap are skipped.
+fn split_kernel(b: &CooTensor, c: &CooTensor, dim: usize, split: usize) -> KernelResult {
+    assert!(split > 0, "split factor must be positive");
+    // The last chunk may be partially filled when the split does not divide
+    // the dimension evenly (e.g. the paper's 2000-element vectors with a
+    // split factor of 64).
+    let chunk = dim.div_ceil(split);
+    let reshape = |t: &CooTensor, name: &str| {
+        let mut coo = CooTensor::new(vec![split, chunk]);
+        for (p, v) in t.entries() {
+            coo.push(&[p[0] / chunk as u32, p[0] % chunk as u32], *v).expect("in bounds");
+        }
+        Tensor::from_coo(name, &coo, TensorFormat::csf(2))
+    };
+    let tb = reshape(b, "b");
+    let tc = reshape(c, "c");
+    let mut sim = Simulator::new();
+    let rb = wiring::root(&mut sim, "b");
+    let rc = wiring::root(&mut sim, "c");
+    let (b0_crd, b0_ref) = wiring::scan(&mut sim, "b0", &tb, 0, rb);
+    let (c0_crd, c0_ref) = wiring::scan(&mut sim, "c0", &tc, 0, rc);
+    let (o_crd, o_ref) = wiring::intersect(&mut sim, "int_outer", [b0_crd, c0_crd], [b0_ref, c0_ref]);
+    let (b1_crd, b1_ref) = wiring::scan(&mut sim, "b1", &tb, 1, o_ref[0]);
+    let (c1_crd, c1_ref) = wiring::scan(&mut sim, "c1", &tc, 1, o_ref[1]);
+    let (i_crd, i_ref) = wiring::intersect(&mut sim, "int_inner", [b1_crd, c1_crd], [b1_ref, c1_ref]);
+    let bv = wiring::val_array(&mut sim, "b_vals", &tb, i_ref[0]);
+    let cv = wiring::val_array(&mut sim, "c_vals", &tc, i_ref[1]);
+    let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, bv, cv);
+    // Drop outer chunks whose inner intersection came up empty.
+    let (x0_crd, x1_crd) = wiring::crd_drop(&mut sim, "drop", o_crd, i_crd);
+    let x0_sink = wiring::write_level(&mut sim, "x0", split, x0_crd);
+    let x1_sink = wiring::write_level(&mut sim, "x1", chunk, x1_crd);
+    let xv_sink = wiring::write_vals(&mut sim, "xvals", prod);
+    let report = sim.run(MAX_CYCLES).expect("split vector multiply simulation");
+    let l0 = wiring::take_level(&x0_sink);
+    let l1 = wiring::take_level(&x1_sink);
+    let vals = wiring::take_vals(&xv_sink);
+    // Flatten the two-level result back into a vector.
+    let two_level = Tensor::from_parts(
+        "x2",
+        vec![split, chunk],
+        TensorFormat::csf(2),
+        vec![
+            sam_tensor::level::Level::Compressed(l0),
+            sam_tensor::level::Level::Compressed(l1),
+        ],
+        vals,
+    );
+    let mut flat = CooTensor::new(vec![dim]);
+    for (p, v) in two_level.points() {
+        flat.push(&[p[0] * chunk as u32 + p[1]], v).expect("in bounds");
+    }
+    let output = Tensor::from_coo("x", &flat, TensorFormat::sparse_vec());
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+fn bitvector_operands(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> (Arc<BitvectorLevel>, Arc<BitvectorLevel>, Arc<Vec<f64>>, Arc<Vec<f64>>) {
+    let fmt = TensorFormat::new(vec![LevelFormat::Bitvector { word_width: width }]);
+    let tb = Tensor::from_coo("b", b, fmt.clone());
+    let tc = Tensor::from_coo("c", c, fmt);
+    let lb = match tb.level(0) {
+        sam_tensor::level::Level::Bitvector(l) => Arc::new(l.clone()),
+        _ => unreachable!("bitvector format"),
+    };
+    let lc = match tc.level(0) {
+        sam_tensor::level::Level::Bitvector(l) => Arc::new(l.clone()),
+        _ => unreachable!("bitvector format"),
+    };
+    let _ = dim;
+    (lb, lc, Arc::new(tb.vals().to_vec()), Arc::new(tc.vals().to_vec()))
+}
+
+/// Flat bitvector kernel: one word of each operand is scanned, intersected
+/// and multiplied (all lanes in parallel) per cycle.
+fn bitvector_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> KernelResult {
+    let (lb, lc, vb, vc) = bitvector_operands(b, c, dim, width);
+    let mut sim = Simulator::new();
+    let rb = sim.add_channel("b_root");
+    let rc = sim.add_channel("c_root");
+    sim.preload(rb, root_stream());
+    sim.preload(rc, root_stream());
+    let b_bits = sim.add_channel("b_bits");
+    let b_refs = sim.add_channel("b_refs");
+    let c_bits = sim.add_channel("c_bits");
+    let c_refs = sim.add_channel("c_refs");
+    let inter = sim.add_channel("intersected");
+    let pairs = sim.add_channel("pairs");
+    let sink = bit_result_sink();
+    sim.add_block(Box::new(BitvectorScanner::new("b_scan", lb.clone(), rb, b_bits, b_refs)));
+    sim.add_block(Box::new(BitvectorScanner::new("c_scan", lc.clone(), rc, c_bits, c_refs)));
+    sim.add_block(Box::new(BitvectorIntersecter::new("bv_int", [b_bits, c_bits], [b_refs, c_refs], inter, pairs)));
+    sim.add_block(Box::new(BitvectorVecMul::new("bv_mul", lb, lc, vb, vc, inter, sink.clone())));
+    let report = sim.run(MAX_CYCLES).expect("bitvector multiply simulation");
+    let output = result_from_pairs(&sink.lock().expect("sink").clone(), dim);
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+/// Two-level bit-tree kernel (the paper's "BV w/ split").
+fn bittree_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> KernelResult {
+    let (lb, lc, vb, vc) = bitvector_operands(b, c, dim, width);
+    let sink = bit_result_sink();
+    let mut sim = Simulator::new();
+    let progress = sim.add_channel("progress");
+    sim.add_block(Box::new(BitTreeVecMul::new("bt_mul", lb, lc, vb, vc, progress, sink.clone())));
+    let report = sim.run(MAX_CYCLES).expect("bit-tree multiply simulation");
+    let output = result_from_pairs(&sink.lock().expect("sink").clone(), dim);
+    KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
+}
+
+fn result_from_pairs(pairs: &[(u32, f64)], dim: usize) -> Tensor {
+    let mut coo = CooTensor::new(vec![dim]);
+    for (c, v) in pairs {
+        coo.push(&[*c], *v).expect("in bounds");
+    }
+    Tensor::from_coo("x", &coo, TensorFormat::sparse_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_tensor::reference::Environment;
+    use sam_tensor::expr::table1;
+    use sam_tensor::synth;
+
+    fn oracle(b: &CooTensor, c: &CooTensor, dim: usize) -> sam_tensor::DenseTensor {
+        let mut env = Environment::new();
+        env.insert("b", Tensor::from_coo("b", b, TensorFormat::dense_vec()).to_dense());
+        env.insert("c", Tensor::from_coo("c", c, TensorFormat::dense_vec()).to_dense());
+        env.set_dim('i', dim);
+        env.evaluate(&table1::vec_elem_mul()).unwrap()
+    }
+
+    #[test]
+    fn all_formats_agree_with_oracle() {
+        let dim = 256;
+        let b = synth::random_vector(dim, 50, 1);
+        let c = synth::random_vector(dim, 60, 2);
+        let expect = oracle(&b, &c, dim);
+        for fmt in VecFormat::figure13_set() {
+            let result = vec_elem_mul(&b, &c, dim, fmt);
+            assert!(
+                result.output.to_dense().approx_eq(&expect),
+                "format {} disagreed with the reference",
+                fmt.label()
+            );
+            assert!(result.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn skipping_helps_on_runs() {
+        let dim = 2048;
+        let (b, c) = synth::runs_vector_pair(dim, 400, 50, 3);
+        let plain = vec_elem_mul(&b, &c, dim, VecFormat::Crd);
+        let skipped = vec_elem_mul(&b, &c, dim, VecFormat::CrdSkip);
+        assert!(
+            skipped.cycles < plain.cycles,
+            "skip {} should beat plain {}",
+            skipped.cycles,
+            plain.cycles
+        );
+    }
+
+    #[test]
+    fn dense_costs_track_dimension() {
+        let dim = 512;
+        let b = synth::random_vector(dim, 10, 1);
+        let c = synth::random_vector(dim, 10, 2);
+        let dense = vec_elem_mul(&b, &c, dim, VecFormat::Dense);
+        let sparse = vec_elem_mul(&b, &c, dim, VecFormat::Crd);
+        assert!(dense.cycles > sparse.cycles);
+        assert!(dense.cycles as usize >= dim);
+    }
+
+    #[test]
+    fn bitvector_cycles_are_word_bound() {
+        let dim = 2048;
+        let b = synth::random_vector(dim, 400, 1);
+        let c = synth::random_vector(dim, 400, 2);
+        let bv = vec_elem_mul(&b, &c, dim, VecFormat::Bv { width: 64 });
+        // 32 words plus pipeline overhead.
+        assert!(bv.cycles < 200, "cycles = {}", bv.cycles);
+    }
+}

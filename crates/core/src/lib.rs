@@ -1,0 +1,26 @@
+//! # sam-core
+//!
+//! The SAM graph intermediate representation and the kernel library.
+//!
+//! * [`graph`] — the [`SamGraph`](graph::SamGraph) IR: typed nodes for every
+//!   SAM primitive, edges carrying stream kinds, primitive counting
+//!   (Table 1 / Table 2) and Graphviz DOT export. This is the
+//!   LLVM-like interface the paper positions between the Custard compiler
+//!   and hardware backends.
+//! * [`wiring`] — helpers that instantiate primitives into a `sam-sim`
+//!   [`Simulator`](sam_sim::Simulator), plus the stream fork used when one
+//!   output feeds several consumers.
+//! * [`kernels`] — hand-scheduled, runnable dataflow graphs for the paper's
+//!   kernels: element-wise vector multiply in the six Figure 13
+//!   configurations, SpMV, SpM*SpM in the inner-product / linear-combination
+//!   (Gustavson) / outer-product dataflows (Figure 12), SDDMM fused and
+//!   unfused (Figure 11), and matrix identity (Figure 14). Every kernel
+//!   returns its result tensor and the simulated cycle count and is checked
+//!   against the dense reference evaluator.
+
+pub mod graph;
+pub mod kernels;
+pub mod wiring;
+
+pub use graph::{NodeKind, PrimitiveCounts, SamGraph, StreamKind};
+pub use kernels::KernelResult;

@@ -1,0 +1,288 @@
+//! Helpers for instantiating SAM primitives into a simulator.
+//!
+//! Kernels in [`crate::kernels`] use these helpers to keep graph wiring
+//! readable: each helper adds the block plus its output channels and returns
+//! the channel ids. [`Fork`] implements the stream fan-out that paper figures
+//! draw implicitly when one stream feeds several consumers.
+
+use sam_primitives::{
+    root_stream, Alu, AluOp, CoordDropper, EmptyFiberPolicy, Intersecter, LevelScanner, LevelWriter, Locator,
+    Reducer, Repeater, Unioner, ValArray, ValWriter,
+};
+use sam_primitives::writer::{level_sink, val_sink, LevelWriterSink, ValWriterSink};
+use sam_streams::Token;
+use sam_sim::{Block, BlockStatus, ChannelId, Context, Simulator};
+use sam_tensor::Tensor;
+use std::sync::Arc;
+
+/// Copies every token of its input to each of its outputs (stream fan-out).
+pub struct Fork {
+    name: String,
+    input: ChannelId,
+    outputs: Vec<ChannelId>,
+    done: bool,
+}
+
+impl Fork {
+    /// Creates a fork with the given outputs.
+    pub fn new(name: impl Into<String>, input: ChannelId, outputs: Vec<ChannelId>) -> Self {
+        Fork { name: name.into(), input, outputs, done: false }
+    }
+}
+
+impl Block for Fork {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        if self.outputs.iter().any(|o| !ctx.can_push(*o)) {
+            return BlockStatus::Busy;
+        }
+        let Some(t) = ctx.peek(self.input).cloned() else {
+            return BlockStatus::Busy;
+        };
+        ctx.pop(self.input);
+        for &o in &self.outputs {
+            ctx.push(o, t);
+        }
+        if matches!(t, Token::Done) {
+            self.done = true;
+            BlockStatus::Done
+        } else {
+            BlockStatus::Busy
+        }
+    }
+}
+
+/// Adds a preloaded root reference stream channel for a tensor path.
+pub fn root(sim: &mut Simulator, name: &str) -> ChannelId {
+    let ch = sim.add_channel(format!("{name}_root"));
+    sim.preload(ch, root_stream());
+    ch
+}
+
+/// Adds a level scanner over storage level `level` of `tensor`, returning its
+/// coordinate and reference output channels.
+pub fn scan(sim: &mut Simulator, name: &str, tensor: &Tensor, level: usize, in_ref: ChannelId) -> (ChannelId, ChannelId) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let rf = sim.add_channel(format!("{name}_ref"));
+    let lvl = Arc::new(tensor.level(level).clone());
+    sim.add_block(Box::new(LevelScanner::new(name, lvl, in_ref, crd, rf)));
+    (crd, rf)
+}
+
+/// Like [`scan`] but with a coordinate-skip input channel attached; returns
+/// `(crd, ref, skip)`.
+pub fn scan_with_skip(
+    sim: &mut Simulator,
+    name: &str,
+    tensor: &Tensor,
+    level: usize,
+    in_ref: ChannelId,
+) -> (ChannelId, ChannelId, ChannelId) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let rf = sim.add_channel(format!("{name}_ref"));
+    let skip = sim.add_channel(format!("{name}_skip"));
+    let lvl = Arc::new(tensor.level(level).clone());
+    sim.add_block(Box::new(LevelScanner::new(name, lvl, in_ref, crd, rf).with_skip(skip)));
+    (crd, rf, skip)
+}
+
+/// Adds a repeater broadcasting `in_ref` over the fibers of `in_crd`.
+pub fn repeat(sim: &mut Simulator, name: &str, in_crd: ChannelId, in_ref: ChannelId) -> ChannelId {
+    let out = sim.add_channel(format!("{name}_ref"));
+    sim.add_block(Box::new(Repeater::new(name, in_crd, in_ref, out)));
+    out
+}
+
+/// Adds a binary intersecter; returns `(crd, [ref_a, ref_b])`.
+pub fn intersect(
+    sim: &mut Simulator,
+    name: &str,
+    in_crd: [ChannelId; 2],
+    in_ref: [ChannelId; 2],
+) -> (ChannelId, [ChannelId; 2]) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let r0 = sim.add_channel(format!("{name}_ref0"));
+    let r1 = sim.add_channel(format!("{name}_ref1"));
+    sim.add_block(Box::new(Intersecter::new(name, in_crd, in_ref, crd, [r0, r1])));
+    (crd, [r0, r1])
+}
+
+/// Adds a binary intersecter with skip feedback channels pointed at the two
+/// operand scanners.
+pub fn intersect_with_skip(
+    sim: &mut Simulator,
+    name: &str,
+    in_crd: [ChannelId; 2],
+    in_ref: [ChannelId; 2],
+    skip: [ChannelId; 2],
+) -> (ChannelId, [ChannelId; 2]) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let r0 = sim.add_channel(format!("{name}_ref0"));
+    let r1 = sim.add_channel(format!("{name}_ref1"));
+    sim.add_block(Box::new(Intersecter::new(name, in_crd, in_ref, crd, [r0, r1]).with_skip(skip)));
+    (crd, [r0, r1])
+}
+
+/// Adds a binary unioner; returns `(crd, [ref_a, ref_b])`.
+pub fn union(
+    sim: &mut Simulator,
+    name: &str,
+    in_crd: [ChannelId; 2],
+    in_ref: [ChannelId; 2],
+) -> (ChannelId, [ChannelId; 2]) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let r0 = sim.add_channel(format!("{name}_ref0"));
+    let r1 = sim.add_channel(format!("{name}_ref1"));
+    sim.add_block(Box::new(Unioner::new(name, in_crd, in_ref, crd, [r0, r1])));
+    (crd, [r0, r1])
+}
+
+/// Adds a locator into storage level `level` of `tensor`; returns
+/// `(crd, pass_ref, located_ref)`.
+pub fn locate(
+    sim: &mut Simulator,
+    name: &str,
+    tensor: &Tensor,
+    level: usize,
+    in_crd: ChannelId,
+    in_ref: ChannelId,
+) -> (ChannelId, ChannelId, ChannelId) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let pass = sim.add_channel(format!("{name}_pass"));
+    let loc = sim.add_channel(format!("{name}_loc"));
+    let lvl = Arc::new(tensor.level(level).clone());
+    sim.add_block(Box::new(Locator::new(name, lvl, in_crd, in_ref, crd, pass, loc)));
+    (crd, pass, loc)
+}
+
+/// Adds a value-load array over `tensor`'s values.
+pub fn val_array(sim: &mut Simulator, name: &str, tensor: &Tensor, in_ref: ChannelId) -> ChannelId {
+    let out = sim.add_channel(format!("{name}_val"));
+    sim.add_block(Box::new(ValArray::new(name, Arc::new(tensor.vals().to_vec()), in_ref, out)));
+    out
+}
+
+/// Adds an ALU.
+pub fn alu(sim: &mut Simulator, name: &str, op: AluOp, a: ChannelId, b: ChannelId) -> ChannelId {
+    let out = sim.add_channel(format!("{name}_val"));
+    sim.add_block(Box::new(Alu::new(name, op, [a, b], out)));
+    out
+}
+
+/// Adds a scalar reducer.
+pub fn reduce_scalar(sim: &mut Simulator, name: &str, in_val: ChannelId, policy: EmptyFiberPolicy) -> ChannelId {
+    let out = sim.add_channel(format!("{name}_val"));
+    sim.add_block(Box::new(Reducer::scalar(name, in_val, out, policy)));
+    out
+}
+
+/// Adds a vector reducer; returns `(crd, val)`.
+pub fn reduce_vector(
+    sim: &mut Simulator,
+    name: &str,
+    in_crd: ChannelId,
+    in_val: ChannelId,
+    policy: EmptyFiberPolicy,
+) -> (ChannelId, ChannelId) {
+    let crd = sim.add_channel(format!("{name}_crd"));
+    let val = sim.add_channel(format!("{name}_val"));
+    sim.add_block(Box::new(Reducer::vector(name, in_crd, in_val, crd, val, policy)));
+    (crd, val)
+}
+
+/// Adds a matrix reducer; returns `([outer crd, inner crd], val)`.
+pub fn reduce_matrix(
+    sim: &mut Simulator,
+    name: &str,
+    in_crd: [ChannelId; 2],
+    in_val: ChannelId,
+    policy: EmptyFiberPolicy,
+) -> ([ChannelId; 2], ChannelId) {
+    let c0 = sim.add_channel(format!("{name}_crd0"));
+    let c1 = sim.add_channel(format!("{name}_crd1"));
+    let val = sim.add_channel(format!("{name}_val"));
+    sim.add_block(Box::new(Reducer::matrix(name, in_crd, in_val, [c0, c1], val, policy)));
+    ([c0, c1], val)
+}
+
+/// Adds a coordinate dropper; returns `(outer crd, inner)`.
+pub fn crd_drop(sim: &mut Simulator, name: &str, outer: ChannelId, inner: ChannelId) -> (ChannelId, ChannelId) {
+    let oc = sim.add_channel(format!("{name}_outer"));
+    let oi = sim.add_channel(format!("{name}_inner"));
+    sim.add_block(Box::new(CoordDropper::new(name, outer, inner, oc, oi)));
+    (oc, oi)
+}
+
+/// Adds a compressed level writer; returns its sink.
+pub fn write_level(sim: &mut Simulator, name: &str, dim: usize, in_crd: ChannelId) -> LevelWriterSink {
+    let sink = level_sink();
+    sim.add_block(Box::new(LevelWriter::new(name, dim, in_crd, sink.clone())));
+    sink
+}
+
+/// Adds a values writer; returns its sink.
+pub fn write_vals(sim: &mut Simulator, name: &str, in_val: ChannelId) -> ValWriterSink {
+    let sink = val_sink();
+    sim.add_block(Box::new(ValWriter::new(name, in_val, sink.clone())));
+    sink
+}
+
+/// Forks a channel into `n` copies.
+pub fn fork<const N: usize>(sim: &mut Simulator, name: &str, input: ChannelId) -> [ChannelId; N] {
+    let outs: Vec<ChannelId> = (0..N).map(|i| sim.add_channel(format!("{name}_fork{i}"))).collect();
+    sim.add_block(Box::new(Fork::new(name, input, outs.clone())));
+    outs.try_into().expect("length matches")
+}
+
+/// Reads a level-writer sink, panicking when the simulation did not finish it.
+pub fn take_level(sink: &LevelWriterSink) -> sam_tensor::level::CompressedLevel {
+    sink.lock().expect("poisoned sink").clone().expect("level writer did not finish")
+}
+
+/// Reads a values-writer sink, panicking when the simulation did not finish it.
+pub fn take_vals(sink: &ValWriterSink) -> Vec<f64> {
+    sink.lock().expect("poisoned sink").clone().expect("value writer did not finish")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_sim::payload::tok;
+
+    #[test]
+    fn fork_duplicates_streams() {
+        let mut sim = Simulator::new();
+        let a = sim.add_channel("a");
+        let [b, c] = {
+            let outs = fork::<2>(&mut sim, "f", a);
+            outs
+        };
+        sim.record(b);
+        sim.record(c);
+        sim.preload(a, vec![tok::crd(1), tok::stop(0), tok::done()]);
+        sim.run(100).unwrap();
+        assert_eq!(sim.history(b), sim.history(c));
+        assert_eq!(sim.history(b).len(), 3);
+    }
+
+    #[test]
+    fn scan_helper_runs_end_to_end() {
+        use sam_tensor::{CooTensor, TensorFormat};
+        let coo = CooTensor::from_entries(vec![4], vec![(vec![1], 2.0), (vec![3], 4.0)]).unwrap();
+        let t = Tensor::from_coo("b", &coo, TensorFormat::sparse_vec());
+        let mut sim = Simulator::new();
+        let r = root(&mut sim, "b");
+        let (crd, rf) = scan(&mut sim, "bi", &t, 0, r);
+        let v = val_array(&mut sim, "bvals", &t, rf);
+        let sink = write_vals(&mut sim, "out", v);
+        sim.record(crd);
+        sim.run(100).unwrap();
+        assert_eq!(take_vals(&sink), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # custard
+//!
+//! The Custard compiler (paper Section 5): from tensor index notation, a
+//! format language and a scheduling language down to SAM dataflow graphs.
+//!
+//! The pipeline mirrors the paper's Figure 10:
+//!
+//! 1. [`parse`] turns textual tensor index notation
+//!    (`"X(i,j) = B(i,k) * C(k,j)"`) into the shared
+//!    [`Assignment`](sam_tensor::expr::Assignment) AST,
+//! 2. [`Schedule`] (the `reorder` directive) and [`Formats`] fix the
+//!    dataflow order and per-tensor level formats, producing
+//!    [`ConcreteIndexNotation`],
+//! 3. [`lower`] builds the SAM graph: tensor paths, level scanners,
+//!    repeaters, intersecters/unioners, the compute tree (ALUs and reducers)
+//!    and the output construction (coordinate droppers and level writers).
+//!
+//! The resulting [`SamGraph`](sam_core::SamGraph) is used to report the
+//! Table 1 primitive composition, to run the Table 2 ablation, and to emit
+//! Graphviz DOT.
+
+pub mod ablation;
+pub mod cin;
+pub mod lower;
+pub mod parser;
+
+pub use ablation::{ablation_study, AblationRow, ExpressionCorpus};
+pub use cin::{ConcreteIndexNotation, Formats, Schedule};
+pub use lower::lower;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,346 @@
+//! Lowering concrete index notation to SAM dataflow graphs
+//! (paper Section 5, Figure 10).
+//!
+//! The lowering follows the paper's three phases:
+//!
+//! 1. **Tensor iteration and merging** — for every index variable in a
+//!    tensor's path a level scanner is placed; index variables absent from a
+//!    tensor's path (that the tensor must nonetheless be broadcast over) get
+//!    repeaters; index variables shared by several tensor paths get
+//!    intersecters (multiplication) or unioners (addition).
+//! 2. **Computation** — one ALU per arithmetic operator and one reducer per
+//!    reduced index variable.
+//! 3. **Tensor construction** — coordinate droppers where intersections can
+//!    empty outer fibers, then level writers for every result level plus the
+//!    values writer.
+
+use crate::cin::ConcreteIndexNotation;
+use sam_core::graph::{NodeId, NodeKind, SamGraph, StreamKind};
+use sam_tensor::expr::{Expr, IndexVar};
+use sam_tensor::LevelFormat;
+
+/// Describes one operand tensor's path through the index variables.
+#[derive(Debug, Clone)]
+struct TensorPath {
+    name: String,
+    indices: Vec<IndexVar>,
+}
+
+/// Collects one path per *access* (a tensor read twice yields two paths,
+/// mirroring the paper's per-access scanners).
+fn tensor_paths(expr: &Expr) -> Vec<TensorPath> {
+    expr.accesses()
+        .into_iter()
+        .map(|(name, idx)| TensorPath { name: name.to_string(), indices: idx.to_vec() })
+        .collect()
+}
+
+/// True when `access` sits underneath a reduction over `var` (so it must be
+/// broadcast over `var`) — used for repeater placement.
+fn access_under_reduction(expr: &Expr, access_ordinal: usize, var: IndexVar) -> bool {
+    fn walk(expr: &Expr, var: IndexVar, inside: bool, counter: &mut usize, target: usize, found: &mut bool) {
+        match expr {
+            Expr::Access { .. } => {
+                if *counter == target && inside {
+                    *found = true;
+                }
+                *counter += 1;
+            }
+            Expr::Literal(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                walk(a, var, inside, counter, target, found);
+                walk(b, var, inside, counter, target, found);
+            }
+            Expr::Reduce { vars, body } => {
+                let now_inside = inside || vars.contains(&var);
+                walk(body, var, now_inside, counter, target, found);
+            }
+        }
+    }
+    let mut counter = 0;
+    let mut found = false;
+    walk(expr, var, false, &mut counter, access_ordinal, &mut found);
+    found
+}
+
+/// The merge operator combining multiple operands at one index variable.
+fn merge_is_union(expr: &Expr) -> bool {
+    // Additive expressions require union merges; purely multiplicative ones
+    // intersect. Mixed expressions (residual, MatTransMul) union at the
+    // shared output variable and intersect at reduction variables, which the
+    // per-variable logic below approximates by checking whether more than one
+    // additive term mentions the variable.
+    expr.has_additive_op() && !expr.has_multiplicative_op()
+}
+
+/// Number of top-level additive terms that mention `var`.
+fn additive_terms_with(expr: &Expr, var: IndexVar) -> usize {
+    match expr {
+        Expr::Add(a, b) | Expr::Sub(a, b) => additive_terms_with(a, var) + additive_terms_with(b, var),
+        other => usize::from(other.index_vars().contains(&var)),
+    }
+}
+
+/// Lowers concrete index notation to a SAM graph.
+///
+/// ```
+/// use custard::{parse, lower, Schedule, Formats, ConcreteIndexNotation};
+/// let a = parse("X(i,j) = B(i,k) * C(k,j)").unwrap();
+/// let cin = ConcreteIndexNotation::new(a, &Schedule::new().reorder("ikj"), Formats::new());
+/// let graph = lower(&cin);
+/// let counts = graph.primitive_counts();
+/// assert_eq!(counts.level_scan, 4);
+/// assert_eq!(counts.repeat, 2);
+/// assert_eq!(counts.intersect, 1);
+/// ```
+pub fn lower(cin: &ConcreteIndexNotation) -> SamGraph {
+    let assignment = &cin.assignment;
+    let mut graph = SamGraph::new(assignment.to_string());
+    let paths = tensor_paths(&assignment.rhs);
+    let reduction_vars = assignment.reduction_vars();
+
+    // Phase 1: tensor iteration and merging.
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut last_node: Vec<NodeId> = Vec::new();
+    for path in &paths {
+        let root = graph.add_node(NodeKind::Root { tensor: path.name.clone() });
+        roots.push(root);
+        last_node.push(root);
+    }
+    let mut last_merge_per_var: Vec<(IndexVar, NodeId)> = Vec::new();
+    for (&var, position) in cin.loop_order.iter().zip(0..) {
+        let _ = position;
+        // Scanners and repeaters per tensor path.
+        let mut producers: Vec<(usize, NodeId)> = Vec::new();
+        for (ordinal, path) in paths.iter().enumerate() {
+            if path.indices.contains(&var) {
+                let compressed = cin
+                    .formats
+                    .get(&path.name)
+                    .map(|f| {
+                        let level = path.indices.iter().position(|&v| v == var).unwrap_or(0);
+                        !matches!(f.levels().get(level), Some(LevelFormat::Dense))
+                    })
+                    .unwrap_or(true);
+                let scan = graph.add_node(NodeKind::LevelScanner { tensor: path.name.clone(), index: var, compressed });
+                graph.add_edge(last_node[ordinal], scan, StreamKind::Ref, format!("{} ref", path.name));
+                last_node[ordinal] = scan;
+                producers.push((ordinal, scan));
+            } else {
+                let broadcast_needed = assignment.target_indices.contains(&var)
+                    || (reduction_vars.contains(&var) && access_under_reduction(&assignment.rhs, ordinal, var));
+                if broadcast_needed {
+                    let rep = graph.add_node(NodeKind::Repeater { tensor: path.name.clone(), index: var });
+                    graph.add_edge(last_node[ordinal], rep, StreamKind::Ref, format!("{} ref", path.name));
+                    last_node[ordinal] = rep;
+                }
+            }
+        }
+        // Merging: m producers need m-1 binary mergers.
+        if producers.len() > 1 {
+            let union = if merge_is_union(&assignment.rhs) {
+                true
+            } else {
+                assignment.rhs.has_additive_op() && additive_terms_with(&assignment.rhs, var) > 1
+            };
+            let mut merged = producers[0].1;
+            for other in &producers[1..] {
+                let node = if union {
+                    graph.add_node(NodeKind::Unioner { index: var })
+                } else {
+                    graph.add_node(NodeKind::Intersecter { index: var })
+                };
+                graph.add_edge(merged, node, StreamKind::Crd, format!("{var} crd"));
+                graph.add_edge(other.1, node, StreamKind::Crd, format!("{var} crd"));
+                merged = node;
+            }
+            last_merge_per_var.push((var, merged));
+        } else if let Some(&(_, scan)) = producers.first() {
+            last_merge_per_var.push((var, scan));
+        }
+    }
+
+    // Phase 2: computation (value arrays, ALUs, reducers).
+    let mut arrays = Vec::new();
+    for (ordinal, path) in paths.iter().enumerate() {
+        let arr = graph.add_node(NodeKind::Array { tensor: path.name.clone() });
+        graph.add_edge(last_node[ordinal], arr, StreamKind::Ref, "val ref");
+        arrays.push(arr);
+    }
+    let mut compute_tail = arrays.first().copied();
+    let mut add_alu = |graph: &mut SamGraph, op: &str, tail: &mut Option<NodeId>, rhs: NodeId| {
+        let alu = graph.add_node(NodeKind::Alu { op: op.to_string() });
+        if let Some(prev) = *tail {
+            graph.add_edge(prev, alu, StreamKind::Val, "val");
+        }
+        graph.add_edge(rhs, alu, StreamKind::Val, "val");
+        *tail = Some(alu);
+    };
+    // One ALU per binary operator, chained in evaluation order.
+    let mut op_stack = Vec::new();
+    collect_ops(&assignment.rhs, &mut op_stack);
+    for (idx, op) in op_stack.iter().enumerate() {
+        let rhs_array = arrays.get(idx + 1).copied().unwrap_or_else(|| arrays[arrays.len() - 1]);
+        add_alu(&mut graph, op, &mut compute_tail, rhs_array);
+    }
+    for &var in reduction_vars.iter() {
+        let red = graph.add_node(NodeKind::Reducer { order: usize::from(var == *reduction_vars.first().expect("nonempty")) });
+        if let Some(prev) = compute_tail {
+            graph.add_edge(prev, red, StreamKind::Val, "val");
+        }
+        compute_tail = Some(red);
+    }
+
+    // Phase 3: output construction.
+    let multiplicative = assignment.rhs.has_multiplicative_op();
+    let mut previous_writer: Option<NodeId> = None;
+    for &var in &assignment.target_indices {
+        let source = last_merge_per_var.iter().find(|(v, _)| *v == var).map(|(_, n)| *n);
+        let mut crd_source = source;
+        if multiplicative {
+            let drop = graph.add_node(NodeKind::CoordDropper { index: var });
+            if let Some(src) = source {
+                graph.add_edge(src, drop, StreamKind::Crd, format!("{var} crd"));
+            }
+            crd_source = Some(drop);
+        }
+        let writer = graph.add_node(NodeKind::LevelWriter { tensor: assignment.target.clone(), index: var, vals: false });
+        if let Some(src) = crd_source {
+            graph.add_edge(src, writer, StreamKind::Crd, format!("{var} crd"));
+        }
+        previous_writer = Some(writer);
+    }
+    let vals_writer = graph.add_node(NodeKind::LevelWriter { tensor: assignment.target.clone(), index: 'v', vals: true });
+    if let Some(tail) = compute_tail {
+        graph.add_edge(tail, vals_writer, StreamKind::Val, "vals");
+    }
+    if let Some(w) = previous_writer {
+        let _ = w;
+    }
+    graph
+}
+
+/// Collects binary operator mnemonics in evaluation order.
+fn collect_ops(expr: &Expr, out: &mut Vec<&'static str>) {
+    match expr {
+        Expr::Access { .. } | Expr::Literal(_) => {}
+        Expr::Add(a, b) => {
+            collect_ops(a, out);
+            collect_ops(b, out);
+            out.push("add");
+        }
+        Expr::Sub(a, b) => {
+            collect_ops(a, out);
+            collect_ops(b, out);
+            out.push("sub");
+        }
+        Expr::Mul(a, b) => {
+            collect_ops(a, out);
+            collect_ops(b, out);
+            out.push("mul");
+        }
+        Expr::Reduce { body, .. } => collect_ops(body, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cin::{Formats, Schedule};
+    use crate::parser::parse;
+    use sam_core::graph::PrimitiveCounts;
+
+    fn counts(text: &str, order: Option<&str>) -> PrimitiveCounts {
+        let a = parse(text).unwrap();
+        let schedule = match order {
+            Some(o) => Schedule::new().reorder(o),
+            None => Schedule::new(),
+        };
+        let cin = ConcreteIndexNotation::new(a, &schedule, Formats::new());
+        lower(&cin).primitive_counts()
+    }
+
+    #[test]
+    fn spmv_counts_match_table1() {
+        let c = counts("x(i) = B(i,j) * c(j)", None);
+        assert_eq!(c.level_scan, 3);
+        assert_eq!(c.repeat, 1);
+        assert_eq!(c.intersect, 1);
+        assert_eq!(c.union, 0);
+        assert_eq!(c.alu, 1);
+        assert_eq!(c.reduce, 1);
+        assert_eq!(c.crd_drop, 1);
+        assert_eq!(c.level_write, 2);
+        assert_eq!(c.array, 2);
+    }
+
+    #[test]
+    fn spmm_counts_match_table1() {
+        let c = counts("X(i,j) = B(i,k) * C(k,j)", Some("ikj"));
+        assert_eq!(c.level_scan, 4);
+        assert_eq!(c.repeat, 2);
+        assert_eq!(c.intersect, 1);
+        assert_eq!(c.alu, 1);
+        assert_eq!(c.reduce, 1);
+        assert_eq!(c.level_write, 3);
+        assert_eq!(c.array, 2);
+    }
+
+    #[test]
+    fn sddmm_counts_match_table1() {
+        let c = counts("X(i,j) = B(i,j) * C(i,k) * D(j,k)", None);
+        assert_eq!(c.level_scan, 6);
+        assert_eq!(c.repeat, 3);
+        assert_eq!(c.intersect, 3);
+        assert_eq!(c.alu, 2);
+        assert_eq!(c.reduce, 1);
+        assert_eq!(c.level_write, 3);
+        assert_eq!(c.array, 3);
+    }
+
+    #[test]
+    fn additions_use_unions_and_no_droppers() {
+        let c = counts("X(i,j) = B(i,j) + C(i,j)", None);
+        assert_eq!(c.union, 2);
+        assert_eq!(c.intersect, 0);
+        assert_eq!(c.crd_drop, 0);
+        assert_eq!(c.level_scan, 4);
+        assert_eq!(c.level_write, 3);
+        let p3 = counts("X(i,j) = B(i,j) + C(i,j) + D(i,j)", None);
+        assert_eq!(p3.union, 4);
+        assert_eq!(p3.alu, 2);
+        assert_eq!(p3.level_scan, 6);
+    }
+
+    #[test]
+    fn mttkrp_counts() {
+        let c = counts("X(i,j) = B(i,k,l) * C(j,k) * D(j,l)", None);
+        assert_eq!(c.level_scan, 7);
+        assert_eq!(c.repeat, 5);
+        assert_eq!(c.intersect, 3);
+        assert_eq!(c.alu, 2);
+        assert_eq!(c.reduce, 2);
+        assert_eq!(c.array, 3);
+    }
+
+    #[test]
+    fn residual_mixes_union_and_intersect() {
+        let c = counts("x(i) = b(i) - C(i,j) * d(j)", None);
+        assert_eq!(c.level_scan, 4);
+        assert_eq!(c.union, 1);
+        assert_eq!(c.intersect, 1);
+        assert_eq!(c.repeat, 1);
+        assert_eq!(c.array, 3);
+        assert_eq!(c.alu, 2);
+    }
+
+    #[test]
+    fn dot_export_for_lowered_graph() {
+        let a = parse("X(i,j) = B(i,k) * C(k,j)").unwrap();
+        let cin = ConcreteIndexNotation::new(a, &Schedule::new().reorder("ikj"), Formats::new());
+        let dot = lower(&cin).to_dot();
+        assert!(dot.contains("scan Bi"));
+        assert!(dot.contains("intersect k"));
+        assert!(dot.contains("repeat C over i"));
+    }
+}

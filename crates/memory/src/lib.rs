@@ -1,0 +1,182 @@
+//! # sam-memory
+//!
+//! Finite-memory and tiling model for the paper's Section 6.4 study
+//! ("Modeling Hardware with Finite Constraints", Figure 15).
+//!
+//! SAM itself is an abstract machine with unbounded resources; to model a
+//! concrete accelerator the paper layers a two-level memory hierarchy (a
+//! last-level buffer and per-PE buffers), a DRAM bandwidth, fixed-size tiles
+//! and ExTensor-style *sparse tile skipping* on top of the dataflow graphs.
+//! This crate reproduces that model analytically for SpM*SpM on uniformly
+//! random matrices with a fixed number of nonzeros, which is exactly the
+//! synthetic study of the ExTensor paper that Figure 15 recreates.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the modelled accelerator (paper Section 6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// DRAM bandwidth in bytes per second.
+    pub dram_bandwidth_bytes_per_s: f64,
+    /// Clock frequency in Hz used to convert time into cycles.
+    pub frequency_hz: f64,
+    /// Last-level buffer capacity in bytes.
+    pub llb_bytes: usize,
+    /// Processing-element tile size (tiles are `tile x tile`).
+    pub tile: usize,
+    /// Bytes per stored nonzero (value plus coordinate metadata).
+    pub bytes_per_nonzero: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        // The parameters quoted in Section 6.4.
+        MemoryConfig {
+            dram_bandwidth_bytes_per_s: 68.256e9,
+            frequency_hz: 1.0e9,
+            llb_bytes: 17 * 1024 * 1024,
+            tile: 128,
+            bytes_per_nonzero: 12,
+        }
+    }
+}
+
+/// The outcome of modelling one SpM*SpM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiledSpmmEstimate {
+    /// Matrix dimension (square matrices).
+    pub dim: usize,
+    /// Nonzeros per operand matrix.
+    pub nnz: usize,
+    /// Number of tiles along one dimension.
+    pub grid: usize,
+    /// Expected number of nonempty tiles per operand.
+    pub nonempty_tiles: f64,
+    /// Expected number of tile pairs that survive sparse tile skipping.
+    pub effectual_tile_pairs: f64,
+    /// Modelled runtime in cycles.
+    pub cycles: f64,
+}
+
+/// Models tiled SpM*SpM between two uniformly random square matrices of
+/// dimension `dim` with `nnz` nonzeros each (the Figure 15 x-axis sweep).
+///
+/// The model captures the three regimes the paper describes:
+///
+/// * at small dimensions nearly every tile is nonempty, so runtime grows with
+///   the number of tiles that must be streamed and multiplied;
+/// * as the dimension grows, tiles empty out and sparse tile skipping removes
+///   tile pairs, so runtime falls;
+/// * at large dimensions runtime saturates at the cost of streaming the
+///   operands once from DRAM.
+pub fn model_tiled_spmm(dim: usize, nnz: usize, config: &MemoryConfig) -> TiledSpmmEstimate {
+    assert!(dim > 0, "dimension must be positive");
+    let grid = dim.div_ceil(config.tile);
+    let tiles = (grid * grid) as f64;
+    let nnz_f = nnz as f64;
+    // Expected occupancy with nnz nonzeros thrown uniformly into `tiles` bins.
+    let nonempty_tiles = tiles * (1.0 - (1.0 - 1.0 / tiles).powf(nnz_f));
+    let nnz_per_tile = nnz_f / nonempty_tiles.max(1.0);
+    // Probability that a given (i, k) tile of B is nonempty.
+    let p_nonempty = nonempty_tiles / tiles;
+    // A tile pair (B_ik, C_kj) is fetched only when both tiles are nonempty
+    // (coarse sparse tile skipping) and only produces work when the two
+    // tiles share at least one k coordinate (fine-grained skipping inside
+    // the tile-sequencing graph). For uniformly random placement the latter
+    // probability is 1 - exp(-nnzB * nnzC / tile).
+    let match_probability = 1.0 - (-(nnz_per_tile * nnz_per_tile) / config.tile as f64).exp();
+    let effectual_tile_pairs = (grid as f64).powi(3) * p_nonempty * p_nonempty * match_probability;
+
+    // Compute time: each effectual tile pair streams and intersects the two
+    // tiles' nonzeros plus a fixed per-pair pipeline overhead, one token per
+    // cycle.
+    let compute_cycles = effectual_tile_pairs * (2.0 * nnz_per_tile + 8.0);
+
+    // Memory time: every effectual tile pair streams both operand tiles from
+    // the LLB; operand tiles are refetched from DRAM once per row of tiles
+    // unless the whole operand fits in the LLB.
+    let bytes_per_tile = nnz_per_tile * config.bytes_per_nonzero as f64;
+    let operand_bytes = nnz_f * config.bytes_per_nonzero as f64;
+    let llb_resident = 2.0 * operand_bytes <= config.llb_bytes as f64;
+    let refetch_factor = if llb_resident { 1.0 } else { (grid as f64).sqrt().max(1.0) };
+    let dram_bytes = 2.0 * operand_bytes * refetch_factor + effectual_tile_pairs * bytes_per_tile * 0.25;
+    let memory_cycles = dram_bytes / config.dram_bandwidth_bytes_per_s * config.frequency_hz;
+
+    // Tile-sequencing overhead: the outer SAM graph co-iterates the operand
+    // tile-coordinate lists and checks occupancy metadata for every tile.
+    let sequencing_cycles = 2.0 * nonempty_tiles + tiles * 0.5;
+
+    TiledSpmmEstimate {
+        dim,
+        nnz,
+        grid,
+        nonempty_tiles,
+        effectual_tile_pairs,
+        cycles: compute_cycles.max(memory_cycles) + sequencing_cycles,
+    }
+}
+
+/// Sweeps the Figure 15 configuration space: dimensions 1024..=15720 in steps
+/// of 1336 for each nonzero count in `nnz_list`.
+pub fn figure15_sweep(nnz_list: &[usize], config: &MemoryConfig) -> Vec<TiledSpmmEstimate> {
+    let mut out = Vec::new();
+    for &nnz in nnz_list {
+        let mut dim = 1024;
+        while dim <= 15720 {
+            out.push(model_tiled_spmm(dim, nnz, config));
+            dim += 1336;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_parameters() {
+        let c = MemoryConfig::default();
+        assert!((c.dram_bandwidth_bytes_per_s - 68.256e9).abs() < 1e6);
+        assert_eq!(c.llb_bytes, 17 * 1024 * 1024);
+        assert_eq!(c.tile, 128);
+    }
+
+    #[test]
+    fn sweep_reproduces_three_regimes() {
+        let config = MemoryConfig::default();
+        let sweep: Vec<_> = figure15_sweep(&[10000], &config);
+        assert_eq!(sweep.len(), 12);
+        let cycles: Vec<f64> = sweep.iter().map(|e| e.cycles).collect();
+        // Regime 1: runtime rises from the smallest dimension to the peak.
+        let peak_idx = cycles
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0;
+        assert!(peak_idx >= 1, "peak at index {peak_idx}");
+        assert!(cycles[peak_idx] > cycles[0]);
+        // Regime 2/3: runtime falls after the peak and flattens at the end.
+        assert!(cycles[cycles.len() - 1] < cycles[peak_idx]);
+        let tail_ratio = cycles[cycles.len() - 1] / cycles[cycles.len() - 2];
+        assert!(tail_ratio < 1.05, "tail should saturate, ratio {tail_ratio}");
+    }
+
+    #[test]
+    fn more_nonzeros_cost_more_cycles() {
+        let config = MemoryConfig::default();
+        let small = model_tiled_spmm(8000, 5000, &config);
+        let large = model_tiled_spmm(8000, 50000, &config);
+        assert!(large.cycles > small.cycles);
+        assert!(large.nonempty_tiles > small.nonempty_tiles);
+    }
+
+    #[test]
+    fn tile_grid_tracks_dimension() {
+        let config = MemoryConfig::default();
+        let e = model_tiled_spmm(1024, 10000, &config);
+        assert_eq!(e.grid, 8);
+        assert!(e.effectual_tile_pairs > 0.0);
+    }
+}

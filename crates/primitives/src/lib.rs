@@ -1,0 +1,45 @@
+//! # sam-primitives
+//!
+//! The SAM dataflow blocks (paper Sections 3 and 4), implemented against the
+//! `sam-sim` [`Block`](sam_sim::Block) interface.
+//!
+//! Core blocks (Section 3):
+//!
+//! * [`LevelScanner`] — tensor iteration over dense and compressed levels
+//!   (Definition 3.1), with optional coordinate skipping (Section 4.2),
+//! * [`Intersecter`] and [`Unioner`] — stream merging (Definitions 3.2, 3.3),
+//! * [`Repeater`] — broadcasting (Definition 3.4),
+//! * [`ValArray`] — the array block in load mode (Definition 3.5),
+//! * [`Alu`] — streaming arithmetic (Definition 3.6),
+//! * [`Reducer`] — scalar/vector/matrix accumulation (Definition 3.7),
+//! * [`LevelWriter`] / [`ValWriter`] — tensor construction (Definition 3.8),
+//! * [`CoordDropper`] — result cleanup (Definition 3.9).
+//!
+//! Optimization blocks (Section 4):
+//!
+//! * [`Locator`] — iterate-locate intersection (Definition 4.1),
+//! * [`BitvectorScanner`], [`BitvectorConverter`], [`BitvectorIntersecter`],
+//!   [`BitvectorVecMul`], [`BitTreeVecMul`] — bitvector stream protocol
+//!   (Section 4.3),
+//! * [`Parallelizer`] and [`Serializer`] — coarse-grained parallelism
+//!   (Section 4.4).
+
+pub mod array;
+pub mod bitvector;
+pub mod compute;
+pub mod dropper;
+pub mod merge;
+pub mod repeat;
+pub mod scanner;
+pub mod source;
+pub mod writer;
+
+pub use array::{Locator, ValArray};
+pub use bitvector::{BitTreeVecMul, BitvectorConverter, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul};
+pub use compute::{Alu, AluOp, EmptyFiberPolicy, Reducer};
+pub use dropper::CoordDropper;
+pub use merge::{Intersecter, Parallelizer, Serializer, Unioner};
+pub use repeat::Repeater;
+pub use scanner::LevelScanner;
+pub use source::root_stream;
+pub use writer::{LevelWriter, LevelWriterSink, ValWriter, ValWriterSink};

@@ -1,0 +1,547 @@
+//! Stream merging: intersection, union and coarse-grained fork/join
+//! (paper Definitions 3.2 and 3.3, Section 4.4).
+
+use sam_streams::Token;
+use sam_sim::payload::{tok, Payload};
+use sam_sim::{Block, BlockStatus, ChannelId, Context, SimToken};
+
+/// A binary coordinate intersecter (Definition 3.2).
+///
+/// Two pairs of coordinate and reference streams enter; one coordinate stream
+/// and two reference streams leave. A coordinate (with both operands'
+/// references) is emitted only when both inputs carry it. Intersection uses a
+/// two-finger merge: each cycle at most one token is consumed from each
+/// input.
+///
+/// With skip channels connected (Section 4.2), a mismatch sends the larger
+/// coordinate back to the trailing operand's level scanner so it can gallop
+/// forward.
+pub struct Intersecter {
+    name: String,
+    in_crd: [ChannelId; 2],
+    in_ref: [ChannelId; 2],
+    out_crd: ChannelId,
+    out_ref: [ChannelId; 2],
+    skip_out: [Option<ChannelId>; 2],
+    done: bool,
+}
+
+impl Intersecter {
+    /// Creates a binary intersecter.
+    pub fn new(
+        name: impl Into<String>,
+        in_crd: [ChannelId; 2],
+        in_ref: [ChannelId; 2],
+        out_crd: ChannelId,
+        out_ref: [ChannelId; 2],
+    ) -> Self {
+        Intersecter { name: name.into(), in_crd, in_ref, out_crd, out_ref, skip_out: [None, None], done: false }
+    }
+
+    /// Connects coordinate-skip feedback channels towards the two operands'
+    /// level scanners.
+    pub fn with_skip(mut self, skip_out: [ChannelId; 2]) -> Self {
+        self.skip_out = [Some(skip_out[0]), Some(skip_out[1])];
+        self
+    }
+
+    fn emit_all(&self, ctx: &mut Context, t: SimToken) {
+        ctx.push(self.out_crd, t);
+        ctx.push(self.out_ref[0], t);
+        ctx.push(self.out_ref[1], t);
+    }
+}
+
+impl Block for Intersecter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        if !(ctx.can_push(self.out_crd) && ctx.can_push(self.out_ref[0]) && ctx.can_push(self.out_ref[1])) {
+            return BlockStatus::Busy;
+        }
+        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned()) else {
+            return BlockStatus::Busy;
+        };
+        match (a, b) {
+            (Token::Val(pa), Token::Val(pb)) => {
+                let ca = pa.expect_crd();
+                let cb = pb.expect_crd();
+                if ca == cb {
+                    ctx.pop(self.in_crd[0]);
+                    ctx.pop(self.in_crd[1]);
+                    let ra = ctx.pop(self.in_ref[0]).expect("aligned ref stream");
+                    let rb = ctx.pop(self.in_ref[1]).expect("aligned ref stream");
+                    ctx.push(self.out_crd, tok::crd(ca));
+                    ctx.push(self.out_ref[0], ra);
+                    ctx.push(self.out_ref[1], rb);
+                } else if ca < cb {
+                    ctx.pop(self.in_crd[0]);
+                    ctx.pop(self.in_ref[0]);
+                    if let Some(skip) = self.skip_out[0] {
+                        ctx.push(skip, tok::crd(cb));
+                    }
+                } else {
+                    ctx.pop(self.in_crd[1]);
+                    ctx.pop(self.in_ref[1]);
+                    if let Some(skip) = self.skip_out[1] {
+                        ctx.push(skip, tok::crd(ca));
+                    }
+                }
+                BlockStatus::Busy
+            }
+            (Token::Val(_), _) | (Token::Empty, _) => {
+                // The other side's fiber ended (or is missing): drain this side.
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_ref[0]);
+                BlockStatus::Busy
+            }
+            (_, Token::Val(_)) | (_, Token::Empty) => {
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[1]);
+                BlockStatus::Busy
+            }
+            (Token::Stop(na), Token::Stop(nb)) => {
+                debug_assert_eq!(na, nb, "intersect inputs must have matching fiber structure");
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[0]);
+                ctx.pop(self.in_ref[1]);
+                self.emit_all(ctx, tok::stop(na.max(nb)));
+                BlockStatus::Busy
+            }
+            (Token::Done, Token::Done) => {
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[0]);
+                ctx.pop(self.in_ref[1]);
+                self.emit_all(ctx, tok::done());
+                self.done = true;
+                BlockStatus::Done
+            }
+            (Token::Stop(_), Token::Done) => {
+                // Structurally mismatched inputs; drain the stop side.
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_ref[0]);
+                BlockStatus::Busy
+            }
+            (Token::Done, Token::Stop(_)) => {
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[1]);
+                BlockStatus::Busy
+            }
+        }
+    }
+}
+
+/// A binary coordinate unioner (Definition 3.3).
+///
+/// Emits a coordinate whenever at least one input carries it; the reference
+/// output of an operand that lacks the coordinate carries an empty (`N`)
+/// token, as in paper Figure 5.
+pub struct Unioner {
+    name: String,
+    in_crd: [ChannelId; 2],
+    in_ref: [ChannelId; 2],
+    out_crd: ChannelId,
+    out_ref: [ChannelId; 2],
+    done: bool,
+}
+
+impl Unioner {
+    /// Creates a binary unioner.
+    pub fn new(
+        name: impl Into<String>,
+        in_crd: [ChannelId; 2],
+        in_ref: [ChannelId; 2],
+        out_crd: ChannelId,
+        out_ref: [ChannelId; 2],
+    ) -> Self {
+        Unioner { name: name.into(), in_crd, in_ref, out_crd, out_ref, done: false }
+    }
+
+    fn emit(&self, ctx: &mut Context, crd: SimToken, r0: SimToken, r1: SimToken) {
+        ctx.push(self.out_crd, crd);
+        ctx.push(self.out_ref[0], r0);
+        ctx.push(self.out_ref[1], r1);
+    }
+}
+
+impl Block for Unioner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        if !(ctx.can_push(self.out_crd) && ctx.can_push(self.out_ref[0]) && ctx.can_push(self.out_ref[1])) {
+            return BlockStatus::Busy;
+        }
+        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned()) else {
+            return BlockStatus::Busy;
+        };
+        match (a, b) {
+            (Token::Val(pa), Token::Val(pb)) => {
+                let ca = pa.expect_crd();
+                let cb = pb.expect_crd();
+                if ca == cb {
+                    ctx.pop(self.in_crd[0]);
+                    ctx.pop(self.in_crd[1]);
+                    let ra = ctx.pop(self.in_ref[0]).expect("aligned ref stream");
+                    let rb = ctx.pop(self.in_ref[1]).expect("aligned ref stream");
+                    self.emit(ctx, tok::crd(ca), ra, rb);
+                } else if ca < cb {
+                    ctx.pop(self.in_crd[0]);
+                    let ra = ctx.pop(self.in_ref[0]).expect("aligned ref stream");
+                    self.emit(ctx, tok::crd(ca), ra, tok::empty());
+                } else {
+                    ctx.pop(self.in_crd[1]);
+                    let rb = ctx.pop(self.in_ref[1]).expect("aligned ref stream");
+                    self.emit(ctx, tok::crd(cb), tok::empty(), rb);
+                }
+                BlockStatus::Busy
+            }
+            (Token::Val(pa), _) => {
+                // Operand 1's fiber ended first: flush operand 0.
+                let ca = pa.expect_crd();
+                ctx.pop(self.in_crd[0]);
+                let ra = ctx.pop(self.in_ref[0]).expect("aligned ref stream");
+                self.emit(ctx, tok::crd(ca), ra, tok::empty());
+                BlockStatus::Busy
+            }
+            (_, Token::Val(pb)) => {
+                let cb = pb.expect_crd();
+                ctx.pop(self.in_crd[1]);
+                let rb = ctx.pop(self.in_ref[1]).expect("aligned ref stream");
+                self.emit(ctx, tok::crd(cb), tok::empty(), rb);
+                BlockStatus::Busy
+            }
+            (Token::Empty, _) => {
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_ref[0]);
+                BlockStatus::Busy
+            }
+            (_, Token::Empty) => {
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[1]);
+                BlockStatus::Busy
+            }
+            (Token::Stop(na), Token::Stop(nb)) => {
+                debug_assert_eq!(na, nb, "union inputs must have matching fiber structure");
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[0]);
+                ctx.pop(self.in_ref[1]);
+                self.emit(ctx, tok::stop(na.max(nb)), tok::stop(na.max(nb)), tok::stop(na.max(nb)));
+                BlockStatus::Busy
+            }
+            (Token::Done, Token::Done) => {
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[0]);
+                ctx.pop(self.in_ref[1]);
+                self.emit(ctx, tok::done(), tok::done(), tok::done());
+                self.done = true;
+                BlockStatus::Done
+            }
+            (Token::Stop(_), Token::Done) => {
+                ctx.pop(self.in_crd[0]);
+                ctx.pop(self.in_ref[0]);
+                BlockStatus::Busy
+            }
+            (Token::Done, Token::Stop(_)) => {
+                ctx.pop(self.in_crd[1]);
+                ctx.pop(self.in_ref[1]);
+                BlockStatus::Busy
+            }
+        }
+    }
+}
+
+/// Forks a stream into `n` output streams, dealing out fibers round-robin
+/// (Section 4.4).
+pub struct Parallelizer {
+    name: String,
+    input: ChannelId,
+    outputs: Vec<ChannelId>,
+    current: usize,
+    done: bool,
+}
+
+impl Parallelizer {
+    /// Creates a parallelizer with one output per worker lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs` is empty.
+    pub fn new(name: impl Into<String>, input: ChannelId, outputs: Vec<ChannelId>) -> Self {
+        assert!(!outputs.is_empty(), "parallelizer needs at least one output");
+        Parallelizer { name: name.into(), input, outputs, current: 0, done: false }
+    }
+}
+
+impl Block for Parallelizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        let lane = self.outputs[self.current];
+        if !ctx.can_push(lane) {
+            return BlockStatus::Busy;
+        }
+        let Some(t) = ctx.peek(self.input).cloned() else {
+            return BlockStatus::Busy;
+        };
+        match t {
+            Token::Done => {
+                ctx.pop(self.input);
+                for &out in &self.outputs {
+                    ctx.push(out, tok::done());
+                }
+                self.done = true;
+                BlockStatus::Done
+            }
+            Token::Stop(_) => {
+                ctx.pop(self.input);
+                ctx.push(lane, t);
+                self.current = (self.current + 1) % self.outputs.len();
+                BlockStatus::Busy
+            }
+            _ => {
+                ctx.pop(self.input);
+                ctx.push(lane, t);
+                BlockStatus::Busy
+            }
+        }
+    }
+}
+
+/// Joins `n` parallel streams back into one by concatenating their fibers in
+/// round-robin order (Section 4.4).
+pub struct Serializer {
+    name: String,
+    inputs: Vec<ChannelId>,
+    output: ChannelId,
+    current: usize,
+    finished: Vec<bool>,
+    done: bool,
+}
+
+impl Serializer {
+    /// Creates a serializer joining the given lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is empty.
+    pub fn new(name: impl Into<String>, inputs: Vec<ChannelId>, output: ChannelId) -> Self {
+        assert!(!inputs.is_empty(), "serializer needs at least one input");
+        let lanes = inputs.len();
+        Serializer { name: name.into(), inputs, output, current: 0, finished: vec![false; lanes], done: false }
+    }
+}
+
+impl Block for Serializer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        if !ctx.can_push(self.output) {
+            return BlockStatus::Busy;
+        }
+        if self.finished.iter().all(|f| *f) {
+            ctx.push(self.output, tok::done());
+            self.done = true;
+            return BlockStatus::Done;
+        }
+        if self.finished[self.current] {
+            self.current = (self.current + 1) % self.inputs.len();
+            return BlockStatus::Busy;
+        }
+        let lane = self.inputs[self.current];
+        let Some(t) = ctx.peek(lane).cloned() else {
+            return BlockStatus::Busy;
+        };
+        match t {
+            Token::Done => {
+                ctx.pop(lane);
+                self.finished[self.current] = true;
+                self.current = (self.current + 1) % self.inputs.len();
+                BlockStatus::Busy
+            }
+            Token::Stop(_) => {
+                ctx.pop(lane);
+                ctx.push(self.output, t);
+                self.current = (self.current + 1) % self.inputs.len();
+                BlockStatus::Busy
+            }
+            _ => {
+                ctx.pop(lane);
+                ctx.push(self.output, t);
+                BlockStatus::Busy
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_sim::Simulator;
+
+    fn crd_stream(coords: &[u32]) -> Vec<SimToken> {
+        let mut v: Vec<SimToken> = coords.iter().map(|&c| tok::crd(c)).collect();
+        v.push(tok::stop(0));
+        v.push(tok::done());
+        v
+    }
+
+    fn ref_stream(refs: &[u32]) -> Vec<SimToken> {
+        let mut v: Vec<SimToken> = refs.iter().map(|&r| tok::rf(r)).collect();
+        v.push(tok::stop(0));
+        v.push(tok::done());
+        v
+    }
+
+    fn data_crds(tokens: &[SimToken]) -> Vec<u32> {
+        tokens.iter().filter_map(|t| t.value_ref().map(|p| p.expect_crd())).collect()
+    }
+
+    fn setup_merge() -> (Simulator, [ChannelId; 2], [ChannelId; 2], ChannelId, [ChannelId; 2]) {
+        let mut sim = Simulator::new();
+        let ca = sim.add_channel("crd_a");
+        let cb = sim.add_channel("crd_b");
+        let ra = sim.add_channel("ref_a");
+        let rb = sim.add_channel("ref_b");
+        let oc = sim.add_channel("out_crd");
+        let o0 = sim.add_channel("out_ref0");
+        let o1 = sim.add_channel("out_ref1");
+        sim.record(oc);
+        sim.record(o0);
+        sim.record(o1);
+        (sim, [ca, cb], [ra, rb], oc, [o0, o1])
+    }
+
+    #[test]
+    fn intersect_keeps_common_coordinates() {
+        let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
+        sim.add_block(Box::new(Intersecter::new("int", in_crd, in_ref, oc, or)));
+        sim.preload(in_crd[0], crd_stream(&[0, 2, 4, 6]));
+        sim.preload(in_ref[0], ref_stream(&[10, 12, 14, 16]));
+        sim.preload(in_crd[1], crd_stream(&[2, 3, 6, 9]));
+        sim.preload(in_ref[1], ref_stream(&[20, 23, 26, 29]));
+        sim.run(1000).unwrap();
+        assert_eq!(data_crds(sim.history(oc)), vec![2, 6]);
+        let r0: Vec<u32> = sim.history(or[0]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
+        let r1: Vec<u32> = sim.history(or[1]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
+        assert_eq!(r0, vec![12, 16]);
+        assert_eq!(r1, vec![22 - 2, 26]);
+        // Fiber structure preserved.
+        assert!(sim.history(oc).iter().any(|t| t.is_stop()));
+        assert!(sim.history(oc).last().unwrap().is_done());
+    }
+
+    #[test]
+    fn intersect_empty_result_keeps_stops() {
+        let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
+        sim.add_block(Box::new(Intersecter::new("int", in_crd, in_ref, oc, or)));
+        sim.preload(in_crd[0], crd_stream(&[0, 2]));
+        sim.preload(in_ref[0], ref_stream(&[0, 1]));
+        sim.preload(in_crd[1], crd_stream(&[1, 3]));
+        sim.preload(in_ref[1], ref_stream(&[0, 1]));
+        sim.run(1000).unwrap();
+        assert!(data_crds(sim.history(oc)).is_empty());
+        assert_eq!(sim.history(oc).iter().filter(|t| t.is_stop()).count(), 1);
+    }
+
+    #[test]
+    fn figure5_union_example() {
+        // Paper Figure 5: union of (0,2,6,8,9) and (0,1,2,3,4).
+        let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
+        sim.add_block(Box::new(Unioner::new("uni", in_crd, in_ref, oc, or)));
+        sim.preload(in_crd[0], crd_stream(&[0, 2, 6, 8, 9]));
+        sim.preload(in_ref[0], ref_stream(&[0, 1, 2, 3, 4]));
+        sim.preload(in_crd[1], crd_stream(&[0, 1, 2, 3, 4]));
+        sim.preload(in_ref[1], ref_stream(&[0, 1, 2, 3, 4]));
+        sim.run(1000).unwrap();
+        assert_eq!(data_crds(sim.history(oc)), vec![0, 1, 2, 3, 4, 6, 8, 9]);
+        // Operand 0's reference stream has empty tokens where only operand 1
+        // had coordinates (1, 3, 4) and vice versa (6, 8, 9).
+        let empties0 = sim.history(or[0]).iter().filter(|t| t.is_empty_token()).count();
+        let empties1 = sim.history(or[1]).iter().filter(|t| t.is_empty_token()).count();
+        assert_eq!(empties0, 3);
+        assert_eq!(empties1, 3);
+    }
+
+    #[test]
+    fn intersect_with_skip_emits_skip_tokens() {
+        let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
+        let sk0 = sim.add_channel("skip0");
+        let sk1 = sim.add_channel("skip1");
+        sim.record(sk1);
+        sim.add_block(Box::new(Intersecter::new("int", in_crd, in_ref, oc, or).with_skip([sk0, sk1])));
+        sim.preload(in_crd[0], crd_stream(&[50]));
+        sim.preload(in_ref[0], ref_stream(&[0]));
+        sim.preload(in_crd[1], crd_stream(&[1, 50]));
+        sim.preload(in_ref[1], ref_stream(&[0, 1]));
+        sim.run(1000).unwrap();
+        // Operand 1 trails at coordinate 1 < 50, so a skip to 50 is sent to it.
+        assert_eq!(data_crds(sim.history(sk1)), vec![50]);
+        assert_eq!(data_crds(sim.history(oc)), vec![50]);
+    }
+
+    #[test]
+    fn union_of_disjoint_inputs_is_concatenation() {
+        let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
+        sim.add_block(Box::new(Unioner::new("uni", in_crd, in_ref, oc, or)));
+        sim.preload(in_crd[0], crd_stream(&[0, 1]));
+        sim.preload(in_ref[0], ref_stream(&[0, 1]));
+        sim.preload(in_crd[1], crd_stream(&[5, 6]));
+        sim.preload(in_ref[1], ref_stream(&[0, 1]));
+        sim.run(1000).unwrap();
+        assert_eq!(data_crds(sim.history(oc)), vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn parallelize_then_serialize_roundtrip() {
+        let mut sim = Simulator::new();
+        let input = sim.add_channel("in");
+        let l0 = sim.add_channel("lane0");
+        let l1 = sim.add_channel("lane1");
+        let out = sim.add_channel("out");
+        sim.record(out);
+        sim.add_block(Box::new(Parallelizer::new("par", input, vec![l0, l1])));
+        sim.add_block(Box::new(Serializer::new("ser", vec![l0, l1], out)));
+        sim.preload(
+            input,
+            vec![
+                tok::crd(1),
+                tok::stop(0),
+                tok::crd(2),
+                tok::crd(3),
+                tok::stop(0),
+                tok::crd(4),
+                tok::stop(0),
+                tok::done(),
+            ],
+        );
+        sim.run(1000).unwrap();
+        let out_crds = data_crds(sim.history(out));
+        assert_eq!(out_crds, vec![1, 2, 3, 4]);
+        assert_eq!(sim.history(out).iter().filter(|t| t.is_stop()).count(), 3);
+        assert!(sim.history(out).last().unwrap().is_done());
+    }
+}

@@ -1,0 +1,184 @@
+//! Channels: the simulator's model of SAM streams on wires.
+
+use crate::payload::SimToken;
+use sam_streams::TokenStats;
+use std::collections::VecDeque;
+
+/// Identifier of a channel within a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+/// A single-producer single-consumer token queue connecting two blocks.
+///
+/// Channels record how many tokens of each kind they have carried; combined
+/// with the number of elapsed cycles this yields the idle/stop/done/data
+/// breakdown of Figure 14.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    name: String,
+    queue: VecDeque<SimToken>,
+    capacity: Option<usize>,
+    stats: TokenStats,
+    total_pushed: u64,
+    done_seen: bool,
+}
+
+impl Channel {
+    /// Creates an unbounded channel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Channel {
+            name: name.into(),
+            queue: VecDeque::new(),
+            capacity: None,
+            stats: TokenStats::default(),
+            total_pushed: 0,
+            done_seen: false,
+        }
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued tokens.
+    pub fn bounded(name: impl Into<String>, capacity: usize) -> Self {
+        let mut c = Channel::new(name);
+        c.capacity = Some(capacity);
+        c
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether another token can currently be pushed.
+    pub fn can_push(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.queue.len() < cap,
+            None => true,
+        }
+    }
+
+    /// Pushes a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a bounded channel is full; blocks must check
+    /// [`Channel::can_push`] first.
+    pub fn push(&mut self, token: SimToken) {
+        assert!(self.can_push(), "push into full channel `{}`", self.name);
+        self.stats.record(token.kind());
+        self.total_pushed += 1;
+        if token.is_done() {
+            self.done_seen = true;
+        }
+        self.queue.push_back(token);
+    }
+
+    /// Looks at the next token without consuming it.
+    pub fn peek(&self) -> Option<&SimToken> {
+        self.queue.front()
+    }
+
+    /// Looks `n` tokens ahead (0 = front).
+    pub fn peek_nth(&self, n: usize) -> Option<&SimToken> {
+        self.queue.get(n)
+    }
+
+    /// Consumes and returns the next token.
+    pub fn pop(&mut self) -> Option<SimToken> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued (not yet consumed) tokens.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a done token has been pushed into this channel.
+    pub fn done_seen(&self) -> bool {
+        self.done_seen
+    }
+
+    /// Total number of tokens ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Token statistics of everything pushed so far. Idle slots are not
+    /// recorded here; [`Channel::stats_with_idle`] folds them in.
+    pub fn stats(&self) -> TokenStats {
+        self.stats
+    }
+
+    /// Statistics including idle slots for a run of `cycles` cycles: a cycle
+    /// during which no token was pushed counts as idle, matching the
+    /// Figure 14 accounting.
+    pub fn stats_with_idle(&self, cycles: u64) -> TokenStats {
+        let mut s = self.stats;
+        s.idle = cycles.saturating_sub(self.total_pushed);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::tok;
+
+    #[test]
+    fn push_pop_and_stats() {
+        let mut c = Channel::new("crd");
+        c.push(tok::crd(1));
+        c.push(tok::stop(0));
+        c.push(tok::done());
+        assert_eq!(c.len(), 3);
+        assert!(c.done_seen());
+        assert_eq!(c.pop(), Some(tok::crd(1)));
+        assert_eq!(c.peek(), Some(&tok::stop(0)));
+        assert_eq!(c.peek_nth(1), Some(&tok::done()));
+        let stats = c.stats();
+        assert_eq!(stats.non_control, 1);
+        assert_eq!(stats.stop, 1);
+        assert_eq!(stats.done, 1);
+        assert_eq!(c.total_pushed(), 3);
+    }
+
+    #[test]
+    fn idle_accounting() {
+        let mut c = Channel::new("x");
+        c.push(tok::crd(0));
+        c.push(tok::done());
+        let s = c.stats_with_idle(10);
+        assert_eq!(s.idle, 8);
+        assert_eq!(s.total(), 10);
+    }
+
+    #[test]
+    fn bounded_capacity() {
+        let mut c = Channel::bounded("b", 1);
+        assert!(c.can_push());
+        c.push(tok::crd(0));
+        assert!(!c.can_push());
+        c.pop();
+        assert!(c.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "full channel")]
+    fn overfull_push_panics() {
+        let mut c = Channel::bounded("b", 1);
+        c.push(tok::crd(0));
+        c.push(tok::crd(1));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let c = Channel::new("e");
+        assert!(c.is_empty());
+        assert_eq!(c.name(), "e");
+        assert!(!c.done_seen());
+    }
+}

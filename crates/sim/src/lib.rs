@@ -1,0 +1,24 @@
+//! # sam-sim
+//!
+//! The cycle-approximate streaming dataflow simulator that SAM graphs are
+//! lowered onto (paper Section 6).
+//!
+//! The simulator models a SAM graph as a set of [`Block`]s connected by
+//! [`Channel`]s. Every simulated cycle each block gets one [`Block::tick`]
+//! call during which it may consume at most one token per input port and
+//! produce at most one token per output port — the paper's "fully pipelined,
+//! every primitive produces one token each cycle" model. Channels are
+//! unbounded by default (the paper's infinite-queue assumption); bounded
+//! channels can be requested to study finite hardware.
+//!
+//! Per-channel token statistics ([`sam_streams::TokenStats`]) are collected
+//! for the Figure 14 stream-composition study; idle slots are cycles during
+//! which a channel carried no token.
+
+pub mod channel;
+pub mod engine;
+pub mod payload;
+
+pub use channel::{Channel, ChannelId};
+pub use engine::{Block, BlockStatus, Context, SimReport, SimulationError, Simulator};
+pub use payload::{Payload, SimToken};

@@ -1,0 +1,178 @@
+//! Dynamically typed token payloads used inside the simulator.
+//!
+//! SAM distinguishes coordinate, reference, value and bitvector streams. The
+//! simulator keeps all channels homogeneous by carrying a [`Payload`] sum
+//! type; blocks assert the payload kind they expect, so wiring mistakes fail
+//! loudly during simulation rather than silently producing wrong data.
+
+use sam_streams::{BitVec, Token};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload of one simulator token.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A coordinate.
+    Crd(u32),
+    /// A reference (position in the next level or the values array).
+    Ref(u32),
+    /// A tensor value.
+    Val(f64),
+    /// A bitvector word (Section 4.3 stream protocol).
+    Bits(BitVec),
+}
+
+impl Payload {
+    /// The coordinate carried by this payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is not a coordinate.
+    pub fn expect_crd(self) -> u32 {
+        match self {
+            Payload::Crd(c) => c,
+            other => panic!("expected a coordinate payload, found {other:?}"),
+        }
+    }
+
+    /// The reference carried by this payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is not a reference.
+    pub fn expect_ref(self) -> u32 {
+        match self {
+            Payload::Ref(r) => r,
+            other => panic!("expected a reference payload, found {other:?}"),
+        }
+    }
+
+    /// The value carried by this payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is not a value.
+    pub fn expect_val(self) -> f64 {
+        match self {
+            Payload::Val(v) => v,
+            other => panic!("expected a value payload, found {other:?}"),
+        }
+    }
+
+    /// The bitvector word carried by this payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is not a bitvector word.
+    pub fn expect_bits(self) -> BitVec {
+        match self {
+            Payload::Bits(b) => b,
+            other => panic!("expected a bitvector payload, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Crd(c) => write!(f, "c{c}"),
+            Payload::Ref(r) => write!(f, "r{r}"),
+            Payload::Val(v) => write!(f, "{v}"),
+            Payload::Bits(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A simulator token: the SAM token algebra over dynamic payloads.
+pub type SimToken = Token<Payload>;
+
+/// Convenience constructors for simulator tokens.
+pub mod tok {
+    use super::{Payload, SimToken};
+    use sam_streams::{BitVec, Token};
+
+    /// A coordinate data token.
+    pub fn crd(c: u32) -> SimToken {
+        Token::Val(Payload::Crd(c))
+    }
+
+    /// A reference data token.
+    pub fn rf(r: u32) -> SimToken {
+        Token::Val(Payload::Ref(r))
+    }
+
+    /// A value data token.
+    pub fn val(v: f64) -> SimToken {
+        Token::Val(Payload::Val(v))
+    }
+
+    /// A bitvector data token.
+    pub fn bits(b: BitVec) -> SimToken {
+        Token::Val(Payload::Bits(b))
+    }
+
+    /// A stop token of the given level.
+    pub fn stop(level: u8) -> SimToken {
+        Token::Stop(level)
+    }
+
+    /// The empty token.
+    pub fn empty() -> SimToken {
+        Token::Empty
+    }
+
+    /// The done token.
+    pub fn done() -> SimToken {
+        Token::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tok;
+    use super::*;
+
+    #[test]
+    fn expect_accessors() {
+        assert_eq!(Payload::Crd(3).expect_crd(), 3);
+        assert_eq!(Payload::Ref(4).expect_ref(), 4);
+        assert_eq!(Payload::Val(2.5).expect_val(), 2.5);
+        let b = BitVec::from_coords(0, 8, [1u32, 2]);
+        assert_eq!(Payload::Bits(b).expect_bits(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a coordinate")]
+    fn expect_crd_panics_on_val() {
+        Payload::Val(1.0).expect_crd();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a reference")]
+    fn expect_ref_panics_on_crd() {
+        Payload::Crd(1).expect_ref();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a value")]
+    fn expect_val_panics_on_ref() {
+        Payload::Ref(1).expect_val();
+    }
+
+    #[test]
+    fn token_constructors() {
+        assert!(tok::done().is_done());
+        assert!(tok::stop(2).is_stop());
+        assert!(tok::empty().is_empty_token());
+        assert_eq!(tok::crd(7).value(), Some(Payload::Crd(7)));
+        assert_eq!(tok::val(1.5).value(), Some(Payload::Val(1.5)));
+        assert_eq!(tok::rf(2).value(), Some(Payload::Ref(2)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Payload::Crd(1).to_string(), "c1");
+        assert_eq!(Payload::Ref(2).to_string(), "r2");
+        assert_eq!(Payload::Val(0.5).to_string(), "0.5");
+    }
+}

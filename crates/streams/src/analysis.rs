@@ -1,0 +1,185 @@
+//! Level-based versus point-based stream encoding analysis (paper
+//! Section 3.8, "Level-Based Stream Representation").
+//!
+//! SAM streams tensors level by level with hierarchical stop tokens. The
+//! alternative the paper analyzes is a *point-based* representation that
+//! streams flattened coordinate tuples `(i, j, value)` with no control
+//! tokens. This module implements both token-count models and the break-even
+//! inequality the paper derives: for matrices, the level-based encoding
+//! processes fewer tokens whenever the average number of nonzeros per
+//! nonempty row exceeds roughly four.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape statistics of a sparse matrix needed by the encoding comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixShapeStats {
+    /// Number of rows in the matrix (`dim_Bi`).
+    pub rows: u64,
+    /// Number of rows that contain at least one nonzero (`nnr_B`).
+    pub nonempty_rows: u64,
+    /// Number of stored nonzeros (`nnz_B`).
+    pub nnz: u64,
+}
+
+impl MatrixShapeStats {
+    /// Creates shape statistics, validating basic consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nonempty_rows > rows` or `nonempty_rows > nnz`.
+    pub fn new(rows: u64, nonempty_rows: u64, nnz: u64) -> Self {
+        assert!(nonempty_rows <= rows, "more nonempty rows than rows");
+        assert!(nnz == 0 || nonempty_rows <= nnz, "more nonempty rows than nonzeros");
+        MatrixShapeStats { rows, nonempty_rows, nnz }
+    }
+
+    /// Average number of nonzeros per nonempty row.
+    pub fn avg_nnz_per_row(&self) -> f64 {
+        if self.nonempty_rows == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.nonempty_rows as f64
+        }
+    }
+}
+
+/// Token-count estimate for both encodings of a matrix, using the paper's
+/// worst-case control-token fraction `c`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncodingComparison {
+    /// Tokens processed by the point-based `(i, j, value)` encoding:
+    /// `3 * nnz`.
+    pub point_based_tokens: f64,
+    /// Tokens processed by the level-based encoding:
+    /// `(1 + c) * nnr + 2 * (1 + c) * nnz`.
+    pub level_based_tokens: f64,
+    /// The control-token fraction `c` used for the level-based estimate.
+    pub control_fraction: f64,
+}
+
+impl EncodingComparison {
+    /// True when the level-based encoding processes no more tokens than the
+    /// point-based one.
+    pub fn level_based_wins(&self) -> bool {
+        self.level_based_tokens <= self.point_based_tokens
+    }
+}
+
+/// The worst-case control-token fraction measured in the paper's Figure 14
+/// analysis (33.26% stop tokens, i.e. `c = 0.3326`).
+pub const WORST_CASE_CONTROL_FRACTION: f64 = 0.3326;
+
+/// Compares the two encodings for a matrix with the given shape statistics.
+///
+/// ```
+/// use sam_streams::analysis::{compare_encodings, MatrixShapeStats, WORST_CASE_CONTROL_FRACTION};
+/// // 5 nonzeros per row: comfortably above the ~4x break-even point.
+/// let stats = MatrixShapeStats::new(1000, 1000, 5000);
+/// let cmp = compare_encodings(stats, WORST_CASE_CONTROL_FRACTION);
+/// assert!(cmp.level_based_wins());
+/// ```
+pub fn compare_encodings(stats: MatrixShapeStats, control_fraction: f64) -> EncodingComparison {
+    let c = control_fraction;
+    EncodingComparison {
+        point_based_tokens: 3.0 * stats.nnz as f64,
+        level_based_tokens: (1.0 + c) * stats.nonempty_rows as f64 + 2.0 * (1.0 + c) * stats.nnz as f64,
+        control_fraction: c,
+    }
+}
+
+/// The break-even average-nonzeros-per-row threshold derived in Section 3.8:
+/// level-based streaming processes fewer tokens when
+/// `nnz > threshold * rows`. With the worst-case control fraction the paper
+/// reports the threshold as `3.98`.
+pub fn break_even_nnz_per_row(control_fraction: f64) -> f64 {
+    // 3 * nnz > (1 + c) * rows + 2 * (1 + c) * nnz
+    //   =>  nnz * (3 - 2 * (1 + c)) > (1 + c) * rows
+    //   =>  nnz / rows > (1 + c) / (1 - 2c)
+    let c = control_fraction;
+    let denom = 1.0 - 2.0 * c;
+    assert!(denom > 0.0, "control fraction too large for a finite break-even point");
+    (1.0 + c) / denom
+}
+
+/// Token counts for the exact (not worst-case-modelled) level-based encoding
+/// of a two-level (matrix) fibertree: one token per nonempty row coordinate,
+/// one per nonzero coordinate, one per nonzero value, plus stop and done
+/// tokens on all three streams.
+pub fn exact_level_based_tokens(stats: &MatrixShapeStats) -> u64 {
+    // Outer coordinate stream: nnr data + 1 stop + 1 done.
+    let outer = stats.nonempty_rows + 2;
+    // Inner coordinate stream: nnz data + nnr stops (one per row fiber,
+    // the last merged into a higher-level stop) + 1 done.
+    let inner = stats.nnz + stats.nonempty_rows + 1;
+    // Value stream mirrors the inner coordinate stream.
+    let vals = stats.nnz + stats.nonempty_rows + 1;
+    outer + inner + vals
+}
+
+/// Token counts for the point-based encoding of the same matrix:
+/// three tokens per nonzero plus a done token.
+pub fn exact_point_based_tokens(stats: &MatrixShapeStats) -> u64 {
+    3 * stats.nnz + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_break_even_threshold() {
+        let t = break_even_nnz_per_row(WORST_CASE_CONTROL_FRACTION);
+        // The paper rounds this to 3.98.
+        assert!((t - 3.98).abs() < 0.01, "threshold was {t}");
+    }
+
+    #[test]
+    fn dense_rows_prefer_level_based() {
+        let stats = MatrixShapeStats::new(100, 100, 1000); // 10 nnz/row
+        let cmp = compare_encodings(stats, WORST_CASE_CONTROL_FRACTION);
+        assert!(cmp.level_based_wins());
+    }
+
+    #[test]
+    fn hypersparse_rows_prefer_point_based() {
+        let stats = MatrixShapeStats::new(1000, 1000, 1000); // 1 nnz/row
+        let cmp = compare_encodings(stats, WORST_CASE_CONTROL_FRACTION);
+        assert!(!cmp.level_based_wins());
+    }
+
+    #[test]
+    fn break_even_matches_comparison() {
+        let c = WORST_CASE_CONTROL_FRACTION;
+        let threshold = break_even_nnz_per_row(c);
+        let rows = 1_000u64;
+        let just_above = (threshold * rows as f64).ceil() as u64 + rows;
+        let stats = MatrixShapeStats::new(rows, rows, just_above);
+        assert!(compare_encodings(stats, c).level_based_wins());
+        let just_below = (threshold * rows as f64 * 0.5) as u64;
+        let stats = MatrixShapeStats::new(rows, rows, just_below.max(rows));
+        assert!(!compare_encodings(stats, c).level_based_wins());
+    }
+
+    #[test]
+    fn exact_counts_are_consistent() {
+        let stats = MatrixShapeStats::new(4, 3, 5);
+        // Outer: 3 + 2 = 5; inner: 5 + 3 + 1 = 9; vals: 9 => 23.
+        assert_eq!(exact_level_based_tokens(&stats), 23);
+        assert_eq!(exact_point_based_tokens(&stats), 16);
+    }
+
+    #[test]
+    fn avg_nnz_per_row() {
+        let stats = MatrixShapeStats::new(10, 4, 12);
+        assert!((stats.avg_nnz_per_row() - 3.0).abs() < 1e-12);
+        let empty = MatrixShapeStats::new(10, 0, 0);
+        assert_eq!(empty.avg_nnz_per_row(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nonempty rows than rows")]
+    fn invalid_shape_rejected() {
+        let _ = MatrixShapeStats::new(3, 4, 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Nested-list interpretation of SAM streams.
+//!
+//! Paper Section 3.2: "Streams can be interpreted as variable-length nested
+//! lists where each stop token represents a parenthesis." [`Nested`] is that
+//! interpretation; it is used for readable test fixtures and for converting
+//! between streams and fibertree levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A variable-depth nested list of payloads.
+///
+/// A stream carrying a single flat fiber corresponds to [`Nested::List`] of
+/// [`Nested::Leaf`] items; each extra level of stop-token hierarchy adds one
+/// level of list nesting.
+///
+/// ```
+/// use sam_streams::Nested;
+/// let n: Nested<u32> = vec![vec![1, 2], vec![3]].into();
+/// assert_eq!(n.depth(), 2);
+/// assert_eq!(n.leaves(), vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Nested<T> {
+    /// A single payload.
+    Leaf(T),
+    /// An ordered collection of sub-structures.
+    List(Vec<Nested<T>>),
+}
+
+impl<T: Clone> Nested<T> {
+    /// All leaf payloads in left-to-right order.
+    pub fn leaves(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<T>) {
+        match self {
+            Nested::Leaf(v) => out.push(v.clone()),
+            Nested::List(items) => {
+                for item in items {
+                    item.collect_leaves(out);
+                }
+            }
+        }
+    }
+}
+
+impl<T> Nested<T> {
+    /// Nesting depth: a leaf has depth 0, a list is one deeper than its
+    /// deepest child (an empty list has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Nested::Leaf(_) => 0,
+            Nested::List(items) => 1 + items.iter().map(Nested::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len_leaves(&self) -> usize {
+        match self {
+            Nested::Leaf(_) => 1,
+            Nested::List(items) => items.iter().map(Nested::len_leaves).sum(),
+        }
+    }
+
+    /// Whether this structure contains no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len_leaves() == 0
+    }
+}
+
+impl<T> From<Vec<T>> for Nested<T> {
+    fn from(v: Vec<T>) -> Self {
+        Nested::List(v.into_iter().map(Nested::Leaf).collect())
+    }
+}
+
+impl<T> From<Vec<Vec<T>>> for Nested<T> {
+    fn from(v: Vec<Vec<T>>) -> Self {
+        Nested::List(v.into_iter().map(Nested::from).collect())
+    }
+}
+
+impl<T> From<Vec<Vec<Vec<T>>>> for Nested<T> {
+    fn from(v: Vec<Vec<Vec<T>>>) -> Self {
+        Nested::List(v.into_iter().map(Nested::from).collect())
+    }
+}
+
+impl<T, const N: usize> From<[Vec<T>; N]> for Nested<T> {
+    fn from(v: [Vec<T>; N]) -> Self {
+        Nested::List(v.into_iter().map(Nested::from).collect())
+    }
+}
+
+impl<T, const N: usize> From<&[Vec<T>; N]> for Nested<T>
+where
+    T: Clone,
+{
+    fn from(v: &[Vec<T>; N]) -> Self {
+        Nested::List(v.iter().cloned().map(Nested::from).collect())
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Nested<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nested::Leaf(v) => write!(f, "{v}"),
+            Nested::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_and_leaves() {
+        let n: Nested<u32> = vec![vec![1, 2], vec![], vec![3]].into();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.len_leaves(), 3);
+        assert_eq!(n.leaves(), vec![1, 2, 3]);
+        assert!(!n.is_empty());
+        let empty: Nested<u32> = Nested::List(vec![]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn display_uses_parentheses() {
+        // Matches the paper's value-level example ((1), (2, 3), (4, 5)).
+        let n: Nested<u32> = vec![vec![1], vec![2, 3], vec![4, 5]].into();
+        assert_eq!(format!("{n}"), "((1), (2, 3), (4, 5))");
+    }
+
+    #[test]
+    fn three_level_conversion() {
+        let n: Nested<u32> = vec![vec![vec![1], vec![2]], vec![vec![3]]].into();
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.leaves(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Token-kind statistics.
+//!
+//! The Figure 14 experiment breaks coordinate streams down into idle, done,
+//! stop and non-control slots. Streams themselves only contain real tokens;
+//! *idle* slots are cycles where a channel carried nothing, which the
+//! simulator records separately and folds into the same [`TokenStats`]
+//! structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The statistics category of a token or channel slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A data token (coordinate, reference, value or bitvector).
+    NonControl,
+    /// A hierarchical stop token.
+    Stop,
+    /// An empty (`N`) token.
+    Empty,
+    /// The done token.
+    Done,
+    /// A cycle where the channel carried no token at all.
+    Idle,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TokenKind::NonControl => "non-control",
+            TokenKind::Stop => "stop",
+            TokenKind::Empty => "empty",
+            TokenKind::Done => "done",
+            TokenKind::Idle => "idle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Counts of channel slots by [`TokenKind`].
+///
+/// ```
+/// use sam_streams::{TokenStats, TokenKind};
+/// let mut s = TokenStats::default();
+/// s.record(TokenKind::NonControl);
+/// s.record(TokenKind::Stop);
+/// s.record(TokenKind::Idle);
+/// assert_eq!(s.total(), 3);
+/// assert!((s.fraction(TokenKind::Stop) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenStats {
+    /// Data tokens.
+    pub non_control: u64,
+    /// Stop tokens.
+    pub stop: u64,
+    /// Empty tokens.
+    pub empty: u64,
+    /// Done tokens.
+    pub done: u64,
+    /// Idle channel slots (no token this cycle).
+    pub idle: u64,
+}
+
+impl TokenStats {
+    /// Records one slot of the given kind.
+    pub fn record(&mut self, kind: TokenKind) {
+        match kind {
+            TokenKind::NonControl => self.non_control += 1,
+            TokenKind::Stop => self.stop += 1,
+            TokenKind::Empty => self.empty += 1,
+            TokenKind::Done => self.done += 1,
+            TokenKind::Idle => self.idle += 1,
+        }
+    }
+
+    /// Total number of recorded slots.
+    pub fn total(&self) -> u64 {
+        self.non_control + self.stop + self.empty + self.done + self.idle
+    }
+
+    /// Total number of real tokens (excludes idle slots).
+    pub fn total_tokens(&self) -> u64 {
+        self.non_control + self.stop + self.empty + self.done
+    }
+
+    /// Control tokens excluding idle slots (stop + empty + done), the
+    /// "non-idle control overhead" quoted in Section 6.4.
+    pub fn control_tokens(&self) -> u64 {
+        self.stop + self.empty + self.done
+    }
+
+    /// The count for one kind.
+    pub fn count(&self, kind: TokenKind) -> u64 {
+        match kind {
+            TokenKind::NonControl => self.non_control,
+            TokenKind::Stop => self.stop,
+            TokenKind::Empty => self.empty,
+            TokenKind::Done => self.done,
+            TokenKind::Idle => self.idle,
+        }
+    }
+
+    /// Fraction of all slots (including idle) of the given kind; zero when no
+    /// slots have been recorded.
+    pub fn fraction(&self, kind: TokenKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of real tokens (excluding idle) that are control tokens.
+    pub fn control_fraction_non_idle(&self) -> f64 {
+        let total = self.total_tokens();
+        if total == 0 {
+            0.0
+        } else {
+            self.control_tokens() as f64 / total as f64
+        }
+    }
+}
+
+impl Add for TokenStats {
+    type Output = TokenStats;
+    fn add(self, rhs: TokenStats) -> TokenStats {
+        TokenStats {
+            non_control: self.non_control + rhs.non_control,
+            stop: self.stop + rhs.stop,
+            empty: self.empty + rhs.empty,
+            done: self.done + rhs.done,
+            idle: self.idle + rhs.idle,
+        }
+    }
+}
+
+impl AddAssign for TokenStats {
+    fn add_assign(&mut self, rhs: TokenStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TokenStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-control={} stop={} empty={} done={} idle={}",
+            self.non_control, self.stop, self.empty, self.done, self.idle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = TokenStats::default();
+        for _ in 0..5 {
+            s.record(TokenKind::NonControl);
+        }
+        s.record(TokenKind::Stop);
+        s.record(TokenKind::Stop);
+        s.record(TokenKind::Done);
+        s.record(TokenKind::Idle);
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.total_tokens(), 8);
+        assert_eq!(s.control_tokens(), 3);
+        assert_eq!(s.count(TokenKind::Stop), 2);
+        assert!((s.control_fraction_non_idle() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = TokenStats::default();
+        assert_eq!(s.fraction(TokenKind::Idle), 0.0);
+        assert_eq!(s.control_fraction_non_idle(), 0.0);
+    }
+
+    #[test]
+    fn add_combines_counts() {
+        let mut a = TokenStats::default();
+        a.record(TokenKind::NonControl);
+        let mut b = TokenStats::default();
+        b.record(TokenKind::Idle);
+        b.record(TokenKind::Empty);
+        let c = a + b;
+        assert_eq!(c.total(), 3);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TokenKind::NonControl.to_string(), "non-control");
+        assert_eq!(TokenKind::Idle.to_string(), "idle");
+        let s = TokenStats { non_control: 1, stop: 2, empty: 0, done: 1, idle: 3 };
+        assert_eq!(s.to_string(), "non-control=1 stop=2 empty=0 done=1 idle=3");
+    }
+}

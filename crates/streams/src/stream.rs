@@ -1,0 +1,425 @@
+//! Owned, finished SAM streams.
+
+use crate::nested::Nested;
+use crate::stats::TokenStats;
+use crate::token::Token;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A complete SAM stream: a token sequence terminated by a single
+/// [`Token::Done`].
+///
+/// [`Stream`] is the *at rest* representation used to build block inputs, to
+/// check block outputs and to convert to and from the nested-list
+/// interpretation. During simulation tokens flow through channels one at a
+/// time (see the `sam-sim` crate); a [`Stream`] is what a channel has carried
+/// once the graph has quiesced.
+///
+/// ```
+/// use sam_streams::Stream;
+/// let s: Stream<u32> = Stream::from_nested(&vec![vec![1u32], vec![0, 2]].into());
+/// assert_eq!(s.to_nested(), vec![vec![1u32], vec![0, 2]].into());
+/// assert_eq!(s.data_len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stream<T> {
+    tokens: Vec<Token<T>>,
+}
+
+impl<T> Default for Stream<T> {
+    fn default() -> Self {
+        Stream { tokens: Vec::new() }
+    }
+}
+
+impl<T> Stream<T> {
+    /// An empty (zero-token) stream. Note this is *not* a valid finished
+    /// stream: a finished stream ends with a done token — see
+    /// [`Stream::empty_done`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stream consisting of a single done token (an empty tensor level).
+    pub fn empty_done() -> Self {
+        Stream { tokens: vec![Token::Done] }
+    }
+
+    /// Builds a stream directly from tokens.
+    pub fn from_tokens(tokens: Vec<Token<T>>) -> Self {
+        Stream { tokens }
+    }
+
+    /// The underlying token sequence.
+    pub fn tokens(&self) -> &[Token<T>] {
+        &self.tokens
+    }
+
+    /// Consumes the stream, returning its tokens.
+    pub fn into_tokens(self) -> Vec<Token<T>> {
+        self.tokens
+    }
+
+    /// Appends a token.
+    pub fn push(&mut self, token: Token<T>) {
+        self.tokens.push(token);
+    }
+
+    /// Total number of tokens, including control tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the stream holds no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of data (non-control) tokens.
+    pub fn data_len(&self) -> usize {
+        self.tokens.iter().filter(|t| !t.is_control()).count()
+    }
+
+    /// Token-kind statistics for this stream (stop/empty/done/data counts).
+    pub fn stats(&self) -> TokenStats {
+        let mut stats = TokenStats::default();
+        for t in &self.tokens {
+            stats.record(t.kind());
+        }
+        stats
+    }
+
+    /// Checks structural validity: exactly one done token, placed last.
+    pub fn is_finished(&self) -> bool {
+        let dones = self.tokens.iter().filter(|t| t.is_done()).count();
+        dones == 1 && self.tokens.last().map(Token::is_done).unwrap_or(false)
+    }
+
+    /// Iterator over data payloads, skipping control tokens.
+    pub fn data_iter(&self) -> impl Iterator<Item = &T> {
+        self.tokens.iter().filter_map(Token::value_ref)
+    }
+
+    /// The maximum stop level present, if any.
+    pub fn max_stop_level(&self) -> Option<u8> {
+        self.tokens.iter().filter_map(Token::stop_level).max()
+    }
+
+    /// Maps payloads to another type, preserving control tokens.
+    pub fn map<U, F: FnMut(T) -> U>(self, mut f: F) -> Stream<U> {
+        Stream { tokens: self.tokens.into_iter().map(|t| t.map(&mut f)).collect() }
+    }
+}
+
+impl<T: Clone> Stream<T> {
+    /// Encodes a nested list as a stream with hierarchical stop tokens and a
+    /// final done token (paper Figure 1d).
+    ///
+    /// Fiber-closing rule: closing a fiber increments the trailing stop token
+    /// produced by its last child when one exists; an empty fiber or a fiber
+    /// ending in a data token appends a fresh `Stop(0)`. This reproduces both
+    /// the hierarchical stops of Figure 1d and the consecutive `S0, S0`
+    /// produced by empty fibers in Figure 8.
+    pub fn from_nested(nested: &Nested<T>) -> Self {
+        let mut tokens = Vec::new();
+        match nested {
+            Nested::Leaf(v) => {
+                // A rank-0 (scalar) stream: a single value then done.
+                tokens.push(Token::Val(v.clone()));
+            }
+            Nested::List(items) => {
+                encode_fiber(items, &mut tokens);
+            }
+        }
+        tokens.push(Token::Done);
+        Stream { tokens }
+    }
+
+    /// Decodes the stream back into a nested list.
+    ///
+    /// The nesting depth is inferred from the maximum stop level; a stream
+    /// with no stop tokens decodes to a flat list of its data tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not a structurally valid finished stream
+    /// (mismatched stop levels or missing done token).
+    pub fn to_nested(&self) -> Nested<T> {
+        assert!(self.is_finished(), "to_nested requires a finished stream");
+        let depth = self.max_stop_level().map(|l| l as usize + 1).unwrap_or(1);
+        // stack[0] is a virtual root holder; stack[1..=depth] are open fibers.
+        let mut stack: Vec<Vec<Nested<T>>> = vec![Vec::new(); depth + 1];
+        for t in &self.tokens {
+            match t {
+                Token::Val(v) => stack.last_mut().expect("stack").push(Nested::Leaf(v.clone())),
+                Token::Empty => {
+                    // Empty tokens have no place in a materialized tensor level;
+                    // they only appear on post-union operand streams. Represent
+                    // them as an empty sub-list so round-trips stay lossless in
+                    // shape.
+                    stack.last_mut().expect("stack").push(Nested::List(Vec::new()));
+                }
+                Token::Stop(n) => {
+                    let closes = *n as usize + 1;
+                    assert!(closes < stack.len(), "stop level {n} exceeds stream depth");
+                    for _ in 0..closes {
+                        let fiber = stack.pop().expect("stack underflow");
+                        stack.last_mut().expect("stack").push(Nested::List(fiber));
+                    }
+                    for _ in 0..closes {
+                        stack.push(Vec::new());
+                    }
+                }
+                Token::Done => break,
+            }
+        }
+        // Discard the re-opened (and normally empty) fibers; a flat stream
+        // with no trailing stop instead flushes its data downwards.
+        while stack.len() > 1 {
+            let top = stack.pop().expect("stack");
+            if !top.is_empty() {
+                stack.last_mut().expect("stack").push(Nested::List(top));
+            }
+        }
+        let mut root = stack.pop().expect("root");
+        if root.len() == 1 {
+            root.pop().expect("single root")
+        } else {
+            // A stream with no stop tokens (flat data then done).
+            Nested::List(root)
+        }
+    }
+}
+
+/// Encodes one fiber's children into `tokens` and closes the fiber.
+fn encode_fiber<T: Clone>(items: &[Nested<T>], tokens: &mut Vec<Token<T>>) {
+    let before = tokens.len();
+    for item in items {
+        match item {
+            Nested::Leaf(v) => tokens.push(Token::Val(v.clone())),
+            Nested::List(children) => encode_fiber(children, tokens),
+        }
+    }
+    let emitted = tokens.len() > before;
+    match tokens.last_mut() {
+        Some(Token::Stop(n)) if emitted => *n += 1,
+        _ => tokens.push(Token::Stop(0)),
+    }
+}
+
+impl<T: fmt::Display> Stream<T> {
+    /// Renders the stream in the paper's right-to-left figure notation, e.g.
+    /// `"D, S1, 3, 1, S0, 2, 0, S0, 1"` (time increases from right to left).
+    pub fn to_paper_string(&self) -> String {
+        let mut parts: Vec<String> = self.tokens.iter().map(|t| t.to_string()).collect();
+        parts.reverse();
+        parts.join(", ")
+    }
+}
+
+impl<T: FromStr> Stream<T> {
+    /// Parses the paper's right-to-left figure notation, the inverse of
+    /// [`Stream::to_paper_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string naming the first token that failed to parse.
+    ///
+    /// ```
+    /// use sam_streams::{Stream, Crd};
+    /// let s: Stream<u32> = Stream::parse_paper("D, S0, 3, 1, 0").unwrap();
+    /// assert_eq!(s.data_len(), 3);
+    /// ```
+    pub fn parse_paper(text: &str) -> Result<Self, String> {
+        let mut tokens = Vec::new();
+        for raw in text.split(',') {
+            let piece = raw.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let token = if piece == "D" {
+                Token::Done
+            } else if piece == "N" {
+                Token::Empty
+            } else if let Some(level) = piece.strip_prefix('S') {
+                let n: u8 = level.parse().map_err(|_| format!("bad stop token `{piece}`"))?;
+                Token::Stop(n)
+            } else {
+                let v: T = piece.parse().map_err(|_| format!("bad data token `{piece}`"))?;
+                Token::Val(v)
+            };
+            tokens.push(token);
+        }
+        tokens.reverse();
+        Ok(Stream { tokens })
+    }
+}
+
+impl<T> FromIterator<Token<T>> for Stream<T> {
+    fn from_iter<I: IntoIterator<Item = Token<T>>>(iter: I) -> Self {
+        Stream { tokens: iter.into_iter().collect() }
+    }
+}
+
+impl<T> Extend<Token<T>> for Stream<T> {
+    fn extend<I: IntoIterator<Item = Token<T>>>(&mut self, iter: I) {
+        self.tokens.extend(iter);
+    }
+}
+
+impl<T> IntoIterator for Stream<T> {
+    type Item = Token<T>;
+    type IntoIter = std::vec::IntoIter<Token<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Stream<T> {
+    type Item = &'a Token<T>;
+    type IntoIter = std::slice::Iter<'a, Token<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Stream<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_paper_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Crd, Val};
+
+    fn crd_nested(v: Vec<Vec<u32>>) -> Nested<Crd> {
+        Nested::List(
+            v.into_iter()
+                .map(|f| Nested::List(f.into_iter().map(|c| Nested::Leaf(Crd(c))).collect()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn figure1d_bi_stream() {
+        // Outer level of the Figure 1 matrix: coordinates 0, 1, 3.
+        let s = Stream::from_nested(&Nested::from(vec![Crd(0), Crd(1), Crd(3)]));
+        assert_eq!(s.to_paper_string(), "D, S0, 3, 1, 0");
+    }
+
+    #[test]
+    fn figure1d_bj_stream() {
+        // Inner level: fibers (1), (0, 2), (1, 3).
+        let s = Stream::from_nested(&crd_nested(vec![vec![1], vec![0, 2], vec![1, 3]]));
+        assert_eq!(s.to_paper_string(), "D, S1, 3, 1, S0, 2, 0, S0, 1");
+    }
+
+    #[test]
+    fn figure1d_value_stream() {
+        let s = Stream::from_nested(&Nested::<Val>::from(vec![
+            vec![Val(1.0)],
+            vec![Val(2.0), Val(3.0)],
+            vec![Val(4.0), Val(5.0)],
+        ]));
+        assert_eq!(s.to_paper_string(), "D, S1, 5, 4, S0, 3, 2, S0, 1");
+    }
+
+    #[test]
+    fn empty_fiber_keeps_separate_stops() {
+        // Figure 8's input has an empty inner fiber between two nonempty ones.
+        let s = Stream::from_nested(&crd_nested(vec![vec![1], vec![0, 2], vec![], vec![1, 3]]));
+        assert_eq!(s.to_paper_string(), "D, S1, 3, 1, S0, S0, 2, 0, S0, 1");
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let n = crd_nested(vec![vec![1], vec![0, 2], vec![], vec![1, 3]]);
+        let s = Stream::from_nested(&n);
+        assert_eq!(s.to_nested(), n);
+    }
+
+    #[test]
+    fn three_level_roundtrip() {
+        let n: Nested<Crd> = Nested::List(vec![
+            Nested::List(vec![
+                Nested::List(vec![Nested::Leaf(Crd(1)), Nested::Leaf(Crd(2))]),
+                Nested::List(vec![Nested::Leaf(Crd(3))]),
+            ]),
+            Nested::List(vec![Nested::List(vec![Nested::Leaf(Crd(4))])]),
+        ]);
+        let s = Stream::from_nested(&n);
+        assert_eq!(s.max_stop_level(), Some(2));
+        assert_eq!(s.to_nested(), n);
+    }
+
+    #[test]
+    fn parse_paper_roundtrip() {
+        let text = "D, S1, 3, 1, S0, 2, 0, S0, 1";
+        let s: Stream<u32> = Stream::parse_paper(text).unwrap();
+        assert_eq!(s.to_paper_string(), text);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn parse_paper_rejects_garbage() {
+        assert!(Stream::<u32>::parse_paper("D, S0, x").is_err());
+        assert!(Stream::<u32>::parse_paper("D, Sx, 1").is_err());
+    }
+
+    #[test]
+    fn parse_paper_empty_token() {
+        let s: Stream<u32> = Stream::parse_paper("D, S0, N, 4, 3").unwrap();
+        assert_eq!(s.stats().empty, 1);
+        assert_eq!(s.data_len(), 2);
+    }
+
+    #[test]
+    fn stats_and_lengths() {
+        let s: Stream<u32> = Stream::parse_paper("D, S1, 5, 4, S0, 3, 2, S0, 1").unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.non_control, 5);
+        assert_eq!(stats.stop, 3);
+        assert_eq!(stats.done, 1);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.data_len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scalar_stream() {
+        let s = Stream::from_nested(&Nested::Leaf(Val(5.0)));
+        assert_eq!(s.tokens(), &[Token::Val(Val(5.0)), Token::Done]);
+    }
+
+    #[test]
+    fn empty_done_is_finished() {
+        let s = Stream::<Crd>::empty_done();
+        assert!(s.is_finished());
+        assert_eq!(s.data_len(), 0);
+    }
+
+    #[test]
+    fn unfinished_stream_detected() {
+        let mut s = Stream::<Crd>::new();
+        s.push(Token::Val(Crd(1)));
+        assert!(!s.is_finished());
+        s.push(Token::Done);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn map_preserves_control() {
+        let s: Stream<u32> = Stream::parse_paper("D, S0, 3, 1, 0").unwrap();
+        let mapped: Stream<Crd> = s.map(Crd);
+        assert_eq!(mapped.to_paper_string(), "D, S0, 3, 1, 0");
+    }
+
+    #[test]
+    fn flat_no_stop_stream_decodes_to_flat_list() {
+        let s = Stream::from_tokens(vec![Token::Val(Crd(7)), Token::Done]);
+        assert_eq!(s.to_nested(), Nested::List(vec![Nested::Leaf(Crd(7))]));
+    }
+}

@@ -1,0 +1,200 @@
+//! The SAM token algebra.
+
+use crate::stats::TokenKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single token on a SAM stream (paper Section 3.2).
+///
+/// Streams are sequences of tokens transmitting one fibertree level, where
+///
+/// * [`Token::Val`] carries a payload (a coordinate, reference, value or
+///   bitvector),
+/// * [`Token::Stop`]`(n)` marks the end of a fiber; the level `n` encodes how
+///   many enclosing fibers end at the same point (the "hierarchical stop
+///   token" of Figure 1d),
+/// * [`Token::Empty`] (the paper's `N` token) is produced by union merges for
+///   operands that have no coordinate at an output position, and
+/// * [`Token::Done`] terminates the stream.
+///
+/// ```
+/// use sam_streams::{Token, Crd};
+/// let t: Token<Crd> = Token::Stop(1);
+/// assert!(t.is_control());
+/// assert_eq!(Token::Val(Crd(2)).value(), Some(Crd(2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Token<T> {
+    /// A data (non-control) token.
+    Val(T),
+    /// Hierarchical fiber-boundary marker; `Stop(0)` ends the innermost fiber.
+    Stop(u8),
+    /// The empty token `N`, standing in for an absent operand.
+    Empty,
+    /// End of stream.
+    Done,
+}
+
+impl<T> Token<T> {
+    /// True for stop, empty and done tokens; false for data tokens.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, Token::Val(_))
+    }
+
+    /// True only for [`Token::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, Token::Done)
+    }
+
+    /// True only for [`Token::Stop`].
+    pub fn is_stop(&self) -> bool {
+        matches!(self, Token::Stop(_))
+    }
+
+    /// True only for [`Token::Empty`].
+    pub fn is_empty_token(&self) -> bool {
+        matches!(self, Token::Empty)
+    }
+
+    /// The stop level, if this is a stop token.
+    pub fn stop_level(&self) -> Option<u8> {
+        match self {
+            Token::Stop(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The payload, if this is a data token.
+    pub fn value(self) -> Option<T> {
+        match self {
+            Token::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A reference to the payload, if this is a data token.
+    pub fn value_ref(&self) -> Option<&T> {
+        match self {
+            Token::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The statistics category of this token (Figure 14 breakdown).
+    pub fn kind(&self) -> TokenKind {
+        match self {
+            Token::Val(_) => TokenKind::NonControl,
+            Token::Stop(_) => TokenKind::Stop,
+            Token::Empty => TokenKind::Empty,
+            Token::Done => TokenKind::Done,
+        }
+    }
+
+    /// Maps the payload type while preserving control tokens.
+    ///
+    /// ```
+    /// use sam_streams::{Token, Crd, Ref};
+    /// let t = Token::Val(Crd(3)).map(|c: Crd| Ref(c.0));
+    /// assert_eq!(t, Token::Val(Ref(3)));
+    /// assert_eq!(Token::<Crd>::Stop(2).map(|c| Ref(c.0)), Token::Stop(2));
+    /// ```
+    pub fn map<U, F: FnOnce(T) -> U>(self, f: F) -> Token<U> {
+        match self {
+            Token::Val(v) => Token::Val(f(v)),
+            Token::Stop(n) => Token::Stop(n),
+            Token::Empty => Token::Empty,
+            Token::Done => Token::Done,
+        }
+    }
+
+    /// Reinterprets a control token as a token of another payload type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a data token.
+    pub fn as_control<U>(&self) -> Token<U> {
+        match self {
+            Token::Val(_) => panic!("as_control called on a data token"),
+            Token::Stop(n) => Token::Stop(*n),
+            Token::Empty => Token::Empty,
+            Token::Done => Token::Done,
+        }
+    }
+
+    /// Increments the level of a stop token, leaving every other token
+    /// unchanged. Level scanners use this to add one level of fiber
+    /// hierarchy to the stop tokens that flow through them (Section 3.3).
+    pub fn bump_stop(self) -> Token<T> {
+        match self {
+            Token::Stop(n) => Token::Stop(n + 1),
+            other => other,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Token<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Val(v) => write!(f, "{v}"),
+            Token::Stop(n) => write!(f, "S{n}"),
+            Token::Empty => write!(f, "N"),
+            Token::Done => write!(f, "D"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Crd, Val};
+
+    #[test]
+    fn classification() {
+        let v: Token<Crd> = Token::Val(Crd(1));
+        assert!(!v.is_control());
+        assert!(Token::<Crd>::Stop(0).is_control());
+        assert!(Token::<Crd>::Empty.is_control());
+        assert!(Token::<Crd>::Done.is_control());
+        assert!(Token::<Crd>::Done.is_done());
+        assert!(Token::<Crd>::Stop(3).is_stop());
+        assert!(Token::<Crd>::Empty.is_empty_token());
+        assert_eq!(Token::<Crd>::Stop(3).stop_level(), Some(3));
+        assert_eq!(v.stop_level(), None);
+    }
+
+    #[test]
+    fn value_extraction() {
+        assert_eq!(Token::Val(Val(2.5)).value(), Some(Val(2.5)));
+        assert_eq!(Token::<Val>::Done.value(), None);
+        assert_eq!(Token::Val(Crd(4)).value_ref(), Some(&Crd(4)));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Token::Val(Crd(0)).kind(), TokenKind::NonControl);
+        assert_eq!(Token::<Crd>::Stop(0).kind(), TokenKind::Stop);
+        assert_eq!(Token::<Crd>::Empty.kind(), TokenKind::Empty);
+        assert_eq!(Token::<Crd>::Done.kind(), TokenKind::Done);
+    }
+
+    #[test]
+    fn bump_stop_only_touches_stops() {
+        assert_eq!(Token::<Crd>::Stop(0).bump_stop(), Token::Stop(1));
+        assert_eq!(Token::Val(Crd(1)).bump_stop(), Token::Val(Crd(1)));
+        assert_eq!(Token::<Crd>::Done.bump_stop(), Token::Done);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(format!("{}", Token::Val(Crd(7))), "7");
+        assert_eq!(format!("{}", Token::<Crd>::Stop(1)), "S1");
+        assert_eq!(format!("{}", Token::<Crd>::Empty), "N");
+        assert_eq!(format!("{}", Token::<Crd>::Done), "D");
+    }
+
+    #[test]
+    #[should_panic(expected = "as_control")]
+    fn as_control_rejects_data() {
+        let _: Token<Val> = Token::Val(Crd(1)).as_control();
+    }
+}

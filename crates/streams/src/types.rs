@@ -1,0 +1,311 @@
+//! Payload newtypes carried by SAM streams.
+//!
+//! SAM distinguishes three stream types (paper Section 3.2): coordinate
+//! streams (`crd`), reference streams (`ref`) and value streams (`vals`).
+//! Section 4.3 adds bitvector streams as an alternative compression protocol.
+//! Each payload gets its own newtype so graphs cannot accidentally wire a
+//! value stream into a port expecting coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor coordinate along one dimension (paper Figure 1).
+///
+/// Coordinates are non-negative and bounded by the dimension size of the
+/// level they belong to.
+///
+/// ```
+/// use sam_streams::Crd;
+/// let c = Crd(3);
+/// assert_eq!(c.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Crd(pub u32);
+
+impl Crd {
+    /// The coordinate as a usable array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Crd {
+    fn from(v: u32) -> Self {
+        Crd(v)
+    }
+}
+
+impl From<usize> for Crd {
+    fn from(v: usize) -> Self {
+        Crd(v as u32)
+    }
+}
+
+impl fmt::Display for Crd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A reference to the location of a fiber (or value) in memory
+/// (paper Section 3.2).
+///
+/// References returned by a level scanner are positions into the next level's
+/// arrays; the reference stream emitted by the final level scanner indexes
+/// the values array.
+///
+/// ```
+/// use sam_streams::Ref;
+/// assert_eq!(Ref(7).index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Ref(pub u32);
+
+impl Ref {
+    /// The reference as a usable array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Ref {
+    fn from(v: u32) -> Self {
+        Ref(v)
+    }
+}
+
+impl From<usize> for Ref {
+    fn from(v: usize) -> Self {
+        Ref(v as u32)
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A scalar tensor value transmitted on a value stream.
+///
+/// Values use `f64` arithmetic; equality in tests uses an epsilon via
+/// [`Val::approx_eq`].
+///
+/// ```
+/// use sam_streams::Val;
+/// assert!(Val(1.0).approx_eq(Val(1.0 + 1e-12)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Val(pub f64);
+
+impl Val {
+    /// Numerically tolerant equality used by functional-correctness checks.
+    pub fn approx_eq(self, other: Val) -> bool {
+        let scale = self.0.abs().max(other.0.abs()).max(1.0);
+        (self.0 - other.0).abs() <= 1e-9 * scale
+    }
+
+    /// True when the value is exactly zero (used by coordinate droppers).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl From<f64> for Val {
+    fn from(v: f64) -> Self {
+        Val(v)
+    }
+}
+
+impl std::ops::Add for Val {
+    type Output = Val;
+    fn add(self, rhs: Val) -> Val {
+        Val(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Val {
+    type Output = Val;
+    fn sub(self, rhs: Val) -> Val {
+        Val(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul for Val {
+    type Output = Val;
+    fn mul(self, rhs: Val) -> Val {
+        Val(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A bitvector token covering `width` coordinates starting at coordinate
+/// `base` (paper Section 4.3).
+///
+/// Bit `i` of `bits` is set when coordinate `base + i` has a nonempty
+/// sub-tree. The paper's bitvector converter packs `b` coordinates into one
+/// such token, which lets downstream merge blocks process `b` positions per
+/// cycle.
+///
+/// ```
+/// use sam_streams::BitVec;
+/// let bv = BitVec::from_coords(0, 4, [0u32, 2u32]);
+/// assert_eq!(bv.popcount(), 2);
+/// assert!(bv.is_set(0) && !bv.is_set(1) && bv.is_set(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitVec {
+    /// First coordinate covered by this token.
+    pub base: u32,
+    /// Number of coordinates covered (at most 64).
+    pub width: u8,
+    /// Occupancy bits; bit `i` corresponds to coordinate `base + i`.
+    pub bits: u64,
+}
+
+impl BitVec {
+    /// Builds a bitvector token covering `[base, base + width)` from the
+    /// coordinates in `coords` that fall inside that window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn from_coords<I>(base: u32, width: u8, coords: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        assert!(width > 0 && width <= 64, "bitvector width must be in 1..=64");
+        let mut bits = 0u64;
+        for c in coords {
+            if c >= base && c < base + width as u32 {
+                bits |= 1u64 << (c - base);
+            }
+        }
+        BitVec { base, width, bits }
+    }
+
+    /// Number of occupied coordinates in this token.
+    pub fn popcount(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether coordinate `crd` is occupied. Coordinates outside the window
+    /// are reported as unoccupied.
+    pub fn is_set(&self, crd: u32) -> bool {
+        if crd < self.base || crd >= self.base + self.width as u32 {
+            return false;
+        }
+        (self.bits >> (crd - self.base)) & 1 == 1
+    }
+
+    /// Iterator over the occupied coordinates, in increasing order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = u32> + '_ {
+        let base = self.base;
+        let bits = self.bits;
+        (0..self.width as u32).filter_map(move |i| if (bits >> i) & 1 == 1 { Some(base + i) } else { None })
+    }
+
+    /// Bitwise intersection of two aligned tokens (same base and width).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tokens are not aligned.
+    pub fn intersect(&self, other: &BitVec) -> BitVec {
+        assert_eq!((self.base, self.width), (other.base, other.width), "misaligned bitvector tokens");
+        BitVec { base: self.base, width: self.width, bits: self.bits & other.bits }
+    }
+
+    /// Bitwise union of two aligned tokens (same base and width).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tokens are not aligned.
+    pub fn union(&self, other: &BitVec) -> BitVec {
+        assert_eq!((self.base, self.width), (other.base, other.width), "misaligned bitvector tokens");
+        BitVec { base: self.base, width: self.width, bits: self.bits | other.bits }
+    }
+
+    /// True when no coordinate in the window is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bv@{}[", self.base)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crd_and_ref_roundtrip() {
+        assert_eq!(Crd::from(5u32).index(), 5);
+        assert_eq!(Ref::from(9usize).index(), 9);
+        assert_eq!(format!("{}", Crd(3)), "3");
+        assert_eq!(format!("{}", Ref(4)), "4");
+    }
+
+    #[test]
+    fn val_arithmetic() {
+        assert_eq!(Val(2.0) + Val(3.0), Val(5.0));
+        assert_eq!(Val(2.0) * Val(3.0), Val(6.0));
+        assert_eq!(Val(2.0) - Val(3.0), Val(-1.0));
+        assert!(Val(0.0).is_zero());
+        assert!(!Val(0.5).is_zero());
+    }
+
+    #[test]
+    fn val_approx_eq_scales() {
+        assert!(Val(1e12).approx_eq(Val(1e12 + 1e-3)));
+        assert!(!Val(1.0).approx_eq(Val(1.1)));
+    }
+
+    #[test]
+    fn bitvec_from_coords_and_queries() {
+        let bv = BitVec::from_coords(4, 8, [4u32, 6, 11, 20]);
+        assert_eq!(bv.popcount(), 3);
+        assert!(bv.is_set(4));
+        assert!(bv.is_set(6));
+        assert!(bv.is_set(11));
+        assert!(!bv.is_set(5));
+        assert!(!bv.is_set(20));
+        assert_eq!(bv.iter_coords().collect::<Vec<_>>(), vec![4, 6, 11]);
+    }
+
+    #[test]
+    fn bitvec_set_ops() {
+        let a = BitVec::from_coords(0, 8, [0u32, 2, 4]);
+        let b = BitVec::from_coords(0, 8, [2u32, 3, 4]);
+        assert_eq!(a.intersect(&b).iter_coords().collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(a.union(&b).iter_coords().collect::<Vec<_>>(), vec![0, 2, 3, 4]);
+        assert!(!a.is_empty());
+        assert!(BitVec::from_coords(0, 8, std::iter::empty::<u32>()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn bitvec_misaligned_intersect_panics() {
+        let a = BitVec::from_coords(0, 8, [0u32]);
+        let b = BitVec::from_coords(8, 8, [8u32]);
+        let _ = a.intersect(&b);
+    }
+
+    #[test]
+    fn bitvec_display() {
+        let bv = BitVec::from_coords(0, 4, [0u32, 2]);
+        assert_eq!(format!("{bv}"), "bv@0[0101]");
+    }
+}

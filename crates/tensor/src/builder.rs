@@ -1,0 +1,240 @@
+//! Construction of fibertrees from coordinate lists.
+
+use crate::coo::CooTensor;
+use crate::format::{LevelFormat, TensorFormat};
+use crate::level::{BitvectorLevel, CompressedLevel, DenseLevel, Level};
+use crate::tensor::Tensor;
+
+/// Builds [`Tensor`] fibertrees from [`CooTensor`] staging data and a
+/// [`TensorFormat`].
+///
+/// The builder walks the sorted, deduplicated coordinate list level by level
+/// in storage order, partitioning the points of each parent fiber into child
+/// fibers. Dense levels materialize every coordinate (including empty
+/// sub-trees); compressed and bitvector levels store only nonempty children.
+///
+/// ```
+/// use sam_tensor::{CooTensor, TensorBuilder, TensorFormat};
+/// let coo = CooTensor::from_entries(
+///     vec![4, 4],
+///     vec![(vec![0, 1], 1.0), (vec![1, 0], 2.0), (vec![1, 2], 3.0), (vec![3, 1], 4.0), (vec![3, 3], 5.0)],
+/// ).unwrap();
+/// let b = TensorBuilder::new(TensorFormat::dcsr()).build("B", &coo);
+/// assert_eq!(b.nnz(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorBuilder {
+    format: TensorFormat,
+}
+
+impl TensorBuilder {
+    /// Creates a builder for the given format.
+    pub fn new(format: TensorFormat) -> Self {
+        TensorBuilder { format }
+    }
+
+    /// The format this builder produces.
+    pub fn format(&self) -> &TensorFormat {
+        &self.format
+    }
+
+    /// Builds a named fibertree from COO data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the COO order does not match the format order.
+    pub fn build(&self, name: &str, coo: &CooTensor) -> Tensor {
+        assert_eq!(
+            coo.order(),
+            self.format.order(),
+            "tensor order {} does not match format order {}",
+            coo.order(),
+            self.format.order()
+        );
+        let mode_order = self.format.mode_order().to_vec();
+        let points = coo.canonicalized(&mode_order);
+        let storage_shape = coo.permuted_shape(&mode_order);
+
+        // Each fiber is a half-open range into `points` of entries that share
+        // the fiber's position prefix. The root has a single fiber covering
+        // all points.
+        let mut fibers: Vec<(usize, usize)> = vec![(0, points.len())];
+        let mut levels = Vec::with_capacity(self.format.order());
+
+        for (depth, (&fmt, &dim)) in self.format.levels().iter().zip(&storage_shape).enumerate() {
+            let mut next_fibers = Vec::new();
+            let level = match fmt {
+                LevelFormat::Dense => {
+                    for &(start, end) in &fibers {
+                        let mut cursor = start;
+                        for c in 0..dim as u32 {
+                            let child_start = cursor;
+                            while cursor < end && points[cursor].0[depth] == c {
+                                cursor += 1;
+                            }
+                            next_fibers.push((child_start, cursor));
+                        }
+                        debug_assert_eq!(cursor, end, "points outside dimension bound");
+                    }
+                    Level::Dense(DenseLevel::new(dim, fibers.len()))
+                }
+                LevelFormat::Compressed => {
+                    let mut builder = CompressedLevel::builder(dim);
+                    for &(start, end) in &fibers {
+                        let mut cursor = start;
+                        while cursor < end {
+                            let c = points[cursor].0[depth];
+                            let child_start = cursor;
+                            while cursor < end && points[cursor].0[depth] == c {
+                                cursor += 1;
+                            }
+                            builder.push_coord(c);
+                            next_fibers.push((child_start, cursor));
+                        }
+                        builder.end_fiber();
+                    }
+                    Level::Compressed(builder.finish())
+                }
+                LevelFormat::Bitvector { word_width } => {
+                    let mut fiber_coords = Vec::with_capacity(fibers.len());
+                    for &(start, end) in &fibers {
+                        let mut coords = Vec::new();
+                        let mut cursor = start;
+                        while cursor < end {
+                            let c = points[cursor].0[depth];
+                            let child_start = cursor;
+                            while cursor < end && points[cursor].0[depth] == c {
+                                cursor += 1;
+                            }
+                            coords.push(c);
+                            next_fibers.push((child_start, cursor));
+                        }
+                        fiber_coords.push(coords);
+                    }
+                    Level::Bitvector(BitvectorLevel::from_fibers(dim, word_width, &fiber_coords))
+                }
+            };
+            levels.push(level);
+            fibers = next_fibers;
+        }
+
+        // Each leaf fiber holds at most one (deduplicated) point; empty leaf
+        // fibers from dense levels become explicit zeros.
+        let vals: Vec<f64> = fibers
+            .iter()
+            .map(|&(start, end)| {
+                debug_assert!(end - start <= 1, "leaf fiber should hold at most one point");
+                if end > start {
+                    points[start].1
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        Tensor::from_parts(name, coo.shape().to_vec(), self.format.clone(), levels, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_coo() -> CooTensor {
+        CooTensor::from_entries(
+            vec![4, 4],
+            vec![
+                (vec![0, 1], 1.0),
+                (vec![1, 0], 2.0),
+                (vec![1, 2], 3.0),
+                (vec![3, 1], 4.0),
+                (vec![3, 3], 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dcsr_matches_figure1c() {
+        let t = TensorBuilder::new(TensorFormat::dcsr()).build("B", &figure1_coo());
+        match t.level(0) {
+            Level::Compressed(l) => {
+                assert_eq!(l.seg, vec![0, 3]);
+                assert_eq!(l.crd, vec![0, 1, 3]);
+            }
+            other => panic!("expected compressed level, got {other:?}"),
+        }
+        match t.level(1) {
+            Level::Compressed(l) => {
+                assert_eq!(l.seg, vec![0, 1, 3, 5]);
+                assert_eq!(l.crd, vec![1, 0, 2, 1, 3]);
+            }
+            other => panic!("expected compressed level, got {other:?}"),
+        }
+        assert_eq!(t.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn csr_has_dense_rows() {
+        let t = TensorBuilder::new(TensorFormat::csr()).build("B", &figure1_coo());
+        match t.level(0) {
+            Level::Dense(l) => {
+                assert_eq!(l.size, 4);
+                assert_eq!(l.num_fibers, 1);
+            }
+            other => panic!("expected dense level, got {other:?}"),
+        }
+        match t.level(1) {
+            Level::Compressed(l) => {
+                // Row 2 is empty so its segment repeats.
+                assert_eq!(l.seg, vec![0, 1, 3, 3, 5]);
+                assert_eq!(l.crd, vec![1, 0, 2, 1, 3]);
+            }
+            other => panic!("expected compressed level, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csc_transposes() {
+        let t = TensorBuilder::new(TensorFormat::dcsc()).build("B", &figure1_coo());
+        // Column-major: columns 0,1,2,3 -> nonempty columns 0,1,2,3 minus col with no nonzeros.
+        match t.level(0) {
+            Level::Compressed(l) => assert_eq!(l.crd, vec![0, 1, 2, 3]),
+            other => panic!("expected compressed level, got {other:?}"),
+        }
+        // Values appear in column-major order.
+        assert_eq!(t.vals(), &[2.0, 1.0, 4.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn dense_format_fills_zeros() {
+        let t = TensorBuilder::new(TensorFormat::dense(2)).build("B", &figure1_coo());
+        assert_eq!(t.vals().len(), 16);
+        assert_eq!(t.vals()[1], 1.0); // (0,1)
+        assert_eq!(t.vals()[4], 2.0); // (1,0)
+        assert_eq!(t.vals()[15], 5.0); // (3,3)
+        assert_eq!(t.vals()[0], 0.0);
+    }
+
+    #[test]
+    fn bitvector_format_matches_compressed_value_order() {
+        let fmt = TensorFormat::new(vec![LevelFormat::Compressed, LevelFormat::bitvector()]);
+        let t = TensorBuilder::new(fmt).build("B", &figure1_coo());
+        assert_eq!(t.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.level(1).num_children(), 5);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let coo = CooTensor::from_entries(vec![2, 2], vec![(vec![0, 0], 1.0), (vec![0, 0], 2.5)]).unwrap();
+        let t = TensorBuilder::new(TensorFormat::dcsr()).build("A", &coo);
+        assert_eq!(t.vals(), &[3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match format order")]
+    fn order_mismatch_panics() {
+        let coo = CooTensor::new(vec![2, 2, 2]);
+        let _ = TensorBuilder::new(TensorFormat::dcsr()).build("A", &coo);
+    }
+}

@@ -1,0 +1,428 @@
+//! The tensor index notation expression AST.
+//!
+//! This AST is shared between the dense [`crate::reference`] evaluator (the
+//! correctness oracle) and the Custard compiler, which parses the textual
+//! notation into [`Assignment`] values and lowers them to SAM graphs.
+//!
+//! Reductions are explicit [`Expr::Reduce`] nodes so that expressions such as
+//! `x(i) = b(i) - sum_j C(i,j)*d(j)` are unambiguous.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An index variable (`i`, `j`, `k`, ...).
+pub type IndexVar = char;
+
+/// A tensor algebra expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A tensor access such as `B(i,k)`. A zero-index access is a scalar
+    /// tensor.
+    Access {
+        /// Tensor name.
+        tensor: String,
+        /// Index variables, one per mode.
+        indices: Vec<IndexVar>,
+    },
+    /// A literal scalar constant.
+    Literal(f64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Summation reduction over the given index variables.
+    Reduce {
+        /// Reduced index variables.
+        vars: Vec<IndexVar>,
+        /// Reduced sub-expression.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// A tensor access; `indices` is given as a string of index variables
+    /// (e.g. `"ik"`).
+    pub fn access(tensor: &str, indices: &str) -> Expr {
+        Expr::Access { tensor: tensor.to_string(), indices: indices.chars().collect() }
+    }
+
+    /// A scalar literal.
+    pub fn lit(value: f64) -> Expr {
+        Expr::Literal(value)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Sums `self` over the index variables in `vars` (e.g. `"jk"`).
+    pub fn reduce(self, vars: &str) -> Expr {
+        Expr::Reduce { vars: vars.chars().collect(), body: Box::new(self) }
+    }
+
+    /// All index variables appearing anywhere in the expression (sorted).
+    pub fn index_vars(&self) -> Vec<IndexVar> {
+        let mut set = BTreeSet::new();
+        self.collect_index_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_index_vars(&self, out: &mut BTreeSet<IndexVar>) {
+        match self {
+            Expr::Access { indices, .. } => out.extend(indices.iter().copied()),
+            Expr::Literal(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_index_vars(out);
+                b.collect_index_vars(out);
+            }
+            Expr::Reduce { vars, body } => {
+                out.extend(vars.iter().copied());
+                body.collect_index_vars(out);
+            }
+        }
+    }
+
+    /// Index variables reduced somewhere in the expression (sorted).
+    pub fn reduced_vars(&self) -> Vec<IndexVar> {
+        let mut set = BTreeSet::new();
+        self.collect_reduced_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_reduced_vars(&self, out: &mut BTreeSet<IndexVar>) {
+        match self {
+            Expr::Access { .. } | Expr::Literal(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_reduced_vars(out);
+                b.collect_reduced_vars(out);
+            }
+            Expr::Reduce { vars, body } => {
+                out.extend(vars.iter().copied());
+                body.collect_reduced_vars(out);
+            }
+        }
+    }
+
+    /// All tensor accesses, left to right.
+    pub fn accesses(&self) -> Vec<(&str, &[IndexVar])> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<(&'a str, &'a [IndexVar])>) {
+        match self {
+            Expr::Access { tensor, indices } => out.push((tensor.as_str(), indices.as_slice())),
+            Expr::Literal(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_accesses(out);
+                b.collect_accesses(out);
+            }
+            Expr::Reduce { body, .. } => body.collect_accesses(out),
+        }
+    }
+
+    /// True when the expression contains any addition or subtraction.
+    pub fn has_additive_op(&self) -> bool {
+        match self {
+            Expr::Access { .. } | Expr::Literal(_) => false,
+            Expr::Add(..) | Expr::Sub(..) => true,
+            Expr::Mul(a, b) => a.has_additive_op() || b.has_additive_op(),
+            Expr::Reduce { body, .. } => body.has_additive_op(),
+        }
+    }
+
+    /// True when the expression contains any multiplication.
+    pub fn has_multiplicative_op(&self) -> bool {
+        match self {
+            Expr::Access { .. } | Expr::Literal(_) => false,
+            Expr::Mul(..) => true,
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.has_multiplicative_op() || b.has_multiplicative_op(),
+            Expr::Reduce { body, .. } => body.has_multiplicative_op(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Access { tensor, indices } => {
+                write!(f, "{tensor}(")?;
+                for (i, v) in indices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Reduce { vars, body } => {
+                write!(f, "sum_")?;
+                for v in vars {
+                    write!(f, "{v}")?;
+                }
+                write!(f, "({body})")
+            }
+        }
+    }
+}
+
+/// A full tensor index notation statement `X(i,j) = rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Result tensor name.
+    pub target: String,
+    /// Result index variables (may be empty for a scalar result).
+    pub target_indices: Vec<IndexVar>,
+    /// Right-hand-side expression.
+    pub rhs: Expr,
+}
+
+impl Assignment {
+    /// Creates an assignment; `target_indices` is a string of index
+    /// variables (e.g. `"ij"`, or `""` for a scalar result).
+    pub fn new(target: &str, target_indices: &str, rhs: Expr) -> Self {
+        Assignment {
+            target: target.to_string(),
+            target_indices: target_indices.chars().collect(),
+            rhs,
+        }
+    }
+
+    /// Every index variable in the statement: target indices first (in
+    /// order), then the remaining right-hand-side variables sorted.
+    pub fn all_index_vars(&self) -> Vec<IndexVar> {
+        let mut vars = self.target_indices.clone();
+        for v in self.rhs.index_vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars
+    }
+
+    /// Index variables that are reduced (appear on the right-hand side but
+    /// not in the target).
+    pub fn reduction_vars(&self) -> Vec<IndexVar> {
+        self.rhs
+            .index_vars()
+            .into_iter()
+            .filter(|v| !self.target_indices.contains(v))
+            .collect()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.target)?;
+        for (i, v) in self.target_indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") = {}", self.rhs)
+    }
+}
+
+/// Pre-built assignments for the paper's Table 1 expressions.
+pub mod table1 {
+    use super::{Assignment, Expr};
+
+    /// SpMV: `x(i) = sum_j B(i,j) * c(j)`.
+    pub fn spmv() -> Assignment {
+        Assignment::new("x", "i", Expr::access("B", "ij").mul(Expr::access("c", "j")).reduce("j"))
+    }
+
+    /// SpM*SpM: `X(i,j) = sum_k B(i,k) * C(k,j)`.
+    pub fn spmm() -> Assignment {
+        Assignment::new("X", "ij", Expr::access("B", "ik").mul(Expr::access("C", "kj")).reduce("k"))
+    }
+
+    /// SDDMM: `X(i,j) = sum_k B(i,j) * C(i,k) * D(j,k)`.
+    pub fn sddmm() -> Assignment {
+        Assignment::new(
+            "X",
+            "ij",
+            Expr::access("B", "ij")
+                .mul(Expr::access("C", "ik").mul(Expr::access("D", "jk")).reduce("k")),
+        )
+    }
+
+    /// Inner product of two order-3 tensors: `chi = sum_ijk B(i,j,k) * C(i,j,k)`.
+    pub fn inner_prod() -> Assignment {
+        Assignment::new(
+            "chi",
+            "",
+            Expr::access("B", "ijk").mul(Expr::access("C", "ijk")).reduce("ijk"),
+        )
+    }
+
+    /// TTV: `X(i,j) = sum_k B(i,j,k) * c(k)`.
+    pub fn ttv() -> Assignment {
+        Assignment::new("X", "ij", Expr::access("B", "ijk").mul(Expr::access("c", "k")).reduce("k"))
+    }
+
+    /// TTM: `X(i,j,k) = sum_l B(i,j,l) * C(k,l)`.
+    pub fn ttm() -> Assignment {
+        Assignment::new(
+            "X",
+            "ijk",
+            Expr::access("B", "ijl").mul(Expr::access("C", "kl")).reduce("l"),
+        )
+    }
+
+    /// MTTKRP: `X(i,j) = sum_kl B(i,k,l) * C(j,k) * D(j,l)`.
+    pub fn mttkrp() -> Assignment {
+        Assignment::new(
+            "X",
+            "ij",
+            Expr::access("B", "ikl")
+                .mul(Expr::access("C", "jk"))
+                .mul(Expr::access("D", "jl"))
+                .reduce("kl"),
+        )
+    }
+
+    /// Residual: `x(i) = b(i) - sum_j C(i,j) * d(j)`.
+    pub fn residual() -> Assignment {
+        Assignment::new(
+            "x",
+            "i",
+            Expr::access("b", "i").sub(Expr::access("C", "ij").mul(Expr::access("d", "j")).reduce("j")),
+        )
+    }
+
+    /// MatTransMul: `x(i) = sum_j alpha * B(j,i) * c(j) + beta * d(i)`.
+    pub fn mat_trans_mul() -> Assignment {
+        Assignment::new(
+            "x",
+            "i",
+            Expr::access("alpha", "")
+                .mul(Expr::access("B", "ji"))
+                .mul(Expr::access("c", "j"))
+                .reduce("j")
+                .add(Expr::access("beta", "").mul(Expr::access("d", "i"))),
+        )
+    }
+
+    /// MMAdd: `X(i,j) = B(i,j) + C(i,j)`.
+    pub fn mm_add() -> Assignment {
+        Assignment::new("X", "ij", Expr::access("B", "ij").add(Expr::access("C", "ij")))
+    }
+
+    /// Plus3: `X(i,j) = B(i,j) + C(i,j) + D(i,j)`.
+    pub fn plus3() -> Assignment {
+        Assignment::new(
+            "X",
+            "ij",
+            Expr::access("B", "ij").add(Expr::access("C", "ij")).add(Expr::access("D", "ij")),
+        )
+    }
+
+    /// Plus2 (order-3 addition): `X(i,j,k) = B(i,j,k) + C(i,j,k)`.
+    pub fn plus2() -> Assignment {
+        Assignment::new("X", "ijk", Expr::access("B", "ijk").add(Expr::access("C", "ijk")))
+    }
+
+    /// Matrix identity: `X(i,j) = B(i,j)` (used in the Figure 14 study).
+    pub fn identity() -> Assignment {
+        Assignment::new("X", "ij", Expr::access("B", "ij"))
+    }
+
+    /// Element-wise vector multiplication `x(i) = b(i) * c(i)`
+    /// (the Figure 13 kernel).
+    pub fn vec_elem_mul() -> Assignment {
+        Assignment::new("x", "i", Expr::access("b", "i").mul(Expr::access("c", "i")))
+    }
+
+    /// Element-wise vector addition `x(i) = b(i) + c(i)` (the Figure 5 kernel).
+    pub fn vec_elem_add() -> Assignment {
+        Assignment::new("x", "i", Expr::access("b", "i").add(Expr::access("c", "i")))
+    }
+
+    /// All Table 1 rows, in paper order, with their display names.
+    pub fn all() -> Vec<(&'static str, Assignment)> {
+        vec![
+            ("SpMV", spmv()),
+            ("SpM*SpM", spmm()),
+            ("SDDMM", sddmm()),
+            ("InnerProd", inner_prod()),
+            ("TTV", ttv()),
+            ("TTM", ttm()),
+            ("MTTKRP", mttkrp()),
+            ("Residual", residual()),
+            ("MatTransMul", mat_trans_mul()),
+            ("MMAdd", mm_add()),
+            ("Plus3", plus3()),
+            ("Plus2", plus2()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_var_collection() {
+        let a = table1::spmm();
+        assert_eq!(a.all_index_vars(), vec!['i', 'j', 'k']);
+        assert_eq!(a.reduction_vars(), vec!['k']);
+        assert_eq!(a.rhs.index_vars(), vec!['i', 'j', 'k']);
+        assert_eq!(a.rhs.reduced_vars(), vec!['k']);
+    }
+
+    #[test]
+    fn accesses_in_order() {
+        let a = table1::sddmm();
+        let names: Vec<&str> = a.rhs.accesses().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["B", "C", "D"]);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(table1::residual().rhs.has_additive_op());
+        assert!(table1::residual().rhs.has_multiplicative_op());
+        assert!(!table1::mm_add().rhs.has_multiplicative_op());
+        assert!(!table1::spmm().rhs.has_additive_op());
+        assert!(!Expr::lit(3.0).has_additive_op());
+    }
+
+    #[test]
+    fn scalar_result() {
+        let a = table1::inner_prod();
+        assert!(a.target_indices.is_empty());
+        assert_eq!(a.reduction_vars(), vec!['i', 'j', 'k']);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(table1::spmv().to_string(), "x(i) = sum_j((B(i,j) * c(j)))");
+        assert_eq!(table1::mm_add().to_string(), "X(i,j) = (B(i,j) + C(i,j))");
+        assert!(table1::mat_trans_mul().to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn table1_has_twelve_rows() {
+        assert_eq!(table1::all().len(), 12);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sam-tensor
+//!
+//! The tensor data substrate of the Sparse Abstract Machine reproduction.
+//!
+//! The paper's data model (Section 3.1) views every tensor as a *fibertree*:
+//! a trie whose levels correspond to tensor dimensions and whose fibers hold
+//! the coordinates of children with nonzero sub-trees. Fibertrees can be
+//! stored in memory level-by-level with a per-level storage format
+//! (uncompressed/dense, compressed, or bitvector) and transmitted level-by-
+//! level through SAM streams.
+//!
+//! This crate provides:
+//!
+//! * [`CooTensor`] — a sorted coordinate-list staging representation,
+//! * [`Level`] and the concrete level storages ([`DenseLevel`],
+//!   [`CompressedLevel`], [`BitvectorLevel`]),
+//! * [`Tensor`] — an in-memory fibertree (shape, mode order, levels, values),
+//! * [`TensorFormat`] / [`LevelFormat`] — the format language (per-mode
+//!   storage plus mode ordering) mirroring TACO's format abstraction,
+//! * [`DenseTensor`] and [`reference`] — a dense reference evaluator used as
+//!   the functional-correctness oracle for every kernel and experiment,
+//! * [`expr`] — the tensor-index-notation expression AST shared with the
+//!   Custard compiler, and
+//! * [`synth`] / [`suitesparse`] — synthetic workload generators (uniform
+//!   random, `runs`, `blocks`, ExTensor-style constant-nnz matrices) and the
+//!   Table 3 SuiteSparse-like matrix catalog.
+
+pub mod builder;
+pub mod coo;
+pub mod dense;
+pub mod expr;
+pub mod format;
+pub mod level;
+pub mod reference;
+pub mod suitesparse;
+pub mod synth;
+pub mod tensor;
+
+pub use builder::TensorBuilder;
+pub use coo::CooTensor;
+pub use dense::DenseTensor;
+pub use format::{LevelFormat, TensorFormat};
+pub use level::{BitvectorLevel, CompressedLevel, DenseLevel, Level};
+pub use tensor::Tensor;

@@ -1,0 +1,357 @@
+//! Dense reference evaluator: the functional-correctness oracle.
+//!
+//! Every simulated SAM graph in this repository is checked against this
+//! evaluator, which interprets [`Assignment`] ASTs directly over dense
+//! tensors. It is deliberately simple (nested loops over full index ranges)
+//! so that its correctness is easy to audit.
+
+use crate::dense::DenseTensor;
+use crate::expr::{Assignment, Expr, IndexVar};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An error produced while evaluating an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A tensor named in the expression is not present in the environment.
+    UnknownTensor(String),
+    /// An index variable has no known dimension size.
+    UnknownIndexVar(IndexVar),
+    /// A tensor is accessed with the wrong number of indices.
+    RankMismatch {
+        /// Tensor name.
+        tensor: String,
+        /// Rank implied by the access.
+        access_rank: usize,
+        /// Actual tensor rank.
+        tensor_rank: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownTensor(name) => write!(f, "unknown tensor `{name}`"),
+            EvalError::UnknownIndexVar(v) => write!(f, "unknown index variable `{v}`"),
+            EvalError::RankMismatch { tensor, access_rank, tensor_rank } => write!(
+                f,
+                "tensor `{tensor}` of rank {tensor_rank} accessed with {access_rank} indices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation environment: named dense tensors plus index-variable
+/// dimension sizes.
+///
+/// ```
+/// use sam_tensor::reference::Environment;
+/// use sam_tensor::expr::table1;
+/// use sam_tensor::DenseTensor;
+///
+/// let mut env = Environment::new();
+/// env.insert("B", DenseTensor::from_data(vec![2, 2], vec![1.0, 0.0, 0.0, 2.0]));
+/// env.insert("c", DenseTensor::from_data(vec![2], vec![3.0, 4.0]));
+/// env.bind_dims(&table1::spmv(), &[('i', 2), ('j', 2)]);
+/// let x = env.evaluate(&table1::spmv()).unwrap();
+/// assert_eq!(x.data(), &[3.0, 8.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    tensors: BTreeMap<String, DenseTensor>,
+    dims: BTreeMap<IndexVar, usize>,
+}
+
+impl Environment {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Adds (or replaces) a named tensor.
+    pub fn insert(&mut self, name: &str, tensor: DenseTensor) {
+        self.tensors.insert(name.to_string(), tensor);
+    }
+
+    /// Adds a scalar as a rank-0-like 1-element tensor accessed with no
+    /// indices.
+    pub fn insert_scalar(&mut self, name: &str, value: f64) {
+        self.tensors.insert(name.to_string(), DenseTensor::from_data(vec![1], vec![value]));
+    }
+
+    /// Sets the dimension size of one index variable.
+    pub fn set_dim(&mut self, var: IndexVar, size: usize) {
+        self.dims.insert(var, size);
+    }
+
+    /// Looks up a tensor.
+    pub fn tensor(&self, name: &str) -> Option<&DenseTensor> {
+        self.tensors.get(name)
+    }
+
+    /// The dimension size bound to an index variable, if any.
+    pub fn dim(&self, var: IndexVar) -> Option<usize> {
+        self.dims.get(&var).copied()
+    }
+
+    /// Binds explicit dimensions and then infers any remaining index-variable
+    /// dimensions from the shapes of the assignment's operand tensors.
+    pub fn bind_dims(&mut self, assignment: &Assignment, explicit: &[(IndexVar, usize)]) {
+        for &(v, d) in explicit {
+            self.set_dim(v, d);
+        }
+        for (name, indices) in assignment.rhs.accesses() {
+            if let Some(t) = self.tensors.get(name) {
+                for (pos, &var) in indices.iter().enumerate() {
+                    if pos < t.shape().len() {
+                        self.dims.entry(var).or_insert(t.shape()[pos]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates the assignment, producing a dense result tensor whose shape
+    /// follows the target index variables (or shape `[1]` for a scalar
+    /// target).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a tensor or index-variable binding is missing or
+    /// an access rank does not match the stored tensor.
+    pub fn evaluate(&self, assignment: &Assignment) -> Result<DenseTensor, EvalError> {
+        let mut out_shape = Vec::new();
+        for &v in &assignment.target_indices {
+            out_shape.push(self.dims.get(&v).copied().ok_or(EvalError::UnknownIndexVar(v))?);
+        }
+        if out_shape.is_empty() {
+            out_shape.push(1);
+        }
+        let mut out = DenseTensor::zeros(out_shape);
+
+        let mut bound = BTreeMap::new();
+        self.fill_output(assignment, &mut bound, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn fill_output(
+        &self,
+        assignment: &Assignment,
+        bound: &mut BTreeMap<IndexVar, u32>,
+        depth: usize,
+        out: &mut DenseTensor,
+    ) -> Result<(), EvalError> {
+        if depth == assignment.target_indices.len() {
+            let value = self.eval_expr(&assignment.rhs, bound)?;
+            let point: Vec<u32> = if assignment.target_indices.is_empty() {
+                vec![0]
+            } else {
+                assignment.target_indices.iter().map(|v| bound[v]).collect()
+            };
+            *out.at_mut(&point) += value;
+            return Ok(());
+        }
+        let var = assignment.target_indices[depth];
+        let size = self.dims.get(&var).copied().ok_or(EvalError::UnknownIndexVar(var))?;
+        for c in 0..size as u32 {
+            bound.insert(var, c);
+            self.fill_output(assignment, bound, depth + 1, out)?;
+        }
+        bound.remove(&var);
+        Ok(())
+    }
+
+    fn eval_expr(&self, expr: &Expr, bound: &BTreeMap<IndexVar, u32>) -> Result<f64, EvalError> {
+        match expr {
+            Expr::Literal(v) => Ok(*v),
+            Expr::Access { tensor, indices } => {
+                let t = self.tensors.get(tensor).ok_or_else(|| EvalError::UnknownTensor(tensor.clone()))?;
+                if indices.is_empty() {
+                    // Scalar tensor stored as a single-element vector.
+                    return Ok(t.data()[0]);
+                }
+                if indices.len() != t.order() {
+                    return Err(EvalError::RankMismatch {
+                        tensor: tensor.clone(),
+                        access_rank: indices.len(),
+                        tensor_rank: t.order(),
+                    });
+                }
+                let mut point = Vec::with_capacity(indices.len());
+                for v in indices {
+                    let c = bound.get(v).copied().ok_or(EvalError::UnknownIndexVar(*v))?;
+                    point.push(c);
+                }
+                Ok(t.at(&point))
+            }
+            Expr::Add(a, b) => Ok(self.eval_expr(a, bound)? + self.eval_expr(b, bound)?),
+            Expr::Sub(a, b) => Ok(self.eval_expr(a, bound)? - self.eval_expr(b, bound)?),
+            Expr::Mul(a, b) => Ok(self.eval_expr(a, bound)? * self.eval_expr(b, bound)?),
+            Expr::Reduce { vars, body } => {
+                let mut bound = bound.clone();
+                self.eval_reduce(vars, body, &mut bound)
+            }
+        }
+    }
+
+    fn eval_reduce(
+        &self,
+        vars: &[IndexVar],
+        body: &Expr,
+        bound: &mut BTreeMap<IndexVar, u32>,
+    ) -> Result<f64, EvalError> {
+        match vars.split_first() {
+            None => self.eval_expr(body, bound),
+            Some((&v, rest)) => {
+                let size = self.dims.get(&v).copied().ok_or(EvalError::UnknownIndexVar(v))?;
+                let mut acc = 0.0;
+                for c in 0..size as u32 {
+                    bound.insert(v, c);
+                    acc += self.eval_reduce(rest, body, bound)?;
+                }
+                bound.remove(&v);
+                Ok(acc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::table1;
+
+    fn matrix(rows: usize, cols: usize, f: impl Fn(u32, u32) -> f64) -> DenseTensor {
+        DenseTensor::from_fn(vec![rows, cols], |p| f(p[0], p[1]))
+    }
+
+    #[test]
+    fn spmm_matches_manual_matmul() {
+        let b = matrix(3, 4, |i, k| if (i + k) % 2 == 0 { (i + k + 1) as f64 } else { 0.0 });
+        let c = matrix(4, 2, |k, j| (k * 2 + j) as f64);
+        let mut env = Environment::new();
+        env.insert("B", b.clone());
+        env.insert("C", c.clone());
+        env.bind_dims(&table1::spmm(), &[]);
+        let x = env.evaluate(&table1::spmm()).unwrap();
+        for i in 0..3u32 {
+            for j in 0..2u32 {
+                let mut expect = 0.0;
+                for k in 0..4u32 {
+                    expect += b.at(&[i, k]) * c.at(&[k, j]);
+                }
+                assert!((x.at(&[i, j]) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_not_distributed_over_reduction() {
+        // x(i) = b(i) - sum_j C(i,j)*d(j): b must be added once, not J times.
+        let b = DenseTensor::from_data(vec![2], vec![10.0, 20.0]);
+        let c = matrix(2, 3, |i, j| (i + j) as f64);
+        let d = DenseTensor::from_data(vec![3], vec![1.0, 1.0, 1.0]);
+        let mut env = Environment::new();
+        env.insert("b", b);
+        env.insert("C", c);
+        env.insert("d", d);
+        env.bind_dims(&table1::residual(), &[]);
+        let x = env.evaluate(&table1::residual()).unwrap();
+        assert_eq!(x.data(), &[10.0 - 3.0, 20.0 - 6.0]);
+    }
+
+    #[test]
+    fn mat_trans_mul_with_scalars() {
+        let b = matrix(3, 2, |j, i| (j * 2 + i) as f64); // B is J x I, accessed as B(j,i)
+        let c = DenseTensor::from_data(vec![3], vec![1.0, 2.0, 3.0]);
+        let d = DenseTensor::from_data(vec![2], vec![5.0, 7.0]);
+        let mut env = Environment::new();
+        env.insert("B", b.clone());
+        env.insert("c", c.clone());
+        env.insert("d", d.clone());
+        env.insert_scalar("alpha", 2.0);
+        env.insert_scalar("beta", 10.0);
+        env.bind_dims(&table1::mat_trans_mul(), &[]);
+        let x = env.evaluate(&table1::mat_trans_mul()).unwrap();
+        for i in 0..2u32 {
+            let mut expect = 0.0;
+            for j in 0..3u32 {
+                expect += 2.0 * b.at(&[j, i]) * c.at(&[j]);
+            }
+            expect += 10.0 * d.at(&[i]);
+            assert!((x.at(&[i]) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_scalar_result() {
+        let b = DenseTensor::from_fn(vec![2, 2, 2], |p| (p[0] + p[1] + p[2]) as f64);
+        let c = DenseTensor::from_fn(vec![2, 2, 2], |p| (p[0] * p[1] * p[2]) as f64 + 1.0);
+        let mut env = Environment::new();
+        env.insert("B", b.clone());
+        env.insert("C", c.clone());
+        env.bind_dims(&table1::inner_prod(), &[]);
+        let chi = env.evaluate(&table1::inner_prod()).unwrap();
+        let mut expect = 0.0;
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for k in 0..2u32 {
+                    expect += b.at(&[i, j, k]) * c.at(&[i, j, k]);
+                }
+            }
+        }
+        assert_eq!(chi.shape(), &[1]);
+        assert!((chi.data()[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_tensor_and_dim_errors() {
+        let env = Environment::new();
+        let err = env.evaluate(&table1::spmv()).unwrap_err();
+        assert!(matches!(err, EvalError::UnknownIndexVar(_)));
+
+        let mut env = Environment::new();
+        env.insert("B", matrix(2, 2, |_, _| 1.0));
+        env.bind_dims(&table1::spmv(), &[]);
+        let err = env.evaluate(&table1::spmv()).unwrap_err();
+        assert_eq!(err, EvalError::UnknownTensor("c".to_string()));
+        assert!(err.to_string().contains("unknown tensor"));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut env = Environment::new();
+        env.insert("B", DenseTensor::from_data(vec![2], vec![1.0, 2.0]));
+        env.insert("c", DenseTensor::from_data(vec![2], vec![1.0, 2.0]));
+        env.set_dim('i', 2);
+        env.set_dim('j', 2);
+        let err = env.evaluate(&table1::spmv()).unwrap_err();
+        assert!(matches!(err, EvalError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn mttkrp_small() {
+        let b = DenseTensor::from_fn(vec![2, 2, 2], |p| (p[0] + 2 * p[1] + p[2]) as f64);
+        let c = matrix(3, 2, |j, k| (j + k) as f64);
+        let d = matrix(3, 2, |j, l| (j * l + 1) as f64);
+        let mut env = Environment::new();
+        env.insert("B", b.clone());
+        env.insert("C", c.clone());
+        env.insert("D", d.clone());
+        env.bind_dims(&table1::mttkrp(), &[]);
+        let x = env.evaluate(&table1::mttkrp()).unwrap();
+        for i in 0..2u32 {
+            for j in 0..3u32 {
+                let mut expect = 0.0;
+                for k in 0..2u32 {
+                    for l in 0..2u32 {
+                        expect += b.at(&[i, k, l]) * c.at(&[j, k]) * d.at(&[j, l]);
+                    }
+                }
+                assert!((x.at(&[i, j]) - expect).abs() < 1e-12, "mismatch at ({i},{j})");
+            }
+        }
+    }
+}

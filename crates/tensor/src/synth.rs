@@ -1,0 +1,277 @@
+//! Synthetic workload generators for the evaluation experiments.
+//!
+//! The paper's Section 6.3 and 6.4 studies use synthetic data: uniformly
+//! random sparse matrices and vectors, the `runs` and `blocks` vector
+//! patterns of Figure 17, and the ExTensor-style constant-nnz matrices of
+//! Figure 15. All generators are seeded and deterministic.
+
+use crate::coo::CooTensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Draws a nonzero value in `[0.5, 1.5)`, keeping products well conditioned.
+fn draw_value(rng: &mut StdRng) -> f64 {
+    0.5 + rng.gen::<f64>()
+}
+
+/// A uniformly random sparse vector with exactly `nnz` nonzeros.
+///
+/// # Panics
+///
+/// Panics if `nnz > dim`.
+pub fn random_vector(dim: usize, nnz: usize, seed: u64) -> CooTensor {
+    assert!(nnz <= dim, "cannot place {nnz} nonzeros in a vector of size {dim}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions: Vec<u32> = (0..dim as u32).collect();
+    positions.shuffle(&mut rng);
+    positions.truncate(nnz);
+    positions.sort_unstable();
+    let mut coo = CooTensor::new(vec![dim]);
+    for p in positions {
+        coo.push(&[p], draw_value(&mut rng)).expect("in bounds");
+    }
+    coo
+}
+
+/// A uniformly random sparse matrix with the given fraction of *zero*
+/// entries (e.g. `sparsity = 0.95` keeps roughly 5% of entries).
+pub fn random_matrix_sparsity(rows: usize, cols: usize, sparsity: f64, seed: u64) -> CooTensor {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be a fraction");
+    let nnz = (((rows * cols) as f64) * (1.0 - sparsity)).round() as usize;
+    random_matrix_nnz(rows, cols, nnz, seed)
+}
+
+/// A uniformly random sparse matrix with exactly `nnz` nonzeros, matching
+/// the ExTensor study's "constant number of nonzeros per matrix" setup.
+///
+/// # Panics
+///
+/// Panics if `nnz > rows * cols`.
+pub fn random_matrix_nnz(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooTensor {
+    assert!(nnz <= rows * cols, "cannot place {nnz} nonzeros in a {rows}x{cols} matrix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    if nnz == 0 {
+        return coo;
+    }
+    // Sample distinct flat positions. For low densities rejection sampling is
+    // cheap; fall back to a shuffle when dense.
+    let volume = rows * cols;
+    if nnz * 4 > volume {
+        let mut flats: Vec<usize> = (0..volume).collect();
+        flats.shuffle(&mut rng);
+        flats.truncate(nnz);
+        flats.sort_unstable();
+        for flat in flats {
+            let point = [(flat / cols) as u32, (flat % cols) as u32];
+            coo.push(&point, draw_value(&mut rng)).expect("in bounds");
+        }
+    } else {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < nnz {
+            chosen.insert(rng.gen_range(0..volume));
+        }
+        for flat in chosen {
+            let point = [(flat / cols) as u32, (flat % cols) as u32];
+            coo.push(&point, draw_value(&mut rng)).expect("in bounds");
+        }
+    }
+    coo
+}
+
+/// A uniformly random order-3 tensor with exactly `nnz` nonzeros.
+///
+/// # Panics
+///
+/// Panics if `nnz` exceeds the tensor volume.
+pub fn random_tensor3(dims: [usize; 3], nnz: usize, seed: u64) -> CooTensor {
+    let volume = dims[0] * dims[1] * dims[2];
+    assert!(nnz <= volume, "cannot place {nnz} nonzeros in volume {volume}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < nnz {
+        chosen.insert(rng.gen_range(0..volume));
+    }
+    let mut coo = CooTensor::new(dims.to_vec());
+    for flat in chosen {
+        let k = (flat % dims[2]) as u32;
+        let j = ((flat / dims[2]) % dims[1]) as u32;
+        let i = (flat / (dims[1] * dims[2])) as u32;
+        coo.push(&[i, j, k], draw_value(&mut rng)).expect("in bounds");
+    }
+    coo
+}
+
+/// A fully dense matrix with random values.
+pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> CooTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooTensor::new(vec![rows, cols]);
+    for i in 0..rows as u32 {
+        for j in 0..cols as u32 {
+            coo.push(&[i, j], draw_value(&mut rng)).expect("in bounds");
+        }
+    }
+    coo
+}
+
+/// A pair of vectors following the paper's `runs` pattern (Figure 17): the
+/// two vectors alternate disjoint runs of `run_len` consecutive nonzeros, so
+/// one vector's nonzeros are separated by long stretches of the other's.
+/// Each vector receives `nnz` nonzeros spread over dimension `dim`.
+///
+/// # Panics
+///
+/// Panics if the requested runs cannot fit in the dimension.
+pub fn runs_vector_pair(dim: usize, nnz: usize, run_len: usize, seed: u64) -> (CooTensor, CooTensor) {
+    assert!(run_len > 0, "run length must be positive");
+    assert!(2 * nnz <= dim, "runs pattern needs 2*nnz <= dim");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let runs_per_vec = nnz.div_ceil(run_len);
+    // Each period holds one run of b, one run of c, and an even share of the
+    // leftover slack as a gap.
+    let total_run_space = 2 * nnz;
+    let slack = dim - total_run_space;
+    let gap = slack / (2 * runs_per_vec).max(1);
+    let mut b = CooTensor::new(vec![dim]);
+    let mut c = CooTensor::new(vec![dim]);
+    let mut pos = 0usize;
+    let mut placed_b = 0usize;
+    let mut placed_c = 0usize;
+    while (placed_b < nnz || placed_c < nnz) && pos < dim {
+        for _ in 0..run_len {
+            if placed_b < nnz && pos < dim {
+                b.push(&[pos as u32], draw_value(&mut rng)).expect("in bounds");
+                placed_b += 1;
+                pos += 1;
+            }
+        }
+        pos += gap.min(dim.saturating_sub(pos));
+        for _ in 0..run_len {
+            if placed_c < nnz && pos < dim {
+                c.push(&[pos as u32], draw_value(&mut rng)).expect("in bounds");
+                placed_c += 1;
+                pos += 1;
+            }
+        }
+        pos += gap.min(dim.saturating_sub(pos));
+    }
+    (b, c)
+}
+
+/// A pair of vectors following the paper's `blocks` pattern (Figure 17):
+/// both vectors contain aligned dense blocks of `block_size` nonzeros placed
+/// evenly throughout the dimension, so intersections are dense within
+/// blocks. Each vector receives `nnz` nonzeros.
+///
+/// # Panics
+///
+/// Panics if `nnz > dim` or `block_size` is zero.
+pub fn blocks_vector_pair(dim: usize, nnz: usize, block_size: usize, seed: u64) -> (CooTensor, CooTensor) {
+    assert!(block_size > 0, "block size must be positive");
+    assert!(nnz <= dim, "cannot place {nnz} nonzeros in dimension {dim}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_blocks = nnz.div_ceil(block_size);
+    let stride = dim / num_blocks.max(1);
+    let mut b = CooTensor::new(vec![dim]);
+    let mut c = CooTensor::new(vec![dim]);
+    let mut placed = 0usize;
+    for block in 0..num_blocks {
+        let start = block * stride;
+        for off in 0..block_size {
+            if placed >= nnz || start + off >= dim {
+                break;
+            }
+            let p = (start + off) as u32;
+            b.push(&[p], draw_value(&mut rng)).expect("in bounds");
+            c.push(&[p], draw_value(&mut rng)).expect("in bounds");
+            placed += 1;
+        }
+    }
+    (b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_vector_has_exact_nnz_and_is_deterministic() {
+        let a = random_vector(100, 17, 7);
+        let b = random_vector(100, 17, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.nnz(), 17);
+        assert!(a.entries().iter().all(|(p, v)| p[0] < 100 && *v != 0.0));
+    }
+
+    #[test]
+    fn random_matrix_sparsity_fraction() {
+        let m = random_matrix_sparsity(50, 40, 0.95, 3);
+        let expected = (50.0 * 40.0 * 0.05_f64).round() as usize;
+        assert_eq!(m.nnz(), expected);
+    }
+
+    #[test]
+    fn random_matrix_nnz_exact_both_paths() {
+        // Sparse path (rejection sampling).
+        let sparse = random_matrix_nnz(100, 100, 50, 1);
+        assert_eq!(sparse.nnz(), 50);
+        // Dense path (shuffle).
+        let dense = random_matrix_nnz(10, 10, 80, 1);
+        assert_eq!(dense.nnz(), 80);
+        // Points are unique in both.
+        let mut pts: Vec<_> = dense.entries().iter().map(|(p, _)| p.clone()).collect();
+        pts.sort();
+        pts.dedup();
+        assert_eq!(pts.len(), 80);
+    }
+
+    #[test]
+    fn random_tensor3_bounds() {
+        let t = random_tensor3([4, 5, 6], 30, 11);
+        assert_eq!(t.nnz(), 30);
+        for (p, _) in t.entries() {
+            assert!(p[0] < 4 && p[1] < 5 && p[2] < 6);
+        }
+    }
+
+    #[test]
+    fn dense_matrix_is_full() {
+        let m = dense_matrix(3, 4, 2);
+        assert_eq!(m.nnz(), 12);
+    }
+
+    #[test]
+    fn runs_pattern_is_disjoint() {
+        let (b, c) = runs_vector_pair(2000, 400, 10, 5);
+        assert_eq!(b.nnz(), 400);
+        assert_eq!(c.nnz(), 400);
+        let bset: std::collections::BTreeSet<u32> = b.entries().iter().map(|(p, _)| p[0]).collect();
+        let cset: std::collections::BTreeSet<u32> = c.entries().iter().map(|(p, _)| p[0]).collect();
+        assert!(bset.is_disjoint(&cset), "runs vectors must not overlap");
+    }
+
+    #[test]
+    fn runs_pattern_has_contiguous_runs() {
+        let (b, _) = runs_vector_pair(2000, 400, 8, 5);
+        let coords: Vec<u32> = b.entries().iter().map(|(p, _)| p[0]).collect();
+        // The first run is contiguous.
+        assert_eq!(&coords[..8], &(coords[0]..coords[0] + 8).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn blocks_pattern_overlaps_fully() {
+        let (b, c) = blocks_vector_pair(2000, 400, 16, 5);
+        assert_eq!(b.nnz(), 400);
+        assert_eq!(c.nnz(), 400);
+        let bset: std::collections::BTreeSet<u32> = b.entries().iter().map(|(p, _)| p[0]).collect();
+        let cset: std::collections::BTreeSet<u32> = c.entries().iter().map(|(p, _)| p[0]).collect();
+        assert_eq!(bset, cset, "blocks vectors share their nonzero positions");
+    }
+
+    #[test]
+    #[should_panic(expected = "2*nnz <= dim")]
+    fn runs_rejects_overfull() {
+        let _ = runs_vector_pair(100, 60, 4, 0);
+    }
+}

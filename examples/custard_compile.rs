@@ -1,0 +1,14 @@
+//! Compile tensor index notation to a SAM dataflow graph with Custard and
+//! print its primitive composition and Graphviz DOT form.
+use custard::{lower, parse, ConcreteIndexNotation, Formats, Schedule};
+
+fn main() {
+    let assignment = parse("X(i,j) = B(i,k) * C(k,j)").expect("valid tensor index notation");
+    let cin = ConcreteIndexNotation::new(assignment, &Schedule::new().reorder("ikj"), Formats::new());
+    let graph = lower(&cin);
+    println!("expression : {}", cin.assignment);
+    println!("loop order : {}", cin.order_string());
+    println!("primitives : {}", graph.primitive_counts());
+    println!("--- DOT ---");
+    println!("{}", graph.to_dot());
+}

@@ -1,0 +1,27 @@
+//! Quickstart: build two sparse vectors, run the element-wise multiply SAM
+//! graph on the simulator, and check the result against the dense oracle.
+use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam::tensor::expr::table1;
+use sam::tensor::reference::Environment;
+use sam::tensor::{synth, Tensor, TensorFormat};
+
+fn main() {
+    let dim = 1000;
+    let b = synth::random_vector(dim, 200, 1);
+    let c = synth::random_vector(dim, 200, 2);
+
+    let result = vec_elem_mul(&b, &c, dim, VecFormat::Crd);
+    println!("x(i) = b(i) * c(i) over {dim}-element vectors");
+    println!("  simulated blocks : {}", result.blocks);
+    println!("  simulated cycles : {}", result.cycles);
+    println!("  result nonzeros  : {}", result.output.nnz());
+
+    // Check against the dense reference evaluator.
+    let mut env = Environment::new();
+    env.insert("b", Tensor::from_coo("b", &b, TensorFormat::dense_vec()).to_dense());
+    env.insert("c", Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense());
+    env.set_dim('i', dim);
+    let expect = env.evaluate(&table1::vec_elem_mul()).unwrap();
+    assert!(result.output.to_dense().approx_eq(&expect));
+    println!("  matches the dense reference evaluator");
+}

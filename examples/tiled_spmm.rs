@@ -1,0 +1,16 @@
+//! The Figure 15 finite-memory model: tiled SpM*SpM runtime across matrix
+//! dimensions for a fixed nonzero budget, showing the three regimes
+//! (growing, tile-skipping, saturated).
+use sam::memory::{figure15_sweep, MemoryConfig};
+
+fn main() {
+    let config = MemoryConfig::default();
+    println!("ExTensor-style tiled SpM*SpM model ({} GB/s DRAM, {} MiB LLB, {}x{} tiles)",
+        config.dram_bandwidth_bytes_per_s / 1e9, config.llb_bytes / (1024 * 1024), config.tile, config.tile);
+    for estimate in figure15_sweep(&[10000], &config) {
+        println!(
+            "  dim {:>6}: {:>12.0} cycles ({:>8.1} nonempty tiles)",
+            estimate.dim, estimate.cycles, estimate.nonempty_tiles
+        );
+    }
+}

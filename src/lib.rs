@@ -1,0 +1,23 @@
+//! # sam
+//!
+//! Umbrella crate for the Sparse Abstract Machine (SAM) reproduction. It
+//! re-exports the workspace crates so examples and downstream users can pull
+//! everything from one place:
+//!
+//! * [`streams`] — tokens, streams and stream statistics,
+//! * [`tensor`] — fibertrees, formats, synthetic data and the dense oracle,
+//! * [`primitives`] — the SAM dataflow blocks,
+//! * [`sim`] — the cycle-approximate simulator,
+//! * [`core`] — the SAM graph IR, wiring helpers and kernel library,
+//! * [`memory`] — the finite-memory / tiling model,
+//! * [`custard`] — the compiler from tensor index notation to SAM graphs.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use custard;
+pub use sam_core as core;
+pub use sam_memory as memory;
+pub use sam_primitives as primitives;
+pub use sam_sim as sim;
+pub use sam_streams as streams;
+pub use sam_tensor as tensor;

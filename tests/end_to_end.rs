@@ -1,0 +1,72 @@
+//! Workspace-level integration tests: every kernel is exercised through the
+//! umbrella crate and checked against the dense reference evaluator, and the
+//! Custard-lowered graphs are checked for structural sanity.
+use custard::{lower, parse, ConcreteIndexNotation, Formats, Schedule};
+use sam::core::kernels::spmm::{spmm_order, SpmmDataflow};
+use sam::core::kernels::spmv::spmv;
+use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam::tensor::expr::table1;
+use sam::tensor::reference::Environment;
+use sam::tensor::{synth, Tensor, TensorFormat};
+
+#[test]
+fn spmv_end_to_end_matches_oracle() {
+    let b = synth::random_matrix_sparsity(50, 35, 0.92, 100);
+    let c = synth::random_vector(35, 35, 101);
+    let result = spmv(&b, &c);
+    let mut env = Environment::new();
+    env.insert("B", Tensor::from_coo("B", &b, TensorFormat::dense(2)).to_dense());
+    env.insert("c", Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense());
+    env.bind_dims(&table1::spmv(), &[]);
+    let expect = env.evaluate(&table1::spmv()).unwrap();
+    assert!(result.output.to_dense().approx_eq(&expect));
+}
+
+#[test]
+fn every_spmm_order_is_functionally_identical() {
+    let b = synth::random_matrix_sparsity(30, 20, 0.9, 102);
+    let c = synth::random_matrix_sparsity(20, 25, 0.9, 103);
+    let reference = spmm_order(&b, &c, "ikj").output.to_dense();
+    for order in ["ijk", "jik", "jki", "kij", "kji"] {
+        let out = spmm_order(&b, &c, order).output.to_dense();
+        assert!(out.approx_eq(&reference), "order {order} diverged");
+    }
+}
+
+#[test]
+fn dataflow_order_changes_cycles_but_not_results() {
+    let b = synth::random_matrix_sparsity(80, 40, 0.95, 104);
+    let c = synth::random_matrix_sparsity(40, 80, 0.95, 105);
+    let inner = spmm_order(&b, &c, "ijk");
+    let rows = spmm_order(&b, &c, "ikj");
+    assert!(rows.cycles < inner.cycles, "Gustavson should win on sparse inputs");
+    assert!(inner.output.approx_eq(&rows.output));
+    let _ = SpmmDataflow::from_order("ikj");
+}
+
+#[test]
+fn figure13_formats_agree_on_runs_and_blocks_data() {
+    let dim = 1024;
+    for (b, c) in [
+        synth::runs_vector_pair(dim, 200, 8, 106),
+        synth::blocks_vector_pair(dim, 200, 8, 107),
+    ] {
+        let reference = vec_elem_mul(&b, &c, dim, VecFormat::Crd).output.to_dense();
+        for fmt in VecFormat::figure13_set() {
+            let out = vec_elem_mul(&b, &c, dim, fmt).output.to_dense();
+            assert!(out.approx_eq(&reference), "format {} diverged", fmt.label());
+        }
+    }
+}
+
+#[test]
+fn custard_counts_are_stable_across_schedules() {
+    let a = parse("X(i,j) = B(i,k) * C(k,j)").unwrap();
+    for order in ["ijk", "ikj", "kij"] {
+        let cin = ConcreteIndexNotation::new(a.clone(), &Schedule::new().reorder(order), Formats::new());
+        let counts = lower(&cin).primitive_counts();
+        assert_eq!(counts.level_scan, 4, "order {order}");
+        assert_eq!(counts.alu, 1);
+        assert_eq!(counts.array, 2);
+    }
+}

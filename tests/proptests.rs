@@ -1,0 +1,56 @@
+//! Property-based tests over the core data structures and kernels.
+use proptest::prelude::*;
+use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam::streams::{Nested, Stream};
+use sam::tensor::{CooTensor, Tensor, TensorFormat};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stream encoding of nested lists round-trips for arbitrary two-level
+    /// structures, including empty fibers.
+    #[test]
+    fn stream_nested_roundtrip(fibers in proptest::collection::vec(proptest::collection::vec(0u32..64, 0..6), 1..6)) {
+        let nested: Nested<u32> = fibers.clone().into();
+        let stream = Stream::from_nested(&nested);
+        prop_assert!(stream.is_finished());
+        prop_assert_eq!(stream.to_nested(), nested);
+    }
+
+    /// Fibertree construction preserves every nonzero for any format, and
+    /// lookups agree with the staged COO data.
+    #[test]
+    fn tensor_roundtrip_across_formats(points in proptest::collection::btree_map((0u32..12, 0u32..12), 0.5f64..10.0, 1..30)) {
+        let entries: Vec<(Vec<u32>, f64)> = points.iter().map(|((i, j), v)| (vec![*i, *j], *v)).collect();
+        let coo = CooTensor::from_entries(vec![12, 12], entries).unwrap();
+        for fmt in [TensorFormat::dcsr(), TensorFormat::csr(), TensorFormat::csc(), TensorFormat::dense(2)] {
+            let t = Tensor::from_coo("A", &coo, fmt);
+            prop_assert_eq!(t.nnz(), points.len());
+            for ((i, j), v) in &points {
+                prop_assert!((t.get(&[*i, *j]) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The simulated element-wise multiply agrees with a directly computed
+    /// product for arbitrary sparse vectors, in every storage configuration.
+    #[test]
+    fn vecmul_matches_direct_product(
+        b in proptest::collection::btree_map(0u32..128, 0.5f64..2.0, 0..20),
+        c in proptest::collection::btree_map(0u32..128, 0.5f64..2.0, 0..20),
+    ) {
+        let dim = 128;
+        let to_coo = |m: &std::collections::BTreeMap<u32, f64>| {
+            CooTensor::from_entries(vec![dim], m.iter().map(|(k, v)| (vec![*k], *v)).collect()).unwrap()
+        };
+        let cb = to_coo(&b);
+        let cc = to_coo(&c);
+        for fmt in [VecFormat::Crd, VecFormat::Dense, VecFormat::CrdSkip, VecFormat::Bv { width: 64 }] {
+            let out = vec_elem_mul(&cb, &cc, dim, fmt).output.to_dense();
+            for i in 0..dim as u32 {
+                let expect = b.get(&i).copied().unwrap_or(0.0) * c.get(&i).copied().unwrap_or(0.0);
+                prop_assert!((out.at(&[i]) - expect).abs() < 1e-9);
+            }
+        }
+    }
+}
