@@ -1,0 +1,56 @@
+//! Criterion benchmarks comparing the two `sam-exec` backends on the same
+//! planned graphs: the cycle-approximate simulator pays per-cycle
+//! scheduling for its performance model, while the fast functional backend
+//! evaluates whole streams per node. SpMV, SpM*SpM (Gustavson) and SDDMM
+//! are each planned once and re-run per sample.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sam_core::graphs;
+use sam_exec::{CycleBackend, Executor, FastBackend, Inputs, Plan};
+use sam_tensor::{synth, TensorFormat};
+
+fn bench_pair(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &Inputs) {
+    let cycle = CycleBackend::default();
+    let fast = FastBackend;
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("cycle", |b| {
+        b.iter(|| black_box(cycle.run(plan, inputs).expect("cycle run").tokens))
+    });
+    group.bench_function("fast", |b| b.iter(|| black_box(fast.run(plan, inputs).expect("fast run").tokens)));
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let graph = graphs::spmv();
+    let b = synth::random_matrix_sparsity(300, 200, 0.95, 41);
+    let v = synth::random_vector(200, 200, 42);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &v, TensorFormat::dense_vec());
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_pair(c, "exec_spmv", &plan, &inputs);
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let graph = graphs::spmm(sam_core::kernels::spmm::SpmmDataflow::LinearCombination);
+    let b = synth::random_matrix_sparsity(120, 80, 0.95, 43);
+    let m = synth::random_matrix_sparsity(80, 120, 0.95, 44);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &m, TensorFormat::dcsr());
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_pair(c, "exec_spmm_gustavson", &plan, &inputs);
+}
+
+fn bench_sddmm(c: &mut Criterion) {
+    let graph = graphs::sddmm_coiteration();
+    let b = synth::random_matrix_sparsity(80, 80, 0.95, 45);
+    let cm = synth::dense_matrix(80, 10, 46);
+    let d = synth::dense_matrix(80, 10, 47);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &cm, TensorFormat::dense(2)).coo(
+        "D",
+        &d,
+        TensorFormat::dense(2),
+    );
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_pair(c, "exec_sddmm", &plan, &inputs);
+}
+
+criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm);
+criterion_main!(benches);

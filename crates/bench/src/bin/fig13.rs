@@ -1,4 +1,8 @@
-//! Regenerates Figure 13 (vector multiply acceleration structures).
+//! Regenerates Figure 13 (vector multiply acceleration structures) with the
+//! hand-scheduled kernels, then replays the coordinate and dense
+//! configurations through the `sam-exec` graph pipeline.
 fn main() {
     print!("{}", sam_bench::figure13_report(2000));
+    println!();
+    print!("{}", sam_bench::figure13_exec_report(2000));
 }

@@ -1,4 +1,8 @@
-//! Regenerates Table 1 (primitive composition per expression).
+//! Regenerates Table 1 (primitive composition per expression) and
+//! cross-checks the core expressions end-to-end through the `sam-exec`
+//! pipeline on both backends.
 fn main() {
     print!("{}", sam_bench::table1_report());
+    println!();
+    print!("{}", sam_bench::executor_report(1));
 }

@@ -1,0 +1,233 @@
+//! Ergonomic construction of *executable* SAM graphs.
+//!
+//! [`GraphBuilder`] wraps [`SamGraph`] with one method per primitive; each
+//! method adds the node, wires its inputs with explicit port annotations
+//! (see [`crate::graph::Edge`]) and returns typed [`Port`] handles for its
+//! outputs. Graphs built this way carry everything `sam-exec` needs to plan
+//! and run them on either backend — no hand wiring of simulator channels.
+//!
+//! ```
+//! use sam_core::build::GraphBuilder;
+//!
+//! // x(i) = b(i) * c(i) over two compressed vectors.
+//! let mut g = GraphBuilder::new("x(i) = b(i) * c(i)");
+//! let rb = g.root("b");
+//! let rc = g.root("c");
+//! let (b_crd, b_ref) = g.scan("b", 'i', true, rb);
+//! let (c_crd, c_ref) = g.scan("c", 'i', true, rc);
+//! let (i_crd, i_refs) = g.intersect('i', [b_crd, c_crd], [b_ref, c_ref]);
+//! let bv = g.array("b", i_refs[0]);
+//! let cv = g.array("c", i_refs[1]);
+//! let prod = g.alu("mul", bv, cv);
+//! g.write_level("x", 'i', i_crd);
+//! g.write_vals("x", prod);
+//! let graph = g.finish();
+//! assert_eq!(graph.primitive_counts().intersect, 1);
+//! ```
+
+use crate::graph::{NodeId, NodeKind, SamGraph, StreamKind};
+
+/// A producer endpoint: one output port of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// The producing node.
+    pub node: NodeId,
+    /// The output-port index on the producer.
+    pub port: usize,
+    /// The stream kind carried.
+    pub kind: StreamKind,
+}
+
+/// Builds executable SAM graphs primitive by primitive.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    graph: SamGraph,
+}
+
+impl GraphBuilder {
+    /// Starts an empty graph named after the expression it computes.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder { graph: SamGraph::new(name) }
+    }
+
+    fn connect(&mut self, from: Port, to: NodeId, dst_port: usize, label: impl Into<String>) {
+        self.graph.add_edge_on(from.node, from.port, to, dst_port, from.kind, label);
+    }
+
+    /// Adds the root reference source of a tensor path.
+    pub fn root(&mut self, tensor: &str) -> Port {
+        let node = self.graph.add_node(NodeKind::Root { tensor: tensor.to_string() });
+        Port { node, port: 0, kind: StreamKind::Ref }
+    }
+
+    /// Adds a level scanner; returns its `(crd, ref)` outputs.
+    pub fn scan(&mut self, tensor: &str, index: char, compressed: bool, in_ref: Port) -> (Port, Port) {
+        let node =
+            self.graph.add_node(NodeKind::LevelScanner { tensor: tensor.to_string(), index, compressed });
+        self.connect(in_ref, node, 0, format!("{tensor} ref"));
+        (Port { node, port: 0, kind: StreamKind::Crd }, Port { node, port: 1, kind: StreamKind::Ref })
+    }
+
+    /// Adds a repeater broadcasting `in_ref` over the fibers of `in_crd`.
+    pub fn repeat(&mut self, tensor: &str, index: char, in_crd: Port, in_ref: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::Repeater { tensor: tensor.to_string(), index });
+        self.connect(in_crd, node, 0, format!("{index} crd"));
+        self.connect(in_ref, node, 1, format!("{tensor} ref"));
+        Port { node, port: 0, kind: StreamKind::Ref }
+    }
+
+    fn merge(
+        &mut self,
+        kind: NodeKind,
+        index: char,
+        in_crd: [Port; 2],
+        in_ref: [Port; 2],
+    ) -> (Port, [Port; 2]) {
+        let node = self.graph.add_node(kind);
+        self.connect(in_crd[0], node, 0, format!("{index} crd a"));
+        self.connect(in_crd[1], node, 1, format!("{index} crd b"));
+        self.connect(in_ref[0], node, 2, "ref a");
+        self.connect(in_ref[1], node, 3, "ref b");
+        (
+            Port { node, port: 0, kind: StreamKind::Crd },
+            [Port { node, port: 1, kind: StreamKind::Ref }, Port { node, port: 2, kind: StreamKind::Ref }],
+        )
+    }
+
+    /// Adds a binary intersecter; returns `(crd, [ref_a, ref_b])`.
+    pub fn intersect(&mut self, index: char, in_crd: [Port; 2], in_ref: [Port; 2]) -> (Port, [Port; 2]) {
+        self.merge(NodeKind::Intersecter { index }, index, in_crd, in_ref)
+    }
+
+    /// Adds a binary unioner; returns `(crd, [ref_a, ref_b])`.
+    pub fn union(&mut self, index: char, in_crd: [Port; 2], in_ref: [Port; 2]) -> (Port, [Port; 2]) {
+        self.merge(NodeKind::Unioner { index }, index, in_crd, in_ref)
+    }
+
+    /// Adds a locator; returns `(crd, pass ref, located ref)`.
+    pub fn locate(&mut self, tensor: &str, index: char, in_crd: Port, in_ref: Port) -> (Port, Port, Port) {
+        let node = self.graph.add_node(NodeKind::Locator { tensor: tensor.to_string(), index });
+        self.connect(in_crd, node, 0, format!("{index} crd"));
+        self.connect(in_ref, node, 1, format!("{tensor} ref"));
+        (
+            Port { node, port: 0, kind: StreamKind::Crd },
+            Port { node, port: 1, kind: StreamKind::Ref },
+            Port { node, port: 2, kind: StreamKind::Ref },
+        )
+    }
+
+    /// Adds a value-load array over the named tensor's values.
+    pub fn array(&mut self, tensor: &str, in_ref: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::Array { tensor: tensor.to_string() });
+        self.connect(in_ref, node, 0, "val ref");
+        Port { node, port: 0, kind: StreamKind::Val }
+    }
+
+    /// Adds an ALU applying `op` ("add", "sub" or "mul").
+    pub fn alu(&mut self, op: &str, a: Port, b: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::Alu { op: op.to_string() });
+        self.connect(a, node, 0, "val a");
+        self.connect(b, node, 1, "val b");
+        Port { node, port: 0, kind: StreamKind::Val }
+    }
+
+    /// Adds a scalar (order-0) reducer.
+    pub fn reduce_scalar(&mut self, in_val: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::Reducer { order: 0 });
+        self.connect(in_val, node, 0, "val");
+        Port { node, port: 0, kind: StreamKind::Val }
+    }
+
+    /// Adds a vector (order-1) reducer; returns `(crd, val)`.
+    pub fn reduce_vector(&mut self, in_crd: Port, in_val: Port) -> (Port, Port) {
+        let node = self.graph.add_node(NodeKind::Reducer { order: 1 });
+        self.connect(in_crd, node, 0, "crd");
+        self.connect(in_val, node, 1, "val");
+        (Port { node, port: 0, kind: StreamKind::Crd }, Port { node, port: 1, kind: StreamKind::Val })
+    }
+
+    /// Adds a matrix (order-2) reducer; returns `([outer crd, inner crd], val)`.
+    pub fn reduce_matrix(&mut self, in_crd: [Port; 2], in_val: Port) -> ([Port; 2], Port) {
+        let node = self.graph.add_node(NodeKind::Reducer { order: 2 });
+        self.connect(in_crd[0], node, 0, "outer crd");
+        self.connect(in_crd[1], node, 1, "inner crd");
+        self.connect(in_val, node, 2, "val");
+        (
+            [Port { node, port: 0, kind: StreamKind::Crd }, Port { node, port: 1, kind: StreamKind::Crd }],
+            Port { node, port: 2, kind: StreamKind::Val },
+        )
+    }
+
+    /// Adds a coordinate dropper; returns `(outer crd, inner)`.
+    pub fn crd_drop(&mut self, index: char, outer: Port, inner: Port) -> (Port, Port) {
+        let node = self.graph.add_node(NodeKind::CoordDropper { index });
+        self.connect(outer, node, 0, format!("{index} crd"));
+        self.connect(inner, node, 1, "inner");
+        (Port { node, port: 0, kind: StreamKind::Crd }, Port { node, port: 1, kind: inner.kind })
+    }
+
+    /// Adds a compressed level writer for one output dimension.
+    pub fn write_level(&mut self, tensor: &str, index: char, in_crd: Port) -> NodeId {
+        let node =
+            self.graph.add_node(NodeKind::LevelWriter { tensor: tensor.to_string(), index, vals: false });
+        self.connect(in_crd, node, 0, format!("{tensor}{index}"));
+        node
+    }
+
+    /// Adds the values writer of the output tensor.
+    pub fn write_vals(&mut self, tensor: &str, in_val: Port) -> NodeId {
+        let node =
+            self.graph.add_node(NodeKind::LevelWriter { tensor: tensor.to_string(), index: 'v', vals: true });
+        self.connect(in_val, node, 0, format!("{tensor} vals"));
+        node
+    }
+
+    /// A read-only view of the graph under construction.
+    pub fn graph(&self) -> &SamGraph {
+        &self.graph
+    }
+
+    /// Finishes and returns the graph.
+    pub fn finish(self) -> SamGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_explicit_ports() {
+        let mut g = GraphBuilder::new("t");
+        let r = g.root("b");
+        let (crd, rf) = g.scan("b", 'i', true, r);
+        let v = g.array("b", rf);
+        g.write_level("x", 'i', crd);
+        g.write_vals("x", v);
+        let graph = g.finish();
+        assert_eq!(graph.len(), 5);
+        assert!(graph.edges().iter().all(|e| e.src_port.is_some() && e.dst_port.is_some()));
+        // The scanner's ref output (port 1) feeds the array's input port 0.
+        let e = graph.edges().iter().find(|e| e.kind == StreamKind::Ref && e.src_port == Some(1)).unwrap();
+        assert_eq!(e.dst_port, Some(0));
+    }
+
+    #[test]
+    fn port_signatures_cover_builder_output() {
+        let mut g = GraphBuilder::new("t");
+        let r0 = g.root("b");
+        let r1 = g.root("c");
+        let (c0, f0) = g.scan("b", 'i', true, r0);
+        let (c1, f1) = g.scan("c", 'i', true, r1);
+        let (_crd, refs) = g.intersect('i', [c0, c1], [f0, f1]);
+        let _ = g.array("b", refs[0]);
+        let graph = g.finish();
+        for e in graph.edges() {
+            let outs = graph.nodes()[e.from.0].output_ports();
+            let ins = graph.nodes()[e.to.0].input_ports();
+            assert!(outs[e.src_port.unwrap()].accepts(e.kind), "source port kind");
+            assert!(ins[e.dst_port.unwrap()].accepts(e.kind), "dest port kind");
+        }
+    }
+}

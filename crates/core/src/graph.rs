@@ -117,6 +117,60 @@ impl NodeKind {
             NodeKind::BitvectorConverter => "bv convert".to_string(),
         }
     }
+
+    /// The input-port signature of this primitive, in port order. This is the
+    /// contract `sam-exec` plans against; see each primitive's definition in
+    /// the paper for the port semantics.
+    pub fn input_ports(&self) -> Vec<PortKind> {
+        match self {
+            NodeKind::Root { .. } => vec![],
+            NodeKind::LevelScanner { .. } => vec![PortKind::Ref],
+            NodeKind::Repeater { .. } => vec![PortKind::Crd, PortKind::Ref],
+            NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
+                vec![PortKind::Crd, PortKind::Crd, PortKind::Ref, PortKind::Ref]
+            }
+            NodeKind::Locator { .. } => vec![PortKind::Crd, PortKind::Ref],
+            NodeKind::Array { .. } => vec![PortKind::Ref],
+            NodeKind::Alu { .. } => vec![PortKind::Val, PortKind::Val],
+            NodeKind::Reducer { order } => match order {
+                0 => vec![PortKind::Val],
+                1 => vec![PortKind::Crd, PortKind::Val],
+                _ => vec![PortKind::Crd, PortKind::Crd, PortKind::Val],
+            },
+            NodeKind::CoordDropper { .. } => vec![PortKind::Crd, PortKind::Any],
+            NodeKind::LevelWriter { vals, .. } => {
+                vec![if *vals { PortKind::Val } else { PortKind::Crd }]
+            }
+            NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
+                vec![PortKind::Any]
+            }
+        }
+    }
+
+    /// The output-port signature of this primitive, in port order.
+    pub fn output_ports(&self) -> Vec<PortKind> {
+        match self {
+            NodeKind::Root { .. } => vec![PortKind::Ref],
+            NodeKind::LevelScanner { .. } => vec![PortKind::Crd, PortKind::Ref],
+            NodeKind::Repeater { .. } => vec![PortKind::Ref],
+            NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
+                vec![PortKind::Crd, PortKind::Ref, PortKind::Ref]
+            }
+            NodeKind::Locator { .. } => vec![PortKind::Crd, PortKind::Ref, PortKind::Ref],
+            NodeKind::Array { .. } => vec![PortKind::Val],
+            NodeKind::Alu { .. } => vec![PortKind::Val],
+            NodeKind::Reducer { order } => match order {
+                0 => vec![PortKind::Val],
+                1 => vec![PortKind::Crd, PortKind::Val],
+                _ => vec![PortKind::Crd, PortKind::Crd, PortKind::Val],
+            },
+            NodeKind::CoordDropper { .. } => vec![PortKind::Crd, PortKind::Any],
+            NodeKind::LevelWriter { .. } => vec![],
+            NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
+                vec![PortKind::Any]
+            }
+        }
+    }
 }
 
 /// The kind of stream an edge carries.
@@ -132,11 +186,47 @@ pub enum StreamKind {
     Bits,
 }
 
+/// The stream kind expected or produced at one port of a node.
+///
+/// [`PortKind::Any`] is used where a node is agnostic to the payload (the
+/// coordinate dropper's inner stream carries either coordinates or values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortKind {
+    /// Coordinate stream.
+    Crd,
+    /// Reference stream.
+    Ref,
+    /// Value stream.
+    Val,
+    /// Either coordinates or values.
+    Any,
+}
+
+impl PortKind {
+    /// Whether an edge of stream kind `kind` may attach to this port.
+    pub fn accepts(self, kind: StreamKind) -> bool {
+        match self {
+            PortKind::Crd => kind == StreamKind::Crd,
+            PortKind::Ref => kind == StreamKind::Ref,
+            PortKind::Val => kind == StreamKind::Val,
+            PortKind::Any => matches!(kind, StreamKind::Crd | StreamKind::Val),
+        }
+    }
+}
+
 /// Identifier of a node within a [`SamGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 /// One edge: a stream from a producer node to a consumer node.
+///
+/// Edges may optionally name the *ports* they attach to: `src_port` is the
+/// index into the producer's [`NodeKind::output_ports`] and `dst_port` the
+/// index into the consumer's [`NodeKind::input_ports`]. Graphs built through
+/// [`crate::build::GraphBuilder`] (and `custard::lower_exec`) always carry
+/// explicit ports, which is what makes them executable by `sam-exec`;
+/// schematic graphs (the original `custard::lower`) leave them `None` and
+/// can still be counted, ablated and DOT-printed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Edge {
     /// Producing node.
@@ -147,6 +237,10 @@ pub struct Edge {
     pub kind: StreamKind,
     /// Short label (e.g. which port).
     pub label: String,
+    /// Output-port index on the producer, when explicitly wired.
+    pub src_port: Option<usize>,
+    /// Input-port index on the consumer, when explicitly wired.
+    pub dst_port: Option<usize>,
 }
 
 /// Primitive counts in the Table 1 column order.
@@ -229,9 +323,30 @@ impl SamGraph {
         NodeId(self.nodes.len() - 1)
     }
 
-    /// Adds an edge.
+    /// Adds an edge without port annotations (schematic graphs).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: StreamKind, label: impl Into<String>) {
-        self.edges.push(Edge { from, to, kind, label: label.into() });
+        self.edges.push(Edge { from, to, kind, label: label.into(), src_port: None, dst_port: None });
+    }
+
+    /// Adds an edge wired to explicit producer and consumer ports, as
+    /// required for execution by `sam-exec`.
+    pub fn add_edge_on(
+        &mut self,
+        from: NodeId,
+        src_port: usize,
+        to: NodeId,
+        dst_port: usize,
+        kind: StreamKind,
+        label: impl Into<String>,
+    ) {
+        self.edges.push(Edge {
+            from,
+            to,
+            kind,
+            label: label.into(),
+            src_port: Some(src_port),
+            dst_port: Some(dst_port),
+        });
     }
 
     /// The nodes in insertion order.
@@ -265,7 +380,10 @@ impl SamGraph {
         let mut c = PrimitiveCounts::default();
         for n in &self.nodes {
             match n {
-                NodeKind::Root { .. } | NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {}
+                NodeKind::Root { .. }
+                | NodeKind::Parallelizer
+                | NodeKind::Serializer
+                | NodeKind::BitvectorConverter => {}
                 NodeKind::LevelScanner { .. } => c.level_scan += 1,
                 NodeKind::Repeater { .. } => c.repeat += 1,
                 NodeKind::Intersecter { .. } => c.intersect += 1,

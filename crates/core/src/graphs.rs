@@ -1,0 +1,239 @@
+//! The paper's kernels expressed once as executable [`SamGraph`]s.
+//!
+//! Each function builds the dataflow graph of one evaluation kernel
+//! (Figures 11–14) through [`crate::build::GraphBuilder`]. The graphs carry
+//! explicit port wiring, so `sam-exec` can plan and run them on either the
+//! cycle-approximate or the fast functional backend — the same graph, two
+//! execution contexts. Stream fan-out is implicit: connecting one output
+//! port to several consumers makes the `sam-exec` planner insert the fork
+//! that [`crate::wiring::Fork`] provides in hand-wired kernels.
+//!
+//! The hand-scheduled kernels in [`crate::kernels`] remain the
+//! micro-architecturally tuned variants (coordinate skipping, bitvector
+//! lanes); these graphs are their portable, compiler-facing counterparts.
+
+use crate::build::GraphBuilder;
+use crate::graph::SamGraph;
+use crate::kernels::spmm::SpmmDataflow;
+
+/// Element-wise sparse vector multiplication `x(i) = b(i) * c(i)`
+/// (Figure 13's `Crd` configuration; pass `compressed = false` for the
+/// `Dense` configuration).
+pub fn vec_elem_mul(compressed: bool) -> SamGraph {
+    let mut g = GraphBuilder::new("x(i) = b(i) * c(i)");
+    let rb = g.root("b");
+    let rc = g.root("c");
+    let (b_crd, b_ref) = g.scan("b", 'i', compressed, rb);
+    let (c_crd, c_ref) = g.scan("c", 'i', compressed, rc);
+    let (i_crd, i_refs) = g.intersect('i', [b_crd, c_crd], [b_ref, c_ref]);
+    let bv = g.array("b", i_refs[0]);
+    let cv = g.array("c", i_refs[1]);
+    let prod = g.alu("mul", bv, cv);
+    g.write_level("x", 'i', i_crd);
+    g.write_vals("x", prod);
+    g.finish()
+}
+
+/// The matrix identity `X(i,j) = B(i,j)` of the Figure 14 stream study.
+pub fn identity() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,j)");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, bi_ref);
+    let vals = g.array("B", bj_ref);
+    g.write_level("X", 'i', bi_crd);
+    g.write_level("X", 'j', bj_crd);
+    g.write_vals("X", vals);
+    g.finish()
+}
+
+/// Sparse matrix-vector multiplication `x(i) = sum_j B(i,j) * c(j)` with `B`
+/// DCSR and `c` dense, using the Section 4.2 iterate-locate optimization
+/// exactly like the hand kernel.
+pub fn spmv() -> SamGraph {
+    let mut g = GraphBuilder::new("x(i) = B(i,j) * c(j)");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, bi_ref);
+    // Broadcast c's root once per row, then once per column coordinate, and
+    // locate each column coordinate into the dense vector.
+    let rc = g.root("c");
+    let c_per_i = g.repeat("c", 'i', bi_crd, rc);
+    let c_per_j = g.repeat("c", 'j', bj_crd, c_per_i);
+    let (_loc_crd, _loc_pass, c_val_ref) = g.locate("c", 'j', bj_crd, c_per_j);
+    let b_vals = g.array("B", bj_ref);
+    let c_vals = g.array("c", c_val_ref);
+    let prod = g.alu("mul", b_vals, c_vals);
+    let x_vals = g.reduce_scalar(prod);
+    g.write_level("x", 'i', bi_crd);
+    g.write_vals("x", x_vals);
+    g.finish()
+}
+
+/// SpM*SpM `X(i,j) = sum_k B(i,k) * C(k,j)` in one of the three Figure 12
+/// dataflow classes. Operand formats follow the hand kernels: `B` is DCSR
+/// (DCSC for the outer-product dataflow), `C` is DCSR (DCSC for the
+/// inner-product dataflow).
+pub fn spmm(dataflow: SpmmDataflow) -> SamGraph {
+    match dataflow {
+        SpmmDataflow::LinearCombination => spmm_gustavson(),
+        SpmmDataflow::InnerProduct => spmm_inner(),
+        SpmmDataflow::OuterProduct => spmm_outer(),
+    }
+}
+
+/// The linear-combination-of-rows (Gustavson) graph of paper Figure 4.
+fn spmm_gustavson() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [ikj]");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (bk_crd, bk_ref) = g.scan("B", 'k', true, bi_ref);
+    let rc = g.root("C");
+    let c_per_i = g.repeat("C", 'i', bi_crd, rc);
+    let (ck_crd, ck_ref) = g.scan("C", 'k', true, c_per_i);
+    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, k_refs[1]);
+    let b_per_j = g.repeat("B", 'j', cj_crd, k_refs[0]);
+    let b_vals = g.array("B", b_per_j);
+    let c_vals = g.array("C", cj_ref);
+    let prod = g.alu("mul", b_vals, c_vals);
+    let (xj_crd, x_vals) = g.reduce_vector(cj_crd, prod);
+    let (xi_out, xj_out) = g.crd_drop('i', bi_crd, xj_crd);
+    g.write_level("X", 'i', xi_out);
+    g.write_level("X", 'j', xj_out);
+    g.write_vals("X", x_vals);
+    g.finish()
+}
+
+/// The inner-product graph (`i -> j -> k`).
+fn spmm_inner() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [ijk]");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let rc = g.root("C");
+    let c_per_i = g.repeat("C", 'i', bi_crd, rc);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, c_per_i);
+    let b_per_j = g.repeat("B", 'j', cj_crd, bi_ref);
+    let (bk_crd, bk_ref) = g.scan("B", 'k', true, b_per_j);
+    let (ck_crd, ck_ref) = g.scan("C", 'k', true, cj_ref);
+    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let b_vals = g.array("B", k_refs[0]);
+    let c_vals = g.array("C", k_refs[1]);
+    let prod = g.alu("mul", b_vals, c_vals);
+    let x_vals = g.reduce_scalar(prod);
+    g.write_level("X", 'i', bi_crd);
+    g.write_level("X", 'j', cj_crd);
+    g.write_vals("X", x_vals);
+    g.finish()
+}
+
+/// The outer-product graph (`k -> i -> j`) with a matrix accumulator
+/// (OuterSPACE, paper Figure 16).
+fn spmm_outer() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [kij]");
+    let rb = g.root("B");
+    let (bk_crd, bk_ref) = g.scan("B", 'k', true, rb);
+    let rc = g.root("C");
+    let (ck_crd, ck_ref) = g.scan("C", 'k', true, rc);
+    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, k_refs[0]);
+    let c_per_i = g.repeat("C", 'i', bi_crd, k_refs[1]);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, c_per_i);
+    let b_per_j = g.repeat("B", 'j', cj_crd, bi_ref);
+    let b_vals = g.array("B", b_per_j);
+    let c_vals = g.array("C", cj_ref);
+    let prod = g.alu("mul", b_vals, c_vals);
+    let (x_crds, x_vals) = g.reduce_matrix([bi_crd, cj_crd], prod);
+    g.write_level("X", 'i', x_crds[0]);
+    g.write_level("X", 'j', x_crds[1]);
+    g.write_vals("X", x_vals);
+    g.finish()
+}
+
+/// Fused SDDMM `X(i,j) = sum_k B(i,j) * C(i,k) * D(j,k)` with the dense
+/// factors' outer dimensions co-iterated against `B` (Figure 11's fused
+/// co-iteration variant). `B` is DCSR; `C` and `D` are dense.
+pub fn sddmm_coiteration() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,j) * C(i,k) * D(j,k)");
+    let rb = g.root("B");
+    let rc = g.root("C");
+    let rd = g.root("D");
+
+    // Co-iterate B's i coordinates with C's dense i level.
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (ci_crd, ci_ref) = g.scan("C", 'i', false, rc);
+    let (i_crd, i_refs) = g.intersect('i', [bi_crd, ci_crd], [bi_ref, ci_ref]);
+
+    // Co-iterate B's j coordinates with D's dense j level (rescanned per row).
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, i_refs[0]);
+    let d_per_i = g.repeat("D", 'i', i_crd, rd);
+    let (dj_crd, dj_ref) = g.scan("D", 'j', false, d_per_i);
+    let (j_crd, j_refs) = g.intersect('j', [bj_crd, dj_crd], [bj_ref, dj_ref]);
+
+    // Broadcast C's row fiber reference over the surviving j coordinates.
+    let c_per_j = g.repeat("C", 'j', j_crd, i_refs[1]);
+
+    // Inner product over k, then scale by B's values.
+    let (ck_crd, ck_ref) = g.scan("C", 'k', false, c_per_j);
+    let (dk_crd, dk_ref) = g.scan("D", 'k', false, j_refs[1]);
+    let (_k_crd, k_refs) = g.intersect('k', [ck_crd, dk_crd], [ck_ref, dk_ref]);
+    let c_vals = g.array("C", k_refs[0]);
+    let d_vals = g.array("D", k_refs[1]);
+    let prod_cd = g.alu("mul", c_vals, d_vals);
+    let s = g.reduce_scalar(prod_cd);
+    let b_vals = g.array("B", j_refs[0]);
+    let x_vals = g.alu("mul", b_vals, s);
+
+    g.write_level("X", 'i', i_crd);
+    g.write_level("X", 'j', j_crd);
+    g.write_vals("X", x_vals);
+    g.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn graphs_are_fully_port_wired() {
+        for graph in [
+            vec_elem_mul(true),
+            identity(),
+            spmv(),
+            spmm(SpmmDataflow::LinearCombination),
+            spmm(SpmmDataflow::InnerProduct),
+            spmm(SpmmDataflow::OuterProduct),
+            sddmm_coiteration(),
+        ] {
+            assert!(!graph.is_empty());
+            for e in graph.edges() {
+                assert!(e.src_port.is_some() && e.dst_port.is_some(), "{}: unported edge", graph.name);
+                let outs = graph.nodes()[e.from.0].output_ports();
+                let ins = graph.nodes()[e.to.0].input_ports();
+                assert!(outs[e.src_port.unwrap()].accepts(e.kind), "{}: bad src", graph.name);
+                assert!(ins[e.dst_port.unwrap()].accepts(e.kind), "{}: bad dst", graph.name);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_graph_matches_hand_kernel_structure() {
+        let c = spmv().primitive_counts();
+        assert_eq!(c.level_scan, 2);
+        assert_eq!(c.repeat, 2);
+        assert_eq!(c.locate, 1);
+        assert_eq!(c.array, 2);
+        assert_eq!(c.alu, 1);
+        assert_eq!(c.reduce, 1);
+        assert_eq!(c.level_write, 2);
+    }
+
+    #[test]
+    fn gustavson_graph_has_dropper_and_vector_reducer() {
+        let g = spmm(SpmmDataflow::LinearCombination);
+        assert!(g.has_kind(|n| matches!(n, NodeKind::CoordDropper { .. })));
+        assert!(g.has_kind(|n| matches!(n, NodeKind::Reducer { order: 1 })));
+        assert_eq!(g.primitive_counts().level_write, 3);
+    }
+}

@@ -60,7 +60,13 @@ pub fn sddmm(b: &CooTensor, c: &CooTensor, d: &CooTensor, variant: SddmmVariant)
     }
 }
 
-fn assemble(rows: usize, cols: usize, xi: sam_tensor::level::CompressedLevel, xj: sam_tensor::level::CompressedLevel, vals: Vec<f64>) -> Tensor {
+fn assemble(
+    rows: usize,
+    cols: usize,
+    xi: sam_tensor::level::CompressedLevel,
+    xj: sam_tensor::level::CompressedLevel,
+    vals: Vec<f64>,
+) -> Tensor {
     Tensor::from_parts(
         "X",
         vec![rows, cols],
@@ -84,7 +90,11 @@ fn fused_tail(
     b_val_ref: sam_sim::ChannelId,
     xi_crd: sam_sim::ChannelId,
     xj_crd: sam_sim::ChannelId,
-) -> (sam_primitives::writer::LevelWriterSink, sam_primitives::writer::LevelWriterSink, sam_primitives::writer::ValWriterSink) {
+) -> (
+    sam_primitives::writer::LevelWriterSink,
+    sam_primitives::writer::LevelWriterSink,
+    sam_primitives::writer::ValWriterSink,
+) {
     let (ck_crd, ck_ref) = wiring::scan(sim, "Ck", tc, 1, c_kfiber_ref);
     let (dk_crd, dk_ref) = wiring::scan(sim, "Dk", td, 1, d_kfiber_ref);
     let (_k_crd, k_refs) = wiring::intersect(sim, "int_k", [ck_crd, dk_crd], [ck_ref, dk_ref]);
@@ -127,9 +137,16 @@ fn fused_locating(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> KernelResult {
     let rd_per_j = wiring::repeat(&mut sim, "rep_Droot_j", bj_rep_d, rd_per_i);
     let (_dj_crd, _dj_pass, d_j_ref) = wiring::locate(&mut sim, "loc_Dj", &td, 0, bj_loc, rd_per_j);
 
-    let (xi_sink, xj_sink, xv_sink) = fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, d_j_ref, bj_ref, bi_out, bj_out);
+    let (xi_sink, xj_sink, xv_sink) =
+        fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, d_j_ref, bj_ref, bi_out, bj_out);
     let report = sim.run(MAX_CYCLES).expect("fused locating SDDMM simulation");
-    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
@@ -161,9 +178,16 @@ fn fused_coiteration(b: &CooTensor, c: &CooTensor, d: &CooTensor) -> KernelResul
     // Broadcast C's row fiber reference over the surviving j coordinates.
     let c_i_per_j = wiring::repeat(&mut sim, "rep_Ci", j_rep_ci, i_refs[1]);
 
-    let (xi_sink, xj_sink, xv_sink) = fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, j_refs[1], j_refs[0], i_out, j_out);
+    let (xi_sink, xj_sink, xv_sink) =
+        fused_tail(&mut sim, &tb, &tc, &td, c_i_per_j, j_refs[1], j_refs[0], i_out, j_out);
     let report = sim.run(MAX_CYCLES).expect("fused coiterating SDDMM simulation");
-    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
@@ -211,7 +235,13 @@ fn sample_elementwise(b: &CooTensor, t: &CooTensor) -> KernelResult {
     let xj_sink = wiring::write_level(&mut sim, "Xj", cols, bj_out);
     let xv_sink = wiring::write_vals(&mut sim, "Xvals", prod);
     let report = sim.run(MAX_CYCLES).expect("sampling simulation");
-    let output = assemble(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 

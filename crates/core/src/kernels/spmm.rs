@@ -68,7 +68,13 @@ pub fn spmm(b: &CooTensor, c: &CooTensor, dataflow: SpmmDataflow) -> KernelResul
 }
 
 /// Builds the DCSR result tensor from the two written levels and values.
-fn assemble_result(rows: usize, cols: usize, xi: sam_tensor::level::CompressedLevel, xj: sam_tensor::level::CompressedLevel, vals: Vec<f64>) -> Tensor {
+fn assemble_result(
+    rows: usize,
+    cols: usize,
+    xi: sam_tensor::level::CompressedLevel,
+    xj: sam_tensor::level::CompressedLevel,
+    vals: Vec<f64>,
+) -> Tensor {
     Tensor::from_parts(
         "X",
         vec![rows, cols],
@@ -109,7 +115,13 @@ fn spmm_gustavson(b: &CooTensor, c: &CooTensor) -> KernelResult {
     let xj_sink = wiring::write_level(&mut sim, "Xj", cols, xj_out);
     let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
     let report = sim.run(MAX_CYCLES).expect("Gustavson SpM*SpM simulation");
-    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble_result(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
@@ -145,7 +157,13 @@ fn spmm_inner(b: &CooTensor, c: &CooTensor) -> KernelResult {
     let xj_sink = wiring::write_level(&mut sim, "Xj", cols, cj_out);
     let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
     let report = sim.run(MAX_CYCLES).expect("inner-product SpM*SpM simulation");
-    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble_result(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
@@ -174,21 +192,28 @@ fn spmm_outer(b: &CooTensor, c: &CooTensor) -> KernelResult {
     let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, rep_bval);
     let c_vals = wiring::val_array(&mut sim, "C_vals", &tc, cj_ref);
     let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);
-    let (x_crds, x_vals) = wiring::reduce_matrix(&mut sim, "reduce_k", [bi_red, cj_red], prod, EmptyFiberPolicy::Drop);
+    let (x_crds, x_vals) =
+        wiring::reduce_matrix(&mut sim, "reduce_k", [bi_red, cj_red], prod, EmptyFiberPolicy::Drop);
 
     let xi_sink = wiring::write_level(&mut sim, "Xi", rows, x_crds[0]);
     let xj_sink = wiring::write_level(&mut sim, "Xj", cols, x_crds[1]);
     let xv_sink = wiring::write_vals(&mut sim, "Xvals", x_vals);
     let report = sim.run(MAX_CYCLES).expect("outer-product SpM*SpM simulation");
-    let output = assemble_result(rows, cols, wiring::take_level(&xi_sink), wiring::take_level(&xj_sink), wiring::take_vals(&xv_sink));
+    let output = assemble_result(
+        rows,
+        cols,
+        wiring::take_level(&xi_sink),
+        wiring::take_level(&xj_sink),
+        wiring::take_vals(&xv_sink),
+    );
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
 /// Runs one of the six `ijk` orders of Figure 12 by mapping it to a dataflow
 /// class, transposing operands for the mirrored orders.
 pub fn spmm_order(b: &CooTensor, c: &CooTensor, order: &str) -> KernelResult {
-    let (dataflow, transposed) = SpmmDataflow::from_order(order)
-        .unwrap_or_else(|| panic!("unknown iteration order `{order}`"));
+    let (dataflow, transposed) =
+        SpmmDataflow::from_order(order).unwrap_or_else(|| panic!("unknown iteration order `{order}`"));
     if !transposed {
         return spmm(b, c, dataflow);
     }
@@ -233,11 +258,9 @@ mod tests {
         let b = synth::random_matrix_sparsity(24, 18, 0.85, 11);
         let c = synth::random_matrix_sparsity(18, 20, 0.85, 12);
         let expect = oracle(&b, &c);
-        for dataflow in [
-            SpmmDataflow::LinearCombination,
-            SpmmDataflow::InnerProduct,
-            SpmmDataflow::OuterProduct,
-        ] {
+        for dataflow in
+            [SpmmDataflow::LinearCombination, SpmmDataflow::InnerProduct, SpmmDataflow::OuterProduct]
+        {
             let result = spmm(&b, &c, dataflow);
             assert!(
                 result.output.to_dense().approx_eq(&expect),

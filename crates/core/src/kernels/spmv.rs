@@ -36,7 +36,8 @@ pub fn spmv(b: &CooTensor, c: &CooTensor) -> KernelResult {
     let rc = wiring::root(&mut sim, "c");
     let c_root_per_i = wiring::repeat(&mut sim, "rep_ci", bi_crd_rep, rc);
     let c_root_per_j = wiring::repeat(&mut sim, "rep_cj", bj_crd_rep, c_root_per_i);
-    let (_loc_crd, _loc_pass, c_val_ref) = wiring::locate(&mut sim, "loc_c", &tc, 0, bj_crd_loc, c_root_per_j);
+    let (_loc_crd, _loc_pass, c_val_ref) =
+        wiring::locate(&mut sim, "loc_c", &tc, 0, bj_crd_loc, c_root_per_j);
     let b_vals = wiring::val_array(&mut sim, "B_vals", &tb, bj_ref);
     let c_vals = wiring::val_array(&mut sim, "c_vals", &tc, c_val_ref);
     let prod = wiring::alu(&mut sim, "mul", AluOp::Mul, b_vals, c_vals);

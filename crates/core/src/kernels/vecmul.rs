@@ -2,9 +2,11 @@
 //! configurations of the paper's Figure 13.
 
 use crate::kernels::{KernelResult, MAX_CYCLES};
-use crate::wiring::{self, fork};
-use sam_primitives::bitvector::{bit_result_sink, BitTreeVecMul, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul};
-use sam_primitives::{AluOp, root_stream};
+use crate::wiring;
+use sam_primitives::bitvector::{
+    bit_result_sink, BitTreeVecMul, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul,
+};
+use sam_primitives::{root_stream, AluOp};
 use sam_sim::Simulator;
 use sam_tensor::level::BitvectorLevel;
 use sam_tensor::{CooTensor, LevelFormat, Tensor, TensorFormat};
@@ -161,10 +163,7 @@ fn split_kernel(b: &CooTensor, c: &CooTensor, dim: usize, split: usize) -> Kerne
         "x2",
         vec![split, chunk],
         TensorFormat::csf(2),
-        vec![
-            sam_tensor::level::Level::Compressed(l0),
-            sam_tensor::level::Level::Compressed(l1),
-        ],
+        vec![sam_tensor::level::Level::Compressed(l0), sam_tensor::level::Level::Compressed(l1)],
         vals,
     );
     let mut flat = CooTensor::new(vec![dim]);
@@ -175,7 +174,10 @@ fn split_kernel(b: &CooTensor, c: &CooTensor, dim: usize, split: usize) -> Kerne
     KernelResult { output, cycles: report.cycles, blocks: sim.num_blocks() }
 }
 
-fn bitvector_operands(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> (Arc<BitvectorLevel>, Arc<BitvectorLevel>, Arc<Vec<f64>>, Arc<Vec<f64>>) {
+/// A bitvector level plus its values, shared with simulator blocks.
+type BvOperand = (Arc<BitvectorLevel>, Arc<Vec<f64>>);
+
+fn bitvector_operands(b: &CooTensor, c: &CooTensor, width: u8) -> (BvOperand, BvOperand) {
     let fmt = TensorFormat::new(vec![LevelFormat::Bitvector { word_width: width }]);
     let tb = Tensor::from_coo("b", b, fmt.clone());
     let tc = Tensor::from_coo("c", c, fmt);
@@ -187,14 +189,13 @@ fn bitvector_operands(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> (A
         sam_tensor::level::Level::Bitvector(l) => Arc::new(l.clone()),
         _ => unreachable!("bitvector format"),
     };
-    let _ = dim;
-    (lb, lc, Arc::new(tb.vals().to_vec()), Arc::new(tc.vals().to_vec()))
+    ((lb, Arc::new(tb.vals().to_vec())), (lc, Arc::new(tc.vals().to_vec())))
 }
 
 /// Flat bitvector kernel: one word of each operand is scanned, intersected
 /// and multiplied (all lanes in parallel) per cycle.
 fn bitvector_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> KernelResult {
-    let (lb, lc, vb, vc) = bitvector_operands(b, c, dim, width);
+    let ((lb, vb), (lc, vc)) = bitvector_operands(b, c, width);
     let mut sim = Simulator::new();
     let rb = sim.add_channel("b_root");
     let rc = sim.add_channel("c_root");
@@ -209,7 +210,13 @@ fn bitvector_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> Kern
     let sink = bit_result_sink();
     sim.add_block(Box::new(BitvectorScanner::new("b_scan", lb.clone(), rb, b_bits, b_refs)));
     sim.add_block(Box::new(BitvectorScanner::new("c_scan", lc.clone(), rc, c_bits, c_refs)));
-    sim.add_block(Box::new(BitvectorIntersecter::new("bv_int", [b_bits, c_bits], [b_refs, c_refs], inter, pairs)));
+    sim.add_block(Box::new(BitvectorIntersecter::new(
+        "bv_int",
+        [b_bits, c_bits],
+        [b_refs, c_refs],
+        inter,
+        pairs,
+    )));
     sim.add_block(Box::new(BitvectorVecMul::new("bv_mul", lb, lc, vb, vc, inter, sink.clone())));
     let report = sim.run(MAX_CYCLES).expect("bitvector multiply simulation");
     let output = result_from_pairs(&sink.lock().expect("sink").clone(), dim);
@@ -218,7 +225,7 @@ fn bitvector_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> Kern
 
 /// Two-level bit-tree kernel (the paper's "BV w/ split").
 fn bittree_kernel(b: &CooTensor, c: &CooTensor, dim: usize, width: u8) -> KernelResult {
-    let (lb, lc, vb, vc) = bitvector_operands(b, c, dim, width);
+    let ((lb, vb), (lc, vc)) = bitvector_operands(b, c, width);
     let sink = bit_result_sink();
     let mut sim = Simulator::new();
     let progress = sim.add_channel("progress");
@@ -239,8 +246,8 @@ fn result_from_pairs(pairs: &[(u32, f64)], dim: usize) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sam_tensor::reference::Environment;
     use sam_tensor::expr::table1;
+    use sam_tensor::reference::Environment;
     use sam_tensor::synth;
 
     fn oracle(b: &CooTensor, c: &CooTensor, dim: usize) -> sam_tensor::DenseTensor {
@@ -274,12 +281,7 @@ mod tests {
         let (b, c) = synth::runs_vector_pair(dim, 400, 50, 3);
         let plain = vec_elem_mul(&b, &c, dim, VecFormat::Crd);
         let skipped = vec_elem_mul(&b, &c, dim, VecFormat::CrdSkip);
-        assert!(
-            skipped.cycles < plain.cycles,
-            "skip {} should beat plain {}",
-            skipped.cycles,
-            plain.cycles
-        );
+        assert!(skipped.cycles < plain.cycles, "skip {} should beat plain {}", skipped.cycles, plain.cycles);
     }
 
     #[test]

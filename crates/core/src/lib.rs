@@ -7,6 +7,11 @@
 //!   (Table 1 / Table 2) and Graphviz DOT export. This is the
 //!   LLVM-like interface the paper positions between the Custard compiler
 //!   and hardware backends.
+//! * [`build`] — [`GraphBuilder`](build::GraphBuilder): ergonomic
+//!   construction of *executable* graphs whose edges carry explicit port
+//!   annotations, the form `sam-exec` plans and runs.
+//! * [`graphs`] — the paper's kernels (Figures 11–14) expressed once as
+//!   executable graphs, runnable on either `sam-exec` backend.
 //! * [`wiring`] — helpers that instantiate primitives into a `sam-sim`
 //!   [`Simulator`](sam_sim::Simulator), plus the stream fork used when one
 //!   output feeds several consumers.
@@ -18,9 +23,12 @@
 //!   returns its result tensor and the simulated cycle count and is checked
 //!   against the dense reference evaluator.
 
+pub mod build;
 pub mod graph;
+pub mod graphs;
 pub mod kernels;
 pub mod wiring;
 
-pub use graph::{NodeKind, PrimitiveCounts, SamGraph, StreamKind};
+pub use build::GraphBuilder;
+pub use graph::{NodeKind, PortKind, PrimitiveCounts, SamGraph, StreamKind};
 pub use kernels::KernelResult;

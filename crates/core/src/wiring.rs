@@ -5,13 +5,13 @@
 //! the channel ids. [`Fork`] implements the stream fan-out that paper figures
 //! draw implicitly when one stream feeds several consumers.
 
+use sam_primitives::writer::{level_sink, val_sink, LevelWriterSink, ValWriterSink};
 use sam_primitives::{
     root_stream, Alu, AluOp, CoordDropper, EmptyFiberPolicy, Intersecter, LevelScanner, LevelWriter, Locator,
     Reducer, Repeater, Unioner, ValArray, ValWriter,
 };
-use sam_primitives::writer::{level_sink, val_sink, LevelWriterSink, ValWriterSink};
-use sam_streams::Token;
 use sam_sim::{Block, BlockStatus, ChannelId, Context, Simulator};
+use sam_streams::Token;
 use sam_tensor::Tensor;
 use std::sync::Arc;
 
@@ -67,7 +67,13 @@ pub fn root(sim: &mut Simulator, name: &str) -> ChannelId {
 
 /// Adds a level scanner over storage level `level` of `tensor`, returning its
 /// coordinate and reference output channels.
-pub fn scan(sim: &mut Simulator, name: &str, tensor: &Tensor, level: usize, in_ref: ChannelId) -> (ChannelId, ChannelId) {
+pub fn scan(
+    sim: &mut Simulator,
+    name: &str,
+    tensor: &Tensor,
+    level: usize,
+    in_ref: ChannelId,
+) -> (ChannelId, ChannelId) {
     let crd = sim.add_channel(format!("{name}_crd"));
     let rf = sim.add_channel(format!("{name}_ref"));
     let lvl = Arc::new(tensor.level(level).clone());
@@ -176,7 +182,12 @@ pub fn alu(sim: &mut Simulator, name: &str, op: AluOp, a: ChannelId, b: ChannelI
 }
 
 /// Adds a scalar reducer.
-pub fn reduce_scalar(sim: &mut Simulator, name: &str, in_val: ChannelId, policy: EmptyFiberPolicy) -> ChannelId {
+pub fn reduce_scalar(
+    sim: &mut Simulator,
+    name: &str,
+    in_val: ChannelId,
+    policy: EmptyFiberPolicy,
+) -> ChannelId {
     let out = sim.add_channel(format!("{name}_val"));
     sim.add_block(Box::new(Reducer::scalar(name, in_val, out, policy)));
     out
@@ -212,7 +223,12 @@ pub fn reduce_matrix(
 }
 
 /// Adds a coordinate dropper; returns `(outer crd, inner)`.
-pub fn crd_drop(sim: &mut Simulator, name: &str, outer: ChannelId, inner: ChannelId) -> (ChannelId, ChannelId) {
+pub fn crd_drop(
+    sim: &mut Simulator,
+    name: &str,
+    outer: ChannelId,
+    inner: ChannelId,
+) -> (ChannelId, ChannelId) {
     let oc = sim.add_channel(format!("{name}_outer"));
     let oi = sim.add_channel(format!("{name}_inner"));
     sim.add_block(Box::new(CoordDropper::new(name, outer, inner, oc, oi)));
@@ -259,10 +275,7 @@ mod tests {
     fn fork_duplicates_streams() {
         let mut sim = Simulator::new();
         let a = sim.add_channel("a");
-        let [b, c] = {
-            let outs = fork::<2>(&mut sim, "f", a);
-            outs
-        };
+        let [b, c] = fork::<2>(&mut sim, "f", a);
         sim.record(b);
         sim.record(c);
         sim.preload(a, vec![tok::crd(1), tok::stop(0), tok::done()]);

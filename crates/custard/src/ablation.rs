@@ -47,10 +47,8 @@ impl ExpressionCorpus {
     /// element-wise and contraction expressions over 1–3 operands of order
     /// 1–3, each across all dense/compressed operand format combinations.
     pub fn generate() -> Self {
-        let mut expressions: Vec<(String, Assignment)> = table1::all()
-            .into_iter()
-            .map(|(n, a)| (n.to_string(), a))
-            .collect();
+        let mut expressions: Vec<(String, Assignment)> =
+            table1::all().into_iter().map(|(n, a)| (n.to_string(), a)).collect();
         // Element-wise families.
         expressions.push(("VecMul".into(), table1::vec_elem_mul()));
         expressions.push(("VecAdd".into(), table1::vec_elem_add()));
@@ -64,7 +62,11 @@ impl ExpressionCorpus {
         ));
         expressions.push((
             "MatVecAdd".into(),
-            Assignment::new("x", "i", Expr::access("B", "ij").mul(Expr::access("c", "j")).reduce("j").add(Expr::access("d", "i"))),
+            Assignment::new(
+                "x",
+                "i",
+                Expr::access("B", "ij").mul(Expr::access("c", "j")).reduce("j").add(Expr::access("d", "i")),
+            ),
         ));
         expressions.push((
             "TensorElemAdd3".into(),
@@ -78,23 +80,13 @@ impl ExpressionCorpus {
             "TensorContract".into(),
             Assignment::new("X", "ij", Expr::access("B", "ikl").mul(Expr::access("C", "klj")).reduce("kl")),
         ));
-        expressions.push((
-            "RowSum".into(),
-            Assignment::new("x", "i", Expr::access("B", "ij").reduce("j")),
-        ));
-        expressions.push((
-            "VecCopy".into(),
-            Assignment::new("x", "i", Expr::access("b", "i")),
-        ));
+        expressions.push(("RowSum".into(), Assignment::new("x", "i", Expr::access("B", "ij").reduce("j"))));
+        expressions.push(("VecCopy".into(), Assignment::new("x", "i", Expr::access("b", "i"))));
 
         let mut entries = Vec::new();
         for (name, assignment) in expressions {
-            let accesses: Vec<(String, usize)> = assignment
-                .rhs
-                .accesses()
-                .iter()
-                .map(|(n, idx)| (n.to_string(), idx.len()))
-                .collect();
+            let accesses: Vec<(String, usize)> =
+                assignment.rhs.accesses().iter().map(|(n, idx)| (n.to_string(), idx.len())).collect();
             let operand_count = accesses.len();
             // Every combination of dense/compressed operands and output.
             for mask in 0..(1u32 << operand_count) {
@@ -104,7 +96,11 @@ impl ExpressionCorpus {
                     let mut formats = Formats::new();
                     for ((tensor, order), &compressed) in accesses.iter().zip(&compressed_operands) {
                         if *order > 0 {
-                            let fmt = if compressed { TensorFormat::csf(*order) } else { TensorFormat::dense(*order) };
+                            let fmt = if compressed {
+                                TensorFormat::csf(*order)
+                            } else {
+                                TensorFormat::dense(*order)
+                            };
                             formats = formats.set(tensor, fmt);
                         }
                     }
@@ -112,7 +108,8 @@ impl ExpressionCorpus {
                     let graph = lower(&cin);
                     // Deterministic popularity weight standing in for repeat
                     // submissions on the TACO website.
-                    let weight = 1 + (name.len() as u64 * 7 + mask as u64 * 3 + u64::from(compressed_output)) % 19;
+                    let weight =
+                        1 + (name.len() as u64 * 7 + mask as u64 * 3 + u64::from(compressed_output)) % 19;
                     entries.push(CorpusEntry {
                         name: format!("{name}/m{mask}/{}", if compressed_output { "comp" } else { "dense" }),
                         assignment: assignment.clone(),
@@ -179,7 +176,8 @@ pub fn ablation_study(corpus: &ExpressionCorpus) -> Vec<AblationRow> {
         row(corpus, "Repeater", |e| e.graph.has_kind(|n| matches!(n, NodeKind::Repeater { .. }))),
         row(corpus, "Unioner", |e| e.graph.has_kind(|n| matches!(n, NodeKind::Unioner { .. }))),
         row(corpus, "Intersecter keep Locator", |e| {
-            e.graph.has_kind(|n| matches!(n, NodeKind::Intersecter { .. })) && e.compressed_operands.iter().all(|c| *c)
+            e.graph.has_kind(|n| matches!(n, NodeKind::Intersecter { .. }))
+                && e.compressed_operands.iter().all(|c| *c)
         }),
         row(corpus, "Intersecter w/ Locator Removed", |e| {
             e.graph.has_kind(|n| matches!(n, NodeKind::Intersecter { .. }))

@@ -21,10 +21,12 @@
 
 pub mod ablation;
 pub mod cin;
+pub mod exec_lower;
 pub mod lower;
 pub mod parser;
 
 pub use ablation::{ablation_study, AblationRow, ExpressionCorpus};
 pub use cin::{ConcreteIndexNotation, Formats, Schedule};
+pub use exec_lower::{lower_exec, ExecutableKernel, LowerExecError};
 pub use lower::lower;
 pub use parser::{parse, ParseError};

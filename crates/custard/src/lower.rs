@@ -37,7 +37,7 @@ fn tensor_paths(expr: &Expr) -> Vec<TensorPath> {
 
 /// True when `access` sits underneath a reduction over `var` (so it must be
 /// broadcast over `var`) — used for repeater placement.
-fn access_under_reduction(expr: &Expr, access_ordinal: usize, var: IndexVar) -> bool {
+pub(crate) fn access_under_reduction(expr: &Expr, access_ordinal: usize, var: IndexVar) -> bool {
     fn walk(expr: &Expr, var: IndexVar, inside: bool, counter: &mut usize, target: usize, found: &mut bool) {
         match expr {
             Expr::Access { .. } => {
@@ -122,13 +122,18 @@ pub fn lower(cin: &ConcreteIndexNotation) -> SamGraph {
                         !matches!(f.levels().get(level), Some(LevelFormat::Dense))
                     })
                     .unwrap_or(true);
-                let scan = graph.add_node(NodeKind::LevelScanner { tensor: path.name.clone(), index: var, compressed });
+                let scan = graph.add_node(NodeKind::LevelScanner {
+                    tensor: path.name.clone(),
+                    index: var,
+                    compressed,
+                });
                 graph.add_edge(last_node[ordinal], scan, StreamKind::Ref, format!("{} ref", path.name));
                 last_node[ordinal] = scan;
                 producers.push((ordinal, scan));
             } else {
                 let broadcast_needed = assignment.target_indices.contains(&var)
-                    || (reduction_vars.contains(&var) && access_under_reduction(&assignment.rhs, ordinal, var));
+                    || (reduction_vars.contains(&var)
+                        && access_under_reduction(&assignment.rhs, ordinal, var));
                 if broadcast_needed {
                     let rep = graph.add_node(NodeKind::Repeater { tensor: path.name.clone(), index: var });
                     graph.add_edge(last_node[ordinal], rep, StreamKind::Ref, format!("{} ref", path.name));
@@ -168,7 +173,7 @@ pub fn lower(cin: &ConcreteIndexNotation) -> SamGraph {
         arrays.push(arr);
     }
     let mut compute_tail = arrays.first().copied();
-    let mut add_alu = |graph: &mut SamGraph, op: &str, tail: &mut Option<NodeId>, rhs: NodeId| {
+    let add_alu = |graph: &mut SamGraph, op: &str, tail: &mut Option<NodeId>, rhs: NodeId| {
         let alu = graph.add_node(NodeKind::Alu { op: op.to_string() });
         if let Some(prev) = *tail {
             graph.add_edge(prev, alu, StreamKind::Val, "val");
@@ -184,7 +189,9 @@ pub fn lower(cin: &ConcreteIndexNotation) -> SamGraph {
         add_alu(&mut graph, op, &mut compute_tail, rhs_array);
     }
     for &var in reduction_vars.iter() {
-        let red = graph.add_node(NodeKind::Reducer { order: usize::from(var == *reduction_vars.first().expect("nonempty")) });
+        let red = graph.add_node(NodeKind::Reducer {
+            order: usize::from(var == *reduction_vars.first().expect("nonempty")),
+        });
         if let Some(prev) = compute_tail {
             graph.add_edge(prev, red, StreamKind::Val, "val");
         }
@@ -204,13 +211,18 @@ pub fn lower(cin: &ConcreteIndexNotation) -> SamGraph {
             }
             crd_source = Some(drop);
         }
-        let writer = graph.add_node(NodeKind::LevelWriter { tensor: assignment.target.clone(), index: var, vals: false });
+        let writer = graph.add_node(NodeKind::LevelWriter {
+            tensor: assignment.target.clone(),
+            index: var,
+            vals: false,
+        });
         if let Some(src) = crd_source {
             graph.add_edge(src, writer, StreamKind::Crd, format!("{var} crd"));
         }
         previous_writer = Some(writer);
     }
-    let vals_writer = graph.add_node(NodeKind::LevelWriter { tensor: assignment.target.clone(), index: 'v', vals: true });
+    let vals_writer =
+        graph.add_node(NodeKind::LevelWriter { tensor: assignment.target.clone(), index: 'v', vals: true });
     if let Some(tail) = compute_tail {
         graph.add_edge(tail, vals_writer, StreamKind::Val, "vals");
     }

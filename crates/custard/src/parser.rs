@@ -79,7 +79,9 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.pos < self.input.len() && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_') {
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -91,19 +93,17 @@ impl<'a> Parser<'a> {
     fn access(&mut self) -> Result<(String, Vec<IndexVar>), ParseError> {
         let name = self.ident()?;
         let mut indices = Vec::new();
-        if self.eat(b'(') {
-            if !self.eat(b')') {
-                loop {
-                    let idx = self.ident()?;
-                    if idx.len() != 1 {
-                        return self.error(format!("index variables must be single letters, got `{idx}`"));
-                    }
-                    indices.push(idx.chars().next().expect("nonempty"));
-                    if self.eat(b')') {
-                        break;
-                    }
-                    self.expect(b',')?;
+        if self.eat(b'(') && !self.eat(b')') {
+            loop {
+                let idx = self.ident()?;
+                if idx.len() != 1 {
+                    return self.error(format!("index variables must be single letters, got `{idx}`"));
                 }
+                indices.push(idx.chars().next().expect("nonempty"));
+                if self.eat(b')') {
+                    break;
+                }
+                self.expect(b',')?;
             }
         }
         Ok((name, indices))
@@ -280,7 +280,7 @@ mod tests {
             ("Plus3", "X(i,j) = B(i,j) + C(i,j) + D(i,j)"),
         ] {
             let parsed = parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(parsed.to_string().is_empty(), false);
+            assert!(!parsed.to_string().is_empty());
         }
     }
 }

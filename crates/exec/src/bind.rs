@@ -1,0 +1,78 @@
+//! Binding input tensors to a graph's tensor names.
+
+use sam_tensor::{CooTensor, Tensor, TensorFormat};
+use std::collections::BTreeMap;
+
+/// The named tensors a graph executes over.
+///
+/// The planner binds every `Root`, `LevelScanner`, `Locator` and `Array`
+/// node to a tensor by the name the node carries; binding is by name, so the
+/// same graph runs over any operands.
+///
+/// ```
+/// use sam_exec::Inputs;
+/// use sam_tensor::{CooTensor, TensorFormat};
+///
+/// let b = CooTensor::from_entries(vec![4], vec![(vec![1], 2.0)]).unwrap();
+/// let inputs = Inputs::new().coo("b", &b, TensorFormat::sparse_vec());
+/// assert!(inputs.get("b").is_some());
+/// assert!(inputs.get("missing").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    tensors: BTreeMap<String, Tensor>,
+}
+
+impl Inputs {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        Inputs::default()
+    }
+
+    /// Binds a fibertree tensor under its own name.
+    pub fn tensor(mut self, tensor: Tensor) -> Self {
+        self.tensors.insert(tensor.name().to_string(), tensor);
+        self
+    }
+
+    /// Builds a fibertree from COO data and binds it under `name`.
+    pub fn coo(self, name: &str, coo: &CooTensor, format: TensorFormat) -> Self {
+        self.tensor(Tensor::from_coo(name, coo, format))
+    }
+
+    /// The tensor bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.tensors.get(name)
+    }
+
+    /// Iterates the bound `(name, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.tensors.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of bound tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_by_tensor_name() {
+        let coo = CooTensor::from_entries(vec![3], vec![(vec![0], 1.0)]).unwrap();
+        let t = Tensor::from_coo("c", &coo, TensorFormat::dense_vec());
+        let inputs = Inputs::new().tensor(t);
+        assert_eq!(inputs.len(), 1);
+        assert!(!inputs.is_empty());
+        assert_eq!(inputs.get("c").unwrap().name(), "c");
+        assert_eq!(inputs.iter().count(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The cycle-approximate backend: instantiates the planned graph as
+//! `sam-primitives` blocks inside the `sam-sim` [`Simulator`].
+
+use crate::bind::Inputs;
+use crate::error::ExecError;
+use crate::plan::{Plan, DEFAULT_MAX_CYCLES};
+use crate::{assemble_output, reducer_policy, Execution, Executor};
+use sam_core::graph::NodeKind;
+use sam_core::wiring::Fork;
+use sam_primitives::writer::{level_sink, val_sink, LevelWriterSink, ValWriterSink};
+use sam_primitives::{
+    root_stream, Alu, CoordDropper, Intersecter, LevelScanner, LevelWriter, Locator, Reducer, Repeater,
+    Unioner, ValArray, ValWriter,
+};
+use sam_sim::{ChannelId, Simulator};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs plans on the cycle-approximate simulator, reporting cycle counts.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleBackend {
+    max_cycles: u64,
+}
+
+impl Default for CycleBackend {
+    fn default() -> Self {
+        CycleBackend { max_cycles: DEFAULT_MAX_CYCLES }
+    }
+}
+
+impl CycleBackend {
+    /// A backend with an explicit cycle budget.
+    pub fn with_max_cycles(max_cycles: u64) -> Self {
+        CycleBackend { max_cycles }
+    }
+}
+
+impl Executor for CycleBackend {
+    fn name(&self) -> &'static str {
+        "cycle"
+    }
+
+    fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+        let start = Instant::now();
+        let nodes = plan.graph().nodes();
+        let mut sim = Simulator::new();
+        // Base channel per (node, output port), plus the channel each
+        // consumer input port reads (identical to the base channel unless a
+        // fork was planned for the port).
+        let mut input_ch: HashMap<(usize, usize), ChannelId> = HashMap::new();
+        let mut out_ch: Vec<Vec<ChannelId>> = vec![Vec::new(); nodes.len()];
+        let mut level_sinks: HashMap<usize, LevelWriterSink> = HashMap::new();
+        let mut vals_sink: Option<ValWriterSink> = None;
+
+        for &id in plan.order() {
+            let kind = &nodes[id.0];
+            let label = format!("n{}:{}", id.0, kind.label());
+            // Allocate this node's output channels and any forks.
+            for (port, consumers) in plan.consumers_of(id).iter().enumerate() {
+                let base = sim.add_channel(format!("{label}.out{port}"));
+                out_ch[id.0].push(base);
+                if consumers.len() == 1 {
+                    let (to, slot) = consumers[0];
+                    input_ch.insert((to.0, slot), base);
+                } else if consumers.len() > 1 {
+                    let mut lanes = Vec::with_capacity(consumers.len());
+                    for (lane, &(to, slot)) in consumers.iter().enumerate() {
+                        let ch = sim.add_channel(format!("{label}.out{port}.fork{lane}"));
+                        input_ch.insert((to.0, slot), ch);
+                        lanes.push(ch);
+                    }
+                    sim.add_block(Box::new(Fork::new(format!("{label}.fork{port}"), base, lanes)));
+                }
+            }
+            let slot = |s: usize| input_ch[&(id.0, s)];
+            match kind {
+                NodeKind::Root { .. } => {
+                    sim.preload(out_ch[id.0][0], root_stream());
+                }
+                NodeKind::LevelScanner { tensor, .. } => {
+                    let t = inputs.get(tensor).expect("validated binding");
+                    let level = Arc::new(t.level(plan.scan_level(id)).clone());
+                    sim.add_block(Box::new(LevelScanner::new(
+                        label,
+                        level,
+                        slot(0),
+                        out_ch[id.0][0],
+                        out_ch[id.0][1],
+                    )));
+                }
+                NodeKind::Repeater { .. } => {
+                    sim.add_block(Box::new(Repeater::new(label, slot(0), slot(1), out_ch[id.0][0])));
+                }
+                NodeKind::Intersecter { .. } => {
+                    sim.add_block(Box::new(Intersecter::new(
+                        label,
+                        [slot(0), slot(1)],
+                        [slot(2), slot(3)],
+                        out_ch[id.0][0],
+                        [out_ch[id.0][1], out_ch[id.0][2]],
+                    )));
+                }
+                NodeKind::Unioner { .. } => {
+                    sim.add_block(Box::new(Unioner::new(
+                        label,
+                        [slot(0), slot(1)],
+                        [slot(2), slot(3)],
+                        out_ch[id.0][0],
+                        [out_ch[id.0][1], out_ch[id.0][2]],
+                    )));
+                }
+                NodeKind::Locator { tensor, .. } => {
+                    let t = inputs.get(tensor).expect("validated binding");
+                    let level = Arc::new(t.level(plan.scan_level(id)).clone());
+                    sim.add_block(Box::new(Locator::new(
+                        label,
+                        level,
+                        slot(0),
+                        slot(1),
+                        out_ch[id.0][0],
+                        out_ch[id.0][1],
+                        out_ch[id.0][2],
+                    )));
+                }
+                NodeKind::Array { tensor } => {
+                    let t = inputs.get(tensor).expect("validated binding");
+                    let vals = Arc::new(t.vals().to_vec());
+                    sim.add_block(Box::new(ValArray::new(label, vals, slot(0), out_ch[id.0][0])));
+                }
+                NodeKind::Alu { .. } => {
+                    sim.add_block(Box::new(Alu::new(
+                        label,
+                        plan.alu_op(id),
+                        [slot(0), slot(1)],
+                        out_ch[id.0][0],
+                    )));
+                }
+                NodeKind::Reducer { order } => {
+                    let policy = reducer_policy(*order);
+                    let block = match order {
+                        0 => Reducer::scalar(label, slot(0), out_ch[id.0][0], policy),
+                        1 => {
+                            Reducer::vector(label, slot(0), slot(1), out_ch[id.0][0], out_ch[id.0][1], policy)
+                        }
+                        _ => Reducer::matrix(
+                            label,
+                            [slot(0), slot(1)],
+                            slot(2),
+                            [out_ch[id.0][0], out_ch[id.0][1]],
+                            out_ch[id.0][2],
+                            policy,
+                        ),
+                    };
+                    sim.add_block(Box::new(block));
+                }
+                NodeKind::CoordDropper { .. } => {
+                    sim.add_block(Box::new(CoordDropper::new(
+                        label,
+                        slot(0),
+                        slot(1),
+                        out_ch[id.0][0],
+                        out_ch[id.0][1],
+                    )));
+                }
+                NodeKind::LevelWriter { vals, .. } => {
+                    if *vals {
+                        let sink = val_sink();
+                        sim.add_block(Box::new(ValWriter::new(label, slot(0), sink.clone())));
+                        vals_sink = Some(sink);
+                    } else {
+                        let sink = level_sink();
+                        sim.add_block(Box::new(LevelWriter::new(
+                            label,
+                            plan.writer_dim(id),
+                            slot(0),
+                            sink.clone(),
+                        )));
+                        level_sinks.insert(id.0, sink);
+                    }
+                }
+                NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
+                    unreachable!("rejected during planning")
+                }
+            }
+        }
+
+        let report = sim.run(self.max_cycles)?;
+
+        let levels: Vec<_> = plan
+            .level_writers()
+            .iter()
+            .map(|w| {
+                level_sinks[&w.0]
+                    .lock()
+                    .expect("level sink")
+                    .clone()
+                    .ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() })
+            })
+            .collect::<Result<_, _>>()?;
+        let vals = vals_sink
+            .expect("plan guarantees a values writer")
+            .lock()
+            .expect("vals sink")
+            .clone()
+            .ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+        let output = assemble_output(plan, levels, &vals)?;
+
+        Ok(Execution {
+            backend: self.name(),
+            output,
+            vals,
+            cycles: Some(report.cycles),
+            blocks: report.blocks,
+            channels: report.channels,
+            tokens: report.total_tokens,
+            elapsed: start.elapsed(),
+        })
+    }
+}

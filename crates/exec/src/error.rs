@@ -1,0 +1,199 @@
+//! Error types for planning and executing SAM graphs.
+
+use sam_sim::SimulationError;
+use std::fmt;
+
+/// An error found while planning a graph for execution.
+///
+/// Planning validates the graph structurally (acyclicity, port wiring) and
+/// against the bound tensors (names, formats, dimensions) before any backend
+/// runs, so execution failures surface as typed errors instead of mid-run
+/// panics or deadlocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The graph contains a primitive the executor cannot run.
+    UnsupportedNode {
+        /// Label of the offending node.
+        label: String,
+    },
+    /// The graph is not a DAG.
+    Cycle {
+        /// Labels of the nodes involved in (or downstream of) the cycle.
+        stuck: Vec<String>,
+    },
+    /// An input port of a node has no incoming edge.
+    UnboundInput {
+        /// Label of the consumer node.
+        label: String,
+        /// The unbound input-port index.
+        port: usize,
+    },
+    /// A node received more inputs than its signature accepts, or an edge's
+    /// stream kind fits no remaining port.
+    ExtraInput {
+        /// Label of the consumer node.
+        label: String,
+        /// Label of the offending edge.
+        edge: String,
+    },
+    /// Two edges claim the same input port.
+    DuplicateInput {
+        /// Label of the consumer node.
+        label: String,
+        /// The contested input-port index.
+        port: usize,
+    },
+    /// An edge names an out-of-range or kind-incompatible port.
+    BadPort {
+        /// Label of the edge.
+        edge: String,
+    },
+    /// An unported edge could not be attributed to a unique output port.
+    AmbiguousPort {
+        /// Label of the producer node.
+        label: String,
+    },
+    /// A node references a tensor that was not bound.
+    UnknownTensor {
+        /// The tensor name.
+        name: String,
+    },
+    /// A reference stream reaching a scanner or locator belongs to a
+    /// different tensor than the node declares.
+    TensorMismatch {
+        /// Label of the consumer node.
+        label: String,
+        /// Tensor the node declares.
+        expected: String,
+        /// Tensor the incoming reference stream iterates.
+        found: String,
+    },
+    /// A scanner or locator sits deeper than the bound tensor has levels.
+    LevelOutOfRange {
+        /// The tensor name.
+        tensor: String,
+        /// The storage level the node would read.
+        level: usize,
+    },
+    /// A scanner's compressed/dense annotation contradicts the bound level.
+    FormatMismatch {
+        /// The tensor name.
+        tensor: String,
+        /// The storage level with the contradiction.
+        level: usize,
+    },
+    /// An ALU names an operation the executor does not know.
+    UnknownAluOp {
+        /// The operation mnemonic.
+        op: String,
+    },
+    /// The graph has no values writer, so it produces no output.
+    MissingValsWriter,
+    /// The graph has several values writers.
+    MultipleValsWriters,
+    /// No scanner iterates the index variable of a level writer, so its
+    /// dimension cannot be inferred.
+    UnknownDimension {
+        /// The index variable.
+        index: char,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnsupportedNode { label } => write!(f, "node `{label}` is not executable"),
+            PlanError::Cycle { stuck } => write!(f, "graph contains a cycle through: {}", stuck.join(", ")),
+            PlanError::UnboundInput { label, port } => {
+                write!(f, "input port {port} of `{label}` has no incoming stream")
+            }
+            PlanError::ExtraInput { label, edge } => {
+                write!(f, "edge `{edge}` does not fit any free input port of `{label}`")
+            }
+            PlanError::DuplicateInput { label, port } => {
+                write!(f, "input port {port} of `{label}` is driven by more than one stream")
+            }
+            PlanError::BadPort { edge } => write!(f, "edge `{edge}` names an invalid port"),
+            PlanError::AmbiguousPort { label } => {
+                write!(f, "outputs of `{label}` cannot be attributed to unique ports; wire explicit ports")
+            }
+            PlanError::UnknownTensor { name } => write!(f, "tensor `{name}` is not bound"),
+            PlanError::TensorMismatch { label, expected, found } => {
+                write!(f, "`{label}` expects tensor `{expected}` but receives a `{found}` reference stream")
+            }
+            PlanError::LevelOutOfRange { tensor, level } => {
+                write!(f, "tensor `{tensor}` has no storage level {level}")
+            }
+            PlanError::FormatMismatch { tensor, level } => {
+                write!(f, "scanner annotation disagrees with level {level} of tensor `{tensor}`")
+            }
+            PlanError::UnknownAluOp { op } => write!(f, "unknown ALU operation `{op}`"),
+            PlanError::MissingValsWriter => write!(f, "graph has no values writer"),
+            PlanError::MultipleValsWriters => write!(f, "graph has more than one values writer"),
+            PlanError::UnknownDimension { index } => {
+                write!(f, "no scanner iterates `{index}`, so the output dimension is unknown")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// An error raised while executing a planned graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Planning failed.
+    Plan(PlanError),
+    /// The cycle-approximate simulation failed (deadlock or cycle limit).
+    Sim(SimulationError),
+    /// The fast backend found structurally misaligned streams at a node —
+    /// the functional analogue of a simulator deadlock.
+    Misaligned {
+        /// Label of the node that observed the mismatch.
+        label: String,
+    },
+    /// A value-array reference left the bounds of its tensor's values.
+    RefOutOfBounds {
+        /// Label of the array node.
+        label: String,
+        /// The offending reference.
+        reference: usize,
+    },
+    /// A writer never received its done token, so the output is incomplete.
+    IncompleteOutput {
+        /// Label of the writer.
+        label: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Plan(e) => write!(f, "planning failed: {e}"),
+            ExecError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExecError::Misaligned { label } => {
+                write!(f, "streams reaching `{label}` are structurally misaligned")
+            }
+            ExecError::RefOutOfBounds { label, reference } => {
+                write!(f, "reference {reference} out of bounds at `{label}`")
+            }
+            ExecError::IncompleteOutput { label } => {
+                write!(f, "writer `{label}` did not finish")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}
+
+impl From<SimulationError> for ExecError {
+    fn from(e: SimulationError) -> Self {
+        ExecError::Sim(e)
+    }
+}

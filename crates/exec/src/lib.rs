@@ -1,0 +1,259 @@
+//! # sam-exec
+//!
+//! A graph-driven execution engine that runs any [`SamGraph`] end-to-end —
+//! whether hand-built through `sam_core::build::GraphBuilder`, taken from
+//! the `sam_core::graphs` kernel catalog, or compiled from tensor index
+//! notation by `custard::lower_exec`.
+//!
+//! The crate has two halves:
+//!
+//! * a **planner** ([`Plan`]) that topologically orders the graph, resolves
+//!   every edge to producer/consumer ports, plans the stream forks that
+//!   hand-wired kernels insert manually, binds tensor inputs by name and
+//!   validates the whole configuration up front, and
+//! * two **backends** behind one [`Executor`] trait:
+//!   [`CycleBackend`] instantiates `sam-primitives` blocks into the
+//!   `sam-sim` simulator for cycle-approximate runs, while [`FastBackend`]
+//!   evaluates the same plan functionally, whole streams at a time, for raw
+//!   throughput (the "fast concrete executor next to the instrumented
+//!   machine" pattern).
+//!
+//! ```
+//! use sam_core::graphs;
+//! use sam_exec::{execute, CycleBackend, FastBackend, Inputs};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! // x(i) = b(i) * c(i) over two sparse vectors, on both backends.
+//! let graph = graphs::vec_elem_mul(true);
+//! let b = synth::random_vector(64, 12, 1);
+//! let c = synth::random_vector(64, 12, 2);
+//! let inputs = Inputs::new()
+//!     .coo("b", &b, TensorFormat::sparse_vec())
+//!     .coo("c", &c, TensorFormat::sparse_vec());
+//! let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
+//! let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+//! assert!(cycle.cycles.unwrap() > 0);
+//! assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
+//! ```
+
+pub mod bind;
+pub mod cycle;
+pub mod error;
+pub mod fast;
+pub mod plan;
+
+pub use bind::Inputs;
+pub use cycle::CycleBackend;
+pub use error::{ExecError, PlanError};
+pub use fast::FastBackend;
+pub use plan::{Plan, PortRef, DEFAULT_MAX_CYCLES};
+
+use sam_core::graph::SamGraph;
+use sam_primitives::EmptyFiberPolicy;
+use sam_tensor::level::{CompressedLevel, Level};
+use sam_tensor::{Tensor, TensorFormat};
+use std::time::Duration;
+
+/// The outcome of executing a planned graph on one backend.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Which backend ran ("cycle" or "fast").
+    pub backend: &'static str,
+    /// The assembled output tensor (absent for graphs with no level
+    /// writers, e.g. full reductions to a scalar).
+    pub output: Option<Tensor>,
+    /// The raw output values, exactly as the values writer received them.
+    pub vals: Vec<f64>,
+    /// Simulated cycles (cycle backend only).
+    pub cycles: Option<u64>,
+    /// Number of primitive instances executed (including planned forks on
+    /// the cycle backend).
+    pub blocks: usize,
+    /// Number of streams/channels materialized.
+    pub channels: usize,
+    /// Total tokens that flowed through the graph.
+    pub tokens: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// A backend that can run a [`Plan`].
+pub trait Executor {
+    /// Short backend name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes the plan over the bound inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] when the run fails (simulator deadlock,
+    /// cycle limit, misaligned streams, out-of-bounds references, or an
+    /// incomplete output).
+    fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError>;
+}
+
+/// Plans `graph` over `inputs` and runs it on `backend` in one call.
+///
+/// # Errors
+///
+/// Returns any planning or execution error; see [`Plan::build`] and
+/// [`Executor::run`].
+pub fn execute(graph: &SamGraph, inputs: &Inputs, backend: &dyn Executor) -> Result<Execution, ExecError> {
+    let plan = Plan::build(graph, inputs)?;
+    backend.run(&plan, inputs)
+}
+
+/// The accumulation policy the executor assigns to a reducer of the given
+/// order: scalar reducers emit explicit zeros so their value streams stay
+/// aligned with the outer coordinate streams feeding the writers; vector
+/// and matrix reducers emit only accumulated coordinates.
+pub(crate) fn reducer_policy(order: usize) -> EmptyFiberPolicy {
+    if order == 0 {
+        EmptyFiberPolicy::ExplicitZero
+    } else {
+        EmptyFiberPolicy::Drop
+    }
+}
+
+/// Assembles the output tensor from the written levels and values. Both
+/// backends share this, so their outputs are structurally identical.
+pub(crate) fn assemble_output(
+    plan: &Plan,
+    levels: Vec<CompressedLevel>,
+    vals: &[f64],
+) -> Result<Option<Tensor>, ExecError> {
+    if levels.is_empty() {
+        return Ok(None);
+    }
+    let expected = levels.last().expect("nonempty").crd.len();
+    if vals.len() != expected {
+        return Err(ExecError::Misaligned { label: "output assembly".to_string() });
+    }
+    let order = levels.len();
+    Ok(Some(Tensor::from_parts(
+        plan.output_name(),
+        plan.output_shape().to_vec(),
+        TensorFormat::csf(order),
+        levels.into_iter().map(Level::Compressed).collect(),
+        vals.to_vec(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_core::graphs;
+    use sam_core::kernels::spmm::SpmmDataflow;
+    use sam_tensor::reference::Environment;
+    use sam_tensor::{expr::table1, synth, TensorFormat};
+
+    fn dense_env(pairs: &[(&str, &sam_tensor::CooTensor)]) -> Environment {
+        let mut env = Environment::new();
+        for (name, coo) in pairs {
+            env.insert(name, Tensor::from_coo(name, coo, TensorFormat::dense(coo.order())).to_dense());
+        }
+        env
+    }
+
+    #[test]
+    fn vecmul_graph_runs_on_both_backends() {
+        let graph = graphs::vec_elem_mul(true);
+        let b = synth::random_vector(200, 40, 3);
+        let c = synth::random_vector(200, 50, 4);
+        let inputs =
+            Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
+        let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
+        let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+        let mut env = dense_env(&[("b", &b), ("c", &c)]);
+        env.set_dim('i', 200);
+        let expect = env.evaluate(&table1::vec_elem_mul()).unwrap();
+        assert!(cycle.output.as_ref().unwrap().to_dense().approx_eq(&expect));
+        assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
+        assert!(cycle.cycles.unwrap() > 0);
+        assert!(fast.cycles.is_none());
+        assert!(fast.tokens > 0);
+    }
+
+    #[test]
+    fn spmv_graph_matches_dense_reference() {
+        let graph = graphs::spmv();
+        let b = synth::random_matrix_sparsity(30, 20, 0.9, 5);
+        let c = synth::random_vector(20, 20, 6);
+        let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec());
+        let mut env = dense_env(&[("B", &b)]);
+        env.insert("c", Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense());
+        env.bind_dims(&table1::spmv(), &[]);
+        let expect = env.evaluate(&table1::spmv()).unwrap();
+        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+            let run = execute(&graph, &inputs, backend).unwrap();
+            assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
+        }
+    }
+
+    #[test]
+    fn every_spmm_dataflow_graph_matches_reference() {
+        let b = synth::random_matrix_sparsity(18, 14, 0.85, 7);
+        let c = synth::random_matrix_sparsity(14, 16, 0.85, 8);
+        let mut env = dense_env(&[("B", &b), ("C", &c)]);
+        env.bind_dims(&table1::spmm(), &[]);
+        let expect = env.evaluate(&table1::spmm()).unwrap();
+        for dataflow in
+            [SpmmDataflow::LinearCombination, SpmmDataflow::InnerProduct, SpmmDataflow::OuterProduct]
+        {
+            let graph = graphs::spmm(dataflow);
+            let b_fmt = if dataflow == SpmmDataflow::OuterProduct {
+                TensorFormat::dcsc()
+            } else {
+                TensorFormat::dcsr()
+            };
+            let c_fmt = if dataflow == SpmmDataflow::InnerProduct {
+                TensorFormat::dcsc()
+            } else {
+                TensorFormat::dcsr()
+            };
+            let inputs = Inputs::new().coo("B", &b, b_fmt).coo("C", &c, c_fmt);
+            let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
+            let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+            assert!(
+                cycle.output.as_ref().unwrap().to_dense().approx_eq(&expect),
+                "{} cycle run diverged",
+                graph.name
+            );
+            assert!(
+                fast.output.as_ref().unwrap().to_dense().approx_eq(&expect),
+                "{} fast run diverged",
+                graph.name
+            );
+        }
+    }
+
+    #[test]
+    fn sddmm_graph_matches_reference() {
+        let (i, j, k) = (12, 10, 4);
+        let b = synth::random_matrix_sparsity(i, j, 0.8, 9);
+        let c = synth::dense_matrix(i, k, 10);
+        let d = synth::dense_matrix(j, k, 11);
+        let graph = graphs::sddmm_coiteration();
+        let inputs = Inputs::new()
+            .coo("B", &b, TensorFormat::dcsr())
+            .coo("C", &c, TensorFormat::dense(2))
+            .coo("D", &d, TensorFormat::dense(2));
+        let mut env = dense_env(&[("B", &b), ("C", &c), ("D", &d)]);
+        env.bind_dims(&table1::sddmm(), &[]);
+        let expect = env.evaluate(&table1::sddmm()).unwrap();
+        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+            let run = execute(&graph, &inputs, backend).unwrap();
+            assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
+        }
+    }
+
+    #[test]
+    fn identity_graph_round_trips() {
+        let b = synth::random_matrix_sparsity(15, 12, 0.85, 12);
+        let graph = graphs::identity();
+        let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr());
+        let run = execute(&graph, &inputs, &FastBackend).unwrap();
+        let expect = Tensor::from_coo("B", &b, TensorFormat::dcsr());
+        assert!(run.output.unwrap().approx_eq(&expect));
+    }
+}

@@ -1,0 +1,397 @@
+//! The planner: turns an arbitrary [`SamGraph`] plus bound tensors into an
+//! executable [`Plan`].
+//!
+//! Planning performs, in order:
+//!
+//! 1. **Support check** — every node must be an executable primitive.
+//! 2. **Port resolution** — each edge is attributed to one output port of
+//!    its producer and one input port of its consumer. Explicitly wired
+//!    edges (built via `sam_core::build::GraphBuilder`) are validated;
+//!    unported edges are inferred from stream kinds where unambiguous.
+//! 3. **Topological ordering** — Kahn's algorithm; cycles are reported with
+//!    the labels of the stuck nodes.
+//! 4. **Fan-out planning** — output ports feeding several consumers are
+//!    recorded so backends can insert stream forks (the `Fork` block that
+//!    hand-wired kernels place manually).
+//! 5. **Tensor binding** — reference streams are traced from the roots so
+//!    every scanner/locator knows which storage level of which bound tensor
+//!    it reads, output dimensions are inferred per index variable, and the
+//!    output writers are collected.
+
+use crate::bind::Inputs;
+use crate::error::PlanError;
+use sam_core::graph::{NodeId, NodeKind, SamGraph};
+use sam_primitives::AluOp;
+use std::collections::HashMap;
+
+/// A producer endpoint: output port `port` of node `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortRef {
+    /// The producing node.
+    pub node: NodeId,
+    /// The output-port index.
+    pub port: usize,
+}
+
+/// Default cycle budget used by the cycle-approximate backend.
+pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+
+/// An executable plan for one graph over one set of input bindings.
+///
+/// The plan owns a clone of the graph, so it stays valid independently of
+/// the caller's copy; it borrows nothing. Both backends consume the same
+/// plan, which is what guarantees they run the same dataflow.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    graph: SamGraph,
+    order: Vec<NodeId>,
+    /// Per node: the producer endpoint feeding each input port.
+    node_inputs: Vec<Vec<PortRef>>,
+    /// Per node and output port: `(consumer node, consumer input port)`.
+    consumers: Vec<Vec<Vec<(NodeId, usize)>>>,
+    /// Per node: storage level read by scanners and locators.
+    scan_levels: Vec<usize>,
+    /// Per node: output dimension of level writers.
+    writer_dims: Vec<usize>,
+    /// Per node: parsed ALU operation.
+    alu_ops: Vec<Option<AluOp>>,
+    level_writers: Vec<NodeId>,
+    vals_writer: NodeId,
+    output_name: String,
+    output_shape: Vec<usize>,
+}
+
+impl Plan {
+    /// Plans `graph` for execution over `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] describing the first structural or binding
+    /// problem found; see the module docs for the validation phases.
+    pub fn build(graph: &SamGraph, inputs: &Inputs) -> Result<Plan, PlanError> {
+        let n = graph.len();
+        let nodes = graph.nodes();
+
+        // Phase 1: support check.
+        for kind in nodes {
+            if matches!(kind, NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter) {
+                return Err(PlanError::UnsupportedNode { label: kind.label() });
+            }
+        }
+
+        // Phase 2a: attribute each edge to a producer output port.
+        let mut src_ports: Vec<usize> = Vec::with_capacity(graph.edges().len());
+        {
+            // Track, per producer, which inferred ports were already handed out.
+            let mut next_inferred: HashMap<(usize, usize), usize> = HashMap::new();
+            for e in graph.edges() {
+                let outs = nodes[e.from.0].output_ports();
+                let port = match e.src_port {
+                    Some(p) => {
+                        if p >= outs.len() || !outs[p].accepts(e.kind) {
+                            return Err(PlanError::BadPort { edge: e.label.clone() });
+                        }
+                        p
+                    }
+                    None => {
+                        let candidates: Vec<usize> =
+                            (0..outs.len()).filter(|&p| outs[p].accepts(e.kind)).collect();
+                        match candidates.len() {
+                            0 => return Err(PlanError::BadPort { edge: e.label.clone() }),
+                            1 => candidates[0],
+                            _ => {
+                                // Several ports carry this kind: deal them out in
+                                // edge order (matching sibling-edge conventions),
+                                // wrapping back to the first for pure fan-out.
+                                let unported = graph
+                                    .edges()
+                                    .iter()
+                                    .filter(|o| o.from == e.from && o.kind == e.kind && o.src_port.is_none())
+                                    .count();
+                                if unported > candidates.len() {
+                                    return Err(PlanError::AmbiguousPort { label: nodes[e.from.0].label() });
+                                }
+                                let key = (e.from.0, candidates[0]);
+                                let idx = next_inferred.entry(key).or_insert(0);
+                                let port = candidates[*idx % candidates.len()];
+                                *idx += 1;
+                                port
+                            }
+                        }
+                    }
+                };
+                src_ports.push(port);
+            }
+        }
+
+        // Phase 2b: bind each edge to a consumer input port.
+        let mut node_inputs: Vec<Vec<Option<PortRef>>> =
+            nodes.iter().map(|k| vec![None; k.input_ports().len()]).collect();
+        let mut dst_slots: Vec<usize> = Vec::with_capacity(graph.edges().len());
+        for (idx, e) in graph.edges().iter().enumerate() {
+            let ins = nodes[e.to.0].input_ports();
+            let label = nodes[e.to.0].label();
+            let slot = match e.dst_port {
+                Some(p) => {
+                    if p >= ins.len() || !ins[p].accepts(e.kind) {
+                        return Err(PlanError::BadPort { edge: e.label.clone() });
+                    }
+                    if node_inputs[e.to.0][p].is_some() {
+                        return Err(PlanError::DuplicateInput { label, port: p });
+                    }
+                    p
+                }
+                None => (0..ins.len())
+                    .find(|&p| ins[p].accepts(e.kind) && node_inputs[e.to.0][p].is_none())
+                    .ok_or(PlanError::ExtraInput { label, edge: e.label.clone() })?,
+            };
+            node_inputs[e.to.0][slot] = Some(PortRef { node: e.from, port: src_ports[idx] });
+            dst_slots.push(slot);
+        }
+        let node_inputs: Vec<Vec<PortRef>> = node_inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, slots)| {
+                slots
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, s)| s.ok_or(PlanError::UnboundInput { label: nodes[i].label(), port: p }))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Phase 3: topological order (Kahn).
+        let mut indegree = vec![0usize; n];
+        for e in graph.edges() {
+            indegree[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(NodeId(u));
+            for e in graph.edges().iter().filter(|e| e.from.0 == u) {
+                indegree[e.to.0] -= 1;
+                if indegree[e.to.0] == 0 {
+                    queue.push(e.to.0);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).filter(|&i| indegree[i] > 0).map(|i| nodes[i].label()).collect();
+            return Err(PlanError::Cycle { stuck });
+        }
+
+        // Phase 4: fan-out per output port.
+        let mut consumers: Vec<Vec<Vec<(NodeId, usize)>>> =
+            nodes.iter().map(|k| vec![Vec::new(); k.output_ports().len()]).collect();
+        for (idx, e) in graph.edges().iter().enumerate() {
+            consumers[e.from.0][src_ports[idx]].push((e.to, dst_slots[idx]));
+        }
+
+        // Phase 5: tensor binding along reference streams.
+        let mut scan_levels = vec![0usize; n];
+        let mut writer_dims = vec![0usize; n];
+        let mut alu_ops: Vec<Option<AluOp>> = vec![None; n];
+        let mut ref_ann: HashMap<(usize, usize), (String, usize)> = HashMap::new();
+        let mut dims: HashMap<char, usize> = HashMap::new();
+        let mut level_writers = Vec::new();
+        let mut vals_writer: Option<NodeId> = None;
+        let mut output_name = String::new();
+
+        let lookup_ref = |ref_ann: &HashMap<(usize, usize), (String, usize)>,
+                          p: &PortRef,
+                          label: String,
+                          expected: &str|
+         -> Result<(String, usize), PlanError> {
+            match ref_ann.get(&(p.node.0, p.port)) {
+                Some(ann) => Ok(ann.clone()),
+                None => Err(PlanError::TensorMismatch {
+                    label,
+                    expected: expected.to_string(),
+                    found: "<untracked>".to_string(),
+                }),
+            }
+        };
+
+        for &id in &order {
+            let kind = &nodes[id.0];
+            match kind {
+                NodeKind::Root { tensor } => {
+                    if inputs.get(tensor).is_none() {
+                        return Err(PlanError::UnknownTensor { name: tensor.clone() });
+                    }
+                    ref_ann.insert((id.0, 0), (tensor.clone(), 0));
+                }
+                NodeKind::LevelScanner { tensor, index, compressed } => {
+                    let src = &node_inputs[id.0][0];
+                    let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
+                    if &t != tensor {
+                        return Err(PlanError::TensorMismatch {
+                            label: kind.label(),
+                            expected: tensor.clone(),
+                            found: t,
+                        });
+                    }
+                    let bound =
+                        inputs.get(tensor).ok_or(PlanError::UnknownTensor { name: tensor.clone() })?;
+                    if depth >= bound.levels().len() {
+                        return Err(PlanError::LevelOutOfRange { tensor: tensor.clone(), level: depth });
+                    }
+                    let level = bound.level(depth);
+                    if level.is_dense() == *compressed {
+                        return Err(PlanError::FormatMismatch { tensor: tensor.clone(), level: depth });
+                    }
+                    scan_levels[id.0] = depth;
+                    dims.entry(*index).or_insert_with(|| level.dimension());
+                    ref_ann.insert((id.0, 1), (tensor.clone(), depth + 1));
+                }
+                NodeKind::Locator { tensor, index } => {
+                    let src = &node_inputs[id.0][1];
+                    let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
+                    if &t != tensor {
+                        return Err(PlanError::TensorMismatch {
+                            label: kind.label(),
+                            expected: tensor.clone(),
+                            found: t,
+                        });
+                    }
+                    let bound =
+                        inputs.get(tensor).ok_or(PlanError::UnknownTensor { name: tensor.clone() })?;
+                    if depth >= bound.levels().len() {
+                        return Err(PlanError::LevelOutOfRange { tensor: tensor.clone(), level: depth });
+                    }
+                    scan_levels[id.0] = depth;
+                    dims.entry(*index).or_insert_with(|| bound.level(depth).dimension());
+                    ref_ann.insert((id.0, 1), (tensor.clone(), depth));
+                    ref_ann.insert((id.0, 2), (tensor.clone(), depth + 1));
+                }
+                NodeKind::Repeater { .. } => {
+                    let src = &node_inputs[id.0][1];
+                    if let Some(ann) = ref_ann.get(&(src.node.0, src.port)).cloned() {
+                        ref_ann.insert((id.0, 0), ann);
+                    }
+                }
+                NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
+                    for (slot, port) in [(2usize, 1usize), (3, 2)] {
+                        let src = &node_inputs[id.0][slot];
+                        if let Some(ann) = ref_ann.get(&(src.node.0, src.port)).cloned() {
+                            ref_ann.insert((id.0, port), ann);
+                        }
+                    }
+                }
+                NodeKind::Array { tensor } => {
+                    if inputs.get(tensor).is_none() {
+                        return Err(PlanError::UnknownTensor { name: tensor.clone() });
+                    }
+                }
+                NodeKind::Alu { op } => {
+                    alu_ops[id.0] = Some(match op.as_str() {
+                        "add" => AluOp::Add,
+                        "sub" => AluOp::Sub,
+                        "mul" => AluOp::Mul,
+                        other => return Err(PlanError::UnknownAluOp { op: other.to_string() }),
+                    });
+                }
+                NodeKind::LevelWriter { tensor, index, vals } => {
+                    output_name = tensor.clone();
+                    if *vals {
+                        if vals_writer.is_some() {
+                            return Err(PlanError::MultipleValsWriters);
+                        }
+                        vals_writer = Some(id);
+                    } else {
+                        let dim = *dims.get(index).ok_or(PlanError::UnknownDimension { index: *index })?;
+                        writer_dims[id.0] = dim;
+                        level_writers.push(id);
+                    }
+                }
+                NodeKind::Reducer { .. } | NodeKind::CoordDropper { .. } => {}
+                NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
+                    unreachable!("rejected in phase 1")
+                }
+            }
+        }
+        let vals_writer = vals_writer.ok_or(PlanError::MissingValsWriter)?;
+        // Writers are visited in dependency order above; the output levels
+        // must follow graph declaration order (outermost first).
+        level_writers.sort_unstable();
+        let output_shape = level_writers.iter().map(|w| writer_dims[w.0]).collect();
+
+        Ok(Plan {
+            graph: graph.clone(),
+            order,
+            node_inputs,
+            consumers,
+            scan_levels,
+            writer_dims,
+            alu_ops,
+            level_writers,
+            vals_writer,
+            output_name,
+            output_shape,
+        })
+    }
+
+    /// The planned graph.
+    pub fn graph(&self) -> &SamGraph {
+        &self.graph
+    }
+
+    /// Nodes in topological order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The producer endpoints feeding each input port of `node`.
+    pub fn inputs_of(&self, node: NodeId) -> &[PortRef] {
+        &self.node_inputs[node.0]
+    }
+
+    /// The consumers of each output port of `node`.
+    pub fn consumers_of(&self, node: NodeId) -> &[Vec<(NodeId, usize)>] {
+        &self.consumers[node.0]
+    }
+
+    /// Total number of planned stream forks (ports with fan-out above one).
+    pub fn fork_count(&self) -> usize {
+        self.consumers.iter().flatten().filter(|c| c.len() > 1).count()
+    }
+
+    /// The storage level a scanner or locator reads.
+    pub fn scan_level(&self, node: NodeId) -> usize {
+        self.scan_levels[node.0]
+    }
+
+    /// The output dimension of a level writer.
+    pub fn writer_dim(&self, node: NodeId) -> usize {
+        self.writer_dims[node.0]
+    }
+
+    /// The parsed operation of an ALU node.
+    pub fn alu_op(&self, node: NodeId) -> AluOp {
+        self.alu_ops[node.0].expect("validated ALU")
+    }
+
+    /// The level writers in output-level order (outermost first).
+    pub fn level_writers(&self) -> &[NodeId] {
+        &self.level_writers
+    }
+
+    /// The values writer.
+    pub fn vals_writer(&self) -> NodeId {
+        self.vals_writer
+    }
+
+    /// Name of the output tensor.
+    pub fn output_name(&self) -> &str {
+        &self.output_name
+    }
+
+    /// Shape of the output tensor (one dimension per level writer).
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+}

@@ -1,0 +1,146 @@
+//! The compile → IR → execute pipeline: Custard-compiled expressions run
+//! through `sam-exec` on both backends and match the dense reference
+//! evaluator — the gap the executor closes over the hand-wired kernels.
+
+use custard::{lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
+use sam_exec::{execute, CycleBackend, Executor, FastBackend, Inputs};
+use sam_tensor::reference::Environment;
+use sam_tensor::{synth, CooTensor, Tensor, TensorFormat};
+
+/// Compiles `text` under `schedule`/`formats`, binds the named COO operands
+/// with the storage formats the lowering derived, runs both backends, and
+/// checks each result against the dense reference evaluator.
+fn check(text: &str, schedule: &Schedule, formats: Formats, operands: &[(&str, &CooTensor)]) {
+    let assignment = parse(text).expect("valid tensor index notation");
+    let cin = ConcreteIndexNotation::new(assignment.clone(), schedule, formats);
+    let kernel = lower_exec(&cin).unwrap_or_else(|e| panic!("lowering `{text}` failed: {e}"));
+
+    let mut inputs = Inputs::new();
+    let mut env = Environment::new();
+    for (name, coo) in operands {
+        let fmt = &kernel.formats.iter().find(|(n, _)| n == name).expect("operand in formats").1;
+        inputs = inputs.coo(name, coo, fmt.clone());
+        env.insert(name, Tensor::from_coo(name, coo, TensorFormat::dense(coo.order())).to_dense());
+    }
+    env.bind_dims(&assignment, &[]);
+    let expect = env.evaluate(&assignment).expect("reference evaluation");
+
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+        let run = execute(&kernel.graph, &inputs, backend)
+            .unwrap_or_else(|e| panic!("`{text}` on {}: {e}", backend.name()));
+        let out = run.output.unwrap_or_else(|| panic!("`{text}` produced no tensor"));
+        assert!(
+            out.to_dense().approx_eq(&expect),
+            "`{text}` on {} diverged from the dense reference",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn compiled_spmv_executes_on_both_backends() {
+    let b = synth::random_matrix_sparsity(25, 18, 0.9, 21);
+    let c = synth::random_vector(18, 12, 22);
+    check("x(i) = B(i,j) * c(j)", &Schedule::new(), Formats::new(), &[("B", &b), ("c", &c)]);
+    // Dense vector storage, as in the hand kernel.
+    let dense_c = Formats::new().set("c", TensorFormat::dense_vec());
+    check("x(i) = B(i,j) * c(j)", &Schedule::new(), dense_c, &[("B", &b), ("c", &c)]);
+}
+
+#[test]
+fn compiled_spmm_executes_in_all_three_dataflows() {
+    let b = synth::random_matrix_sparsity(14, 10, 0.85, 23);
+    let c = synth::random_matrix_sparsity(10, 12, 0.85, 24);
+    for order in ["ijk", "ikj", "kij"] {
+        check(
+            "X(i,j) = B(i,k) * C(k,j)",
+            &Schedule::new().reorder(order),
+            Formats::new(),
+            &[("B", &b), ("C", &c)],
+        );
+    }
+}
+
+#[test]
+fn compiled_sddmm_executes() {
+    let (i, j, k) = (10, 9, 3);
+    let b = synth::random_matrix_sparsity(i, j, 0.8, 25);
+    let c = synth::dense_matrix(i, k, 26);
+    let d = synth::dense_matrix(j, k, 27);
+    let formats = Formats::new().set("C", TensorFormat::dense(2)).set("D", TensorFormat::dense(2));
+    check("X(i,j) = B(i,j) * C(i,k) * D(j,k)", &Schedule::new(), formats, &[("B", &b), ("C", &c), ("D", &d)]);
+}
+
+#[test]
+fn compiled_elementwise_and_additive_kernels_execute() {
+    let b = synth::random_vector(60, 15, 28);
+    let c = synth::random_vector(60, 18, 29);
+    check("x(i) = b(i) * c(i)", &Schedule::new(), Formats::new(), &[("b", &b), ("c", &c)]);
+    check("x(i) = b(i) + c(i)", &Schedule::new(), Formats::new(), &[("b", &b), ("c", &c)]);
+
+    let mb = synth::random_matrix_sparsity(12, 9, 0.8, 30);
+    let mc = synth::random_matrix_sparsity(12, 9, 0.8, 31);
+    check("X(i,j) = B(i,j) * C(i,j)", &Schedule::new(), Formats::new(), &[("B", &mb), ("C", &mc)]);
+    check("X(i,j) = B(i,j) + C(i,j)", &Schedule::new(), Formats::new(), &[("B", &mb), ("C", &mc)]);
+}
+
+/// Non-left-deep expression trees associate correctly: `B - (c - d)` must
+/// not compile to `(B - c) - d`. The textual parser is left-associative,
+/// so this builds the right-nested tree through the Expr API directly.
+#[test]
+fn right_nested_subtraction_associates_correctly() {
+    use sam_tensor::expr::{Assignment, Expr};
+    let rhs = Expr::access("B", "ij").sub(Expr::access("c", "i").sub(Expr::access("d", "j")));
+    let assignment = Assignment::new("X", "ij", rhs);
+    let cin = ConcreteIndexNotation::new(assignment.clone(), &Schedule::new(), Formats::new());
+    let kernel = lower_exec(&cin).unwrap();
+
+    // c and d are fully populated: `X = B - c + d` is dense wherever c or d
+    // is nonzero, so sparse operands there would make the expression's true
+    // output denser than the union iteration space can enumerate.
+    let b = synth::random_matrix_sparsity(6, 5, 0.5, 50);
+    let c = synth::random_vector(6, 6, 51);
+    let d = synth::random_vector(5, 5, 52);
+    let mut inputs = Inputs::new();
+    let mut env = Environment::new();
+    for (name, coo) in [("B", &b), ("c", &c), ("d", &d)] {
+        let fmt = kernel.formats.iter().find(|(n, _)| n == name).unwrap().1.clone();
+        inputs = inputs.coo(name, coo, fmt);
+        env.insert(name, Tensor::from_coo(name, coo, TensorFormat::dense(coo.order())).to_dense());
+    }
+    env.bind_dims(&assignment, &[]);
+    let expect = env.evaluate(&assignment).unwrap();
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        assert!(
+            run.output.unwrap().to_dense().approx_eq(&expect),
+            "right-nested subtraction diverged on the {} backend",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn compiled_identity_executes() {
+    let b = synth::random_matrix_sparsity(12, 10, 0.85, 32);
+    check("X(i,j) = B(i,j)", &Schedule::new(), Formats::new(), &[("B", &b)]);
+}
+
+#[test]
+fn compiled_higher_order_contractions_execute() {
+    // TTV: X(i,j) = sum_k B(i,j,k) * c(k).
+    let b3 = synth::random_tensor3([6, 5, 7], 40, 33);
+    let c = synth::random_vector(7, 5, 34);
+    check("X(i,j) = B(i,j,k) * c(k)", &Schedule::new(), Formats::new(), &[("B", &b3), ("c", &c)]);
+
+    // MTTKRP: X(i,j) = sum_{k,l} B(i,k,l) * C(j,k) * D(j,l).
+    let b = synth::random_tensor3([5, 4, 6], 30, 35);
+    let cm = synth::random_matrix_sparsity(5, 4, 0.4, 36);
+    let dm = synth::random_matrix_sparsity(5, 6, 0.4, 37);
+    check(
+        "X(i,j) = B(i,k,l) * C(j,k) * D(j,l)",
+        &Schedule::new(),
+        Formats::new(),
+        &[("B", &b), ("C", &cm), ("D", &dm)],
+    );
+}

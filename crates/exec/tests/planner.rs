@@ -1,0 +1,164 @@
+//! Planner validation: channel allocation, fork insertion, cycle detection
+//! and binding errors.
+
+use sam_core::build::GraphBuilder;
+use sam_core::graph::{NodeKind, SamGraph, StreamKind};
+use sam_core::graphs;
+use sam_exec::{execute, CycleBackend, FastBackend, Inputs, Plan, PlanError};
+use sam_tensor::{synth, TensorFormat};
+
+fn vec_inputs(dim: usize) -> Inputs {
+    let b = synth::random_vector(dim, dim / 4, 1);
+    let c = synth::random_vector(dim, dim / 4, 2);
+    Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec())
+}
+
+#[test]
+fn plan_reports_topological_order_and_forks() {
+    let graph = graphs::spmv();
+    let b = synth::random_matrix_sparsity(10, 8, 0.8, 3);
+    let c = synth::random_vector(8, 8, 4);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec());
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    assert_eq!(plan.order().len(), graph.len());
+    // Every producer precedes its consumers.
+    let position: Vec<usize> = {
+        let mut pos = vec![0; graph.len()];
+        for (i, id) in plan.order().iter().enumerate() {
+            pos[id.0] = i;
+        }
+        pos
+    };
+    for e in graph.edges() {
+        assert!(position[e.from.0] < position[e.to.0], "edge violates topological order");
+    }
+    // SpMV fans out Bi crd (repeater + writer) and Bj crd (repeater + locator).
+    assert_eq!(plan.fork_count(), 2);
+}
+
+#[test]
+fn planned_forks_materialize_as_cycle_backend_blocks() {
+    let graph = graphs::spmv();
+    let b = synth::random_matrix_sparsity(10, 8, 0.8, 3);
+    let c = synth::random_vector(8, 8, 4);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec());
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    let run = sam_exec::Executor::run(&CycleBackend::default(), &plan, &inputs).unwrap();
+    // Simulated blocks = primitive nodes (minus the preloaded roots, which
+    // are channels, not blocks) plus one Fork block per fanned-out port.
+    let roots = graph.nodes().iter().filter(|n| matches!(n, NodeKind::Root { .. })).count();
+    assert_eq!(run.blocks, graph.len() - roots + plan.fork_count());
+}
+
+#[test]
+fn cycle_detection() {
+    let mut graph = SamGraph::new("cyclic");
+    let a = graph.add_node(NodeKind::Alu { op: "add".into() });
+    let b = graph.add_node(NodeKind::Alu { op: "add".into() });
+    graph.add_edge_on(a, 0, b, 0, StreamKind::Val, "a->b");
+    graph.add_edge_on(b, 0, a, 0, StreamKind::Val, "b->a");
+    // Close both remaining ALU inputs so cycle detection is what trips.
+    graph.add_edge_on(a, 0, b, 1, StreamKind::Val, "a->b2");
+    graph.add_edge_on(b, 0, a, 1, StreamKind::Val, "b->a2");
+    match Plan::build(&graph, &Inputs::new()) {
+        Err(PlanError::Cycle { stuck }) => assert_eq!(stuck.len(), 2),
+        other => panic!("expected cycle error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unbound_input_is_reported() {
+    let mut g = GraphBuilder::new("incomplete");
+    let rb = g.root("b");
+    let (crd, _rf) = g.scan("b", 'i', true, rb);
+    // An ALU with only one of its two value inputs connected.
+    let lone = g.array("b", _rf);
+    let alu = g.graph().len();
+    let _ = alu;
+    let mut graph = g.finish();
+    let alu_node = graph.add_node(NodeKind::Alu { op: "mul".into() });
+    graph.add_edge_on(lone.node, lone.port, alu_node, 0, StreamKind::Val, "only input");
+    let wv = graph.add_node(NodeKind::LevelWriter { tensor: "x".into(), index: 'v', vals: true });
+    graph.add_edge_on(alu_node, 0, wv, 0, StreamKind::Val, "vals");
+    let wl = graph.add_node(NodeKind::LevelWriter { tensor: "x".into(), index: 'i', vals: false });
+    graph.add_edge_on(crd.node, crd.port, wl, 0, StreamKind::Crd, "crd");
+    let inputs = vec_inputs(16);
+    match Plan::build(&graph, &inputs) {
+        Err(PlanError::UnboundInput { label, port }) => {
+            assert!(label.contains("alu"), "label was {label}");
+            assert_eq!(port, 1);
+        }
+        other => panic!("expected unbound-input error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tensor_is_reported() {
+    let graph = graphs::vec_elem_mul(true);
+    let b = synth::random_vector(16, 4, 1);
+    let inputs = Inputs::new().coo("b", &b, TensorFormat::sparse_vec());
+    match Plan::build(&graph, &inputs) {
+        Err(PlanError::UnknownTensor { name }) => assert_eq!(name, "c"),
+        other => panic!("expected unknown-tensor error, got {other:?}"),
+    }
+}
+
+#[test]
+fn format_mismatch_is_reported() {
+    // The graph expects compressed vectors but `b` is bound dense.
+    let graph = graphs::vec_elem_mul(true);
+    let b = synth::random_vector(16, 16, 1);
+    let c = synth::random_vector(16, 4, 2);
+    let inputs =
+        Inputs::new().coo("b", &b, TensorFormat::dense_vec()).coo("c", &c, TensorFormat::sparse_vec());
+    match Plan::build(&graph, &inputs) {
+        Err(PlanError::FormatMismatch { tensor, level }) => {
+            assert_eq!(tensor, "b");
+            assert_eq!(level, 0);
+        }
+        other => panic!("expected format-mismatch error, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_vals_writer_is_reported() {
+    let mut g = GraphBuilder::new("no vals");
+    let rb = g.root("b");
+    let (crd, _rf) = g.scan("b", 'i', true, rb);
+    g.write_level("x", 'i', crd);
+    match Plan::build(&g.finish(), &vec_inputs(16)) {
+        Err(PlanError::MissingValsWriter) => {}
+        other => panic!("expected missing-vals-writer error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupported_node_is_reported() {
+    let mut graph = SamGraph::new("unsupported");
+    graph.add_node(NodeKind::Parallelizer);
+    match Plan::build(&graph, &Inputs::new()) {
+        Err(PlanError::UnsupportedNode { .. }) => {}
+        other => panic!("expected unsupported-node error, got {other:?}"),
+    }
+}
+
+#[test]
+fn execute_convenience_runs_both_backends() {
+    let graph = graphs::vec_elem_mul(true);
+    let inputs = vec_inputs(64);
+    let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
+    let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+    assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
+    assert_eq!(cycle.backend, "cycle");
+    assert_eq!(fast.backend, "fast");
+}
+
+#[test]
+fn errors_format_usefully() {
+    let err = PlanError::UnknownTensor { name: "Q".into() };
+    assert!(err.to_string().contains("`Q`"));
+    let err = PlanError::Cycle { stuck: vec!["a".into(), "b".into()] };
+    assert!(err.to_string().contains("a, b"));
+    let err = sam_exec::ExecError::from(PlanError::MissingValsWriter);
+    assert!(err.to_string().contains("planning failed"));
+}

@@ -1,9 +1,9 @@
 //! Array (memory) blocks: value loads and the locator (paper Definitions
 //! 3.5 and 4.1).
 
-use sam_streams::Token;
 use sam_sim::payload::tok;
 use sam_sim::{Block, BlockStatus, ChannelId, Context};
+use sam_streams::Token;
 use sam_tensor::level::Level;
 use std::sync::Arc;
 
@@ -124,7 +124,10 @@ impl Block for Locator {
         if self.done {
             return BlockStatus::Done;
         }
-        if !(ctx.can_push(self.out_crd) && ctx.can_push(self.out_ref_pass) && ctx.can_push(self.out_ref_located)) {
+        if !(ctx.can_push(self.out_crd)
+            && ctx.can_push(self.out_ref_pass)
+            && ctx.can_push(self.out_ref_located))
+        {
             return BlockStatus::Busy;
         }
         let (Some(c), Some(r)) = (ctx.peek(self.in_crd).cloned(), ctx.peek(self.in_ref).cloned()) else {
@@ -190,12 +193,7 @@ mod tests {
         let r = sim.add_channel("ref");
         let v = sim.add_channel("val");
         sim.record(v);
-        sim.add_block(Box::new(ValArray::new(
-            "B_vals",
-            Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
-            r,
-            v,
-        )));
+        sim.add_block(Box::new(ValArray::new("B_vals", Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]), r, v)));
         sim.preload(r, vec![tok::rf(4), tok::rf(0), Token::Empty, tok::stop(1), tok::done()]);
         sim.run(100).unwrap();
         assert_eq!(vals(sim.history(v)), vec![5.0, 1.0]);

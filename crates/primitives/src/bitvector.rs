@@ -7,9 +7,9 @@
 //! for the element-wise vector-multiply study of Figure 13 (flat bitvector
 //! and two-level bit-tree variants).
 
-use sam_streams::{BitVec, Token};
 use sam_sim::payload::{tok, Payload};
 use sam_sim::{Block, BlockStatus, ChannelId, Context};
+use sam_streams::{BitVec, Token};
 use sam_tensor::level::BitvectorLevel;
 use std::sync::{Arc, Mutex};
 
@@ -119,7 +119,15 @@ impl BitvectorConverter {
     /// Panics when `width` is zero or exceeds 64.
     pub fn new(name: impl Into<String>, width: u8, in_crd: ChannelId, out_bits: ChannelId) -> Self {
         assert!(width > 0 && width <= 64, "bitvector width must be in 1..=64");
-        BitvectorConverter { name: name.into(), width, in_crd, out_bits, current: None, pending: Default::default(), done: false }
+        BitvectorConverter {
+            name: name.into(),
+            width,
+            in_crd,
+            out_bits,
+            current: None,
+            pending: Default::default(),
+            done: false,
+        }
     }
 
     fn flush_current(&mut self) {
@@ -222,7 +230,8 @@ impl Block for BitvectorIntersecter {
         if !(ctx.can_push(self.out_bits) && ctx.can_push(self.out_pairs)) {
             return BlockStatus::Busy;
         }
-        let (Some(a), Some(b)) = (ctx.peek(self.in_bits[0]).cloned(), ctx.peek(self.in_bits[1]).cloned()) else {
+        let (Some(a), Some(b)) = (ctx.peek(self.in_bits[0]).cloned(), ctx.peek(self.in_bits[1]).cloned())
+        else {
             return BlockStatus::Busy;
         };
         match (a, b) {
@@ -322,7 +331,9 @@ impl Block for BitvectorVecMul {
             Token::Val(Payload::Bits(word)) => {
                 let mut out = self.sink.lock().expect("poisoned sink");
                 for c in word.iter_coords() {
-                    let (Some(ra), Some(rb)) = (self.level_a.locate_in_fiber0(c), self.level_b.locate_in_fiber0(c)) else {
+                    let (Some(ra), Some(rb)) =
+                        (self.level_a.locate_in_fiber0(c), self.level_b.locate_in_fiber0(c))
+                    else {
                         continue;
                     };
                     out.push((c, self.vals_a[ra] * self.vals_b[rb]));
@@ -495,17 +506,11 @@ mod tests {
         sim.add_block(Box::new(BitvectorScanner::new("bv", level, root, bits, refs)));
         sim.preload(root, crate::source::root_stream());
         sim.run(100).unwrap();
-        let words: Vec<u64> = sim
-            .history(bits)
-            .iter()
-            .filter_map(|t| t.value_ref().map(|p| p.expect_bits().bits))
-            .collect();
+        let words: Vec<u64> =
+            sim.history(bits).iter().filter_map(|t| t.value_ref().map(|p| p.expect_bits().bits)).collect();
         assert_eq!(words, vec![0b0101, 0b0100, 0b0011]);
-        let ranks: Vec<u32> = sim
-            .history(refs)
-            .iter()
-            .filter_map(|t| t.value_ref().map(|p| p.expect_ref()))
-            .collect();
+        let ranks: Vec<u32> =
+            sim.history(refs).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
         assert_eq!(ranks, vec![0, 2, 3]);
     }
 
@@ -516,16 +521,10 @@ mod tests {
         let bits = sim.add_channel("bits");
         sim.record(bits);
         sim.add_block(Box::new(BitvectorConverter::new("conv", 4, crd, bits)));
-        sim.preload(
-            crd,
-            vec![tok::crd(0), tok::crd(2), tok::crd(6), tok::stop(0), tok::done()],
-        );
+        sim.preload(crd, vec![tok::crd(0), tok::crd(2), tok::crd(6), tok::stop(0), tok::done()]);
         sim.run(100).unwrap();
-        let words: Vec<u64> = sim
-            .history(bits)
-            .iter()
-            .filter_map(|t| t.value_ref().map(|p| p.expect_bits().bits))
-            .collect();
+        let words: Vec<u64> =
+            sim.history(bits).iter().filter_map(|t| t.value_ref().map(|p| p.expect_bits().bits)).collect();
         assert_eq!(words, vec![0b0101, 0b0100]);
     }
 

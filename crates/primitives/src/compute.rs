@@ -1,8 +1,8 @@
 //! Computation blocks: ALUs and reducers (paper Definitions 3.6 and 3.7).
 
-use sam_streams::Token;
-use sam_sim::payload::{tok, Payload};
+use sam_sim::payload::tok;
 use sam_sim::{Block, BlockStatus, ChannelId, Context, SimToken};
+use sam_streams::Token;
 use std::collections::{BTreeMap, VecDeque};
 
 /// The arithmetic operation performed by an [`Alu`].
@@ -58,7 +58,8 @@ impl Block for Alu {
         if !ctx.can_push(self.out_val) {
             return BlockStatus::Busy;
         }
-        let (Some(a), Some(b)) = (ctx.peek(self.in_val[0]).cloned(), ctx.peek(self.in_val[1]).cloned()) else {
+        let (Some(a), Some(b)) = (ctx.peek(self.in_val[0]).cloned(), ctx.peek(self.in_val[1]).cloned())
+        else {
             return BlockStatus::Busy;
         };
         match (a, b) {
@@ -152,7 +153,12 @@ pub struct Reducer {
 
 impl Reducer {
     /// Creates a scalar reducer (order 0).
-    pub fn scalar(name: impl Into<String>, in_val: ChannelId, out_val: ChannelId, policy: EmptyFiberPolicy) -> Self {
+    pub fn scalar(
+        name: impl Into<String>,
+        in_val: ChannelId,
+        out_val: ChannelId,
+        policy: EmptyFiberPolicy,
+    ) -> Self {
         Self::new(name, 0, policy, vec![], in_val, vec![], out_val)
     }
 
@@ -265,7 +271,8 @@ impl Reducer {
                     // value outputs; the outer coordinate output is a single
                     // top-level fiber, so it only receives the final stop.
                     let level = if last_fiber { closing_stop.unwrap_or(1) } else { 0 };
-                    let outer_boundary = if last_fiber { tok::stop(level.saturating_sub(1)) } else { tok::empty() };
+                    let outer_boundary =
+                        if last_fiber { tok::stop(level.saturating_sub(1)) } else { tok::empty() };
                     self.queue(vec![outer_boundary, tok::stop(level)], tok::stop(level));
                 }
             }
@@ -511,24 +518,20 @@ mod tests {
         sim.run(100).unwrap();
         assert_eq!(vals(sim.history(out)), vec![1.0, 5.0, 9.0]);
         // The level-1 stop is demoted to level 0.
-        assert_eq!(
-            sim.history(out).iter().filter(|t| t.stop_level() == Some(0)).count(),
-            1
-        );
+        assert_eq!(sim.history(out).iter().filter(|t| t.stop_level() == Some(0)).count(), 1);
     }
 
     #[test]
     fn scalar_reducer_policy_on_empty_fiber() {
-        for (policy, expected) in [(EmptyFiberPolicy::Drop, vec![3.0]), (EmptyFiberPolicy::ExplicitZero, vec![3.0, 0.0])] {
+        for (policy, expected) in
+            [(EmptyFiberPolicy::Drop, vec![3.0]), (EmptyFiberPolicy::ExplicitZero, vec![3.0, 0.0])]
+        {
             let mut sim = Simulator::new();
             let input = sim.add_channel("in");
             let out = sim.add_channel("out");
             sim.record(out);
             sim.add_block(Box::new(Reducer::scalar("red", input, out, policy)));
-            sim.preload(
-                input,
-                vec![tok::val(1.0), tok::val(2.0), tok::stop(0), tok::stop(1), tok::done()],
-            );
+            sim.preload(input, vec![tok::val(1.0), tok::val(2.0), tok::stop(0), tok::stop(1), tok::done()]);
             sim.run(100).unwrap();
             assert_eq!(vals(sim.history(out)), expected, "policy {policy:?}");
         }
@@ -544,7 +547,14 @@ mod tests {
         let out_val = sim.add_channel("out_val");
         sim.record(out_crd);
         sim.record(out_val);
-        sim.add_block(Box::new(Reducer::vector("red", in_crd, in_val, out_crd, out_val, EmptyFiberPolicy::Drop)));
+        sim.add_block(Box::new(Reducer::vector(
+            "red",
+            in_crd,
+            in_val,
+            out_crd,
+            out_val,
+            EmptyFiberPolicy::Drop,
+        )));
         sim.preload(
             in_crd,
             vec![
@@ -589,7 +599,14 @@ mod tests {
         let out_val = sim.add_channel("out_val");
         sim.record(out_crd);
         sim.record(out_val);
-        sim.add_block(Box::new(Reducer::vector("red", in_crd, in_val, out_crd, out_val, EmptyFiberPolicy::Drop)));
+        sim.add_block(Box::new(Reducer::vector(
+            "red",
+            in_crd,
+            in_val,
+            out_crd,
+            out_val,
+            EmptyFiberPolicy::Drop,
+        )));
         sim.preload(
             in_crd,
             vec![
@@ -642,7 +659,10 @@ mod tests {
         )));
         // k=0 contributes (i=1, j=2) -> 3.0; k=1 contributes (1,2) -> 4.0 and (1,3) -> 5.0.
         sim.preload(in_i, vec![tok::crd(1), tok::stop(0), tok::crd(1), tok::stop(1), tok::done()]);
-        sim.preload(in_j, vec![tok::crd(2), tok::stop(0), tok::crd(2), tok::crd(3), tok::stop(1), tok::done()]);
+        sim.preload(
+            in_j,
+            vec![tok::crd(2), tok::stop(0), tok::crd(2), tok::crd(3), tok::stop(1), tok::done()],
+        );
         sim.preload(
             in_val,
             vec![tok::val(3.0), tok::stop(0), tok::val(4.0), tok::val(5.0), tok::stop(1), tok::done()],

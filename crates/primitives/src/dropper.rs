@@ -1,8 +1,8 @@
 //! The coordinate dropper (paper Definition 3.9, Figure 8).
 
-use sam_streams::Token;
 use sam_sim::payload::{tok, Payload};
 use sam_sim::{Block, BlockStatus, ChannelId, Context, SimToken};
+use sam_streams::Token;
 use std::collections::VecDeque;
 
 /// Removes outer coordinates whose inner fibers turned out to be ineffectual

@@ -35,7 +35,9 @@ pub mod source;
 pub mod writer;
 
 pub use array::{Locator, ValArray};
-pub use bitvector::{BitTreeVecMul, BitvectorConverter, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul};
+pub use bitvector::{
+    BitTreeVecMul, BitvectorConverter, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul,
+};
 pub use compute::{Alu, AluOp, EmptyFiberPolicy, Reducer};
 pub use dropper::CoordDropper;
 pub use merge::{Intersecter, Parallelizer, Serializer, Unioner};

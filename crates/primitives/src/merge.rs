@@ -1,9 +1,9 @@
 //! Stream merging: intersection, union and coarse-grained fork/join
 //! (paper Definitions 3.2 and 3.3, Section 4.4).
 
-use sam_streams::Token;
-use sam_sim::payload::{tok, Payload};
+use sam_sim::payload::tok;
 use sam_sim::{Block, BlockStatus, ChannelId, Context, SimToken};
+use sam_streams::Token;
 
 /// A binary coordinate intersecter (Definition 3.2).
 ///
@@ -35,7 +35,15 @@ impl Intersecter {
         out_crd: ChannelId,
         out_ref: [ChannelId; 2],
     ) -> Self {
-        Intersecter { name: name.into(), in_crd, in_ref, out_crd, out_ref, skip_out: [None, None], done: false }
+        Intersecter {
+            name: name.into(),
+            in_crd,
+            in_ref,
+            out_crd,
+            out_ref,
+            skip_out: [None, None],
+            done: false,
+        }
     }
 
     /// Connects coordinate-skip feedback channels towards the two operands'
@@ -64,7 +72,8 @@ impl Block for Intersecter {
         if !(ctx.can_push(self.out_crd) && ctx.can_push(self.out_ref[0]) && ctx.can_push(self.out_ref[1])) {
             return BlockStatus::Busy;
         }
-        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned()) else {
+        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned())
+        else {
             return BlockStatus::Busy;
         };
         match (a, b) {
@@ -183,7 +192,8 @@ impl Block for Unioner {
         if !(ctx.can_push(self.out_crd) && ctx.can_push(self.out_ref[0]) && ctx.can_push(self.out_ref[1])) {
             return BlockStatus::Busy;
         }
-        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned()) else {
+        let (Some(a), Some(b)) = (ctx.peek(self.in_crd[0]).cloned(), ctx.peek(self.in_crd[1]).cloned())
+        else {
             return BlockStatus::Busy;
         };
         match (a, b) {
@@ -346,7 +356,14 @@ impl Serializer {
     pub fn new(name: impl Into<String>, inputs: Vec<ChannelId>, output: ChannelId) -> Self {
         assert!(!inputs.is_empty(), "serializer needs at least one input");
         let lanes = inputs.len();
-        Serializer { name: name.into(), inputs, output, current: 0, finished: vec![false; lanes], done: false }
+        Serializer {
+            name: name.into(),
+            inputs,
+            output,
+            current: 0,
+            finished: vec![false; lanes],
+            done: false,
+        }
     }
 }
 
@@ -445,8 +462,10 @@ mod tests {
         sim.preload(in_ref[1], ref_stream(&[20, 23, 26, 29]));
         sim.run(1000).unwrap();
         assert_eq!(data_crds(sim.history(oc)), vec![2, 6]);
-        let r0: Vec<u32> = sim.history(or[0]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
-        let r1: Vec<u32> = sim.history(or[1]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
+        let r0: Vec<u32> =
+            sim.history(or[0]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
+        let r1: Vec<u32> =
+            sim.history(or[1]).iter().filter_map(|t| t.value_ref().map(|p| p.expect_ref())).collect();
         assert_eq!(r0, vec![12, 16]);
         assert_eq!(r1, vec![22 - 2, 26]);
         // Fiber structure preserved.

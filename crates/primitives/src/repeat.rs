@@ -1,9 +1,9 @@
 //! The repeater block: broadcasting operands across index variables
 //! (paper Definition 3.4, Figures 4 and 6).
 
-use sam_streams::Token;
 use sam_sim::payload::tok;
 use sam_sim::{Block, BlockStatus, ChannelId, Context, SimToken};
+use sam_streams::Token;
 
 /// Repeats each reference of the input reference stream once for every data
 /// token of the corresponding fiber of the input coordinate stream.
@@ -32,7 +32,15 @@ pub struct Repeater {
 impl Repeater {
     /// Creates a repeater.
     pub fn new(name: impl Into<String>, in_crd: ChannelId, in_ref: ChannelId, out_ref: ChannelId) -> Self {
-        Repeater { name: name.into(), in_crd, in_ref, out_ref, current: None, in_ref_done: false, done: false }
+        Repeater {
+            name: name.into(),
+            in_crd,
+            in_ref,
+            out_ref,
+            current: None,
+            in_ref_done: false,
+            done: false,
+        }
     }
 }
 
@@ -179,7 +187,10 @@ mod tests {
         sim.record(out);
         sim.add_block(Box::new(Repeater::new("rep", crd, rf, out)));
         // Middle fiber is empty: its reference is dropped.
-        sim.preload(crd, vec![tok::crd(1), tok::stop(0), tok::stop(0), tok::crd(2), tok::stop(1), tok::done()]);
+        sim.preload(
+            crd,
+            vec![tok::crd(1), tok::stop(0), tok::stop(0), tok::crd(2), tok::stop(1), tok::done()],
+        );
         sim.preload(rf, vec![tok::rf(5), tok::rf(6), tok::rf(7), tok::stop(0), tok::done()]);
         sim.run(100).unwrap();
         assert_eq!(to_paper(sim.history(out)), "D, S1, 7, S0, S0, 5");

@@ -1,8 +1,8 @@
 //! Level scanners: tensor iteration (paper Definition 3.1, Section 4.2).
 
-use sam_streams::Token;
-use sam_sim::payload::{tok, Payload};
+use sam_sim::payload::tok;
 use sam_sim::{Block, BlockStatus, ChannelId, Context};
+use sam_streams::Token;
 use sam_tensor::level::{FiberEntry, Level};
 use std::sync::Arc;
 
@@ -210,6 +210,7 @@ impl Block for LevelScanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sam_sim::payload::Payload;
     use sam_sim::Simulator;
     use sam_tensor::level::{CompressedLevel, DenseLevel};
 
@@ -280,11 +281,8 @@ mod tests {
     fn empty_fiber_in_csr_produces_standalone_stop() {
         // CSR storage of the Figure 1 matrix: row 2 is empty.
         let i = Arc::new(Level::Dense(DenseLevel::new(4, 1)));
-        let j = Arc::new(Level::Compressed(CompressedLevel::new(
-            4,
-            vec![0, 1, 3, 3, 5],
-            vec![1, 0, 2, 1, 3],
-        )));
+        let j =
+            Arc::new(Level::Compressed(CompressedLevel::new(4, vec![0, 1, 3, 3, 5], vec![1, 0, 2, 1, 3])));
         let mut sim = Simulator::new();
         let root = sim.add_channel("root");
         let bi_crd = sim.add_channel("bi_crd");
@@ -309,10 +307,7 @@ mod tests {
         let rf = sim.add_channel("ref");
         sim.record(crd);
         sim.add_block(Box::new(LevelScanner::new("Bj", lj, in_ref, crd, rf)));
-        sim.preload(
-            in_ref,
-            vec![tok::rf(0), Token::Empty, tok::rf(2), tok::stop(0), tok::done()],
-        );
+        sim.preload(in_ref, vec![tok::rf(0), Token::Empty, tok::rf(2), tok::stop(0), tok::done()]);
         sim.run(1000).unwrap();
         assert_eq!(tokens_to_string(sim.history(crd)), "D, S1, 3, 1, S0, S0, 1");
     }
@@ -320,11 +315,7 @@ mod tests {
     #[test]
     fn coordinate_skipping_reduces_emitted_tokens() {
         // A long fiber with a skip request jumping most of it.
-        let level = Arc::new(Level::Compressed(CompressedLevel::new(
-            100,
-            vec![0, 50],
-            (0..50).collect(),
-        )));
+        let level = Arc::new(Level::Compressed(CompressedLevel::new(100, vec![0, 50], (0..50).collect())));
         let mut sim = Simulator::new();
         let root = sim.add_channel("root");
         let crd = sim.add_channel("crd");
@@ -337,11 +328,8 @@ mod tests {
         sim.run(1000).unwrap();
         // Coordinates 1..44 were skipped: the first coordinate is emitted
         // before the skip is applied, then the scan resumes at 45.
-        let data: Vec<u32> = sim
-            .history(crd)
-            .iter()
-            .filter_map(|t| t.value_ref().map(|p| p.expect_crd()))
-            .collect();
+        let data: Vec<u32> =
+            sim.history(crd).iter().filter_map(|t| t.value_ref().map(|p| p.expect_crd())).collect();
         assert!(data.len() <= 7, "expected a handful of coordinates, got {data:?}");
         assert!(data.contains(&45));
     }

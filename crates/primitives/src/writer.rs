@@ -1,7 +1,7 @@
 //! Level writers: tensor construction (paper Definition 3.8).
 
-use sam_streams::Token;
 use sam_sim::{Block, BlockStatus, ChannelId, Context};
+use sam_streams::Token;
 use sam_tensor::level::CompressedLevel;
 use std::sync::{Arc, Mutex};
 
@@ -72,7 +72,11 @@ impl Block for LevelWriter {
                 if *self.seg.last().expect("nonempty") != self.coords.len() {
                     self.seg.push(self.coords.len());
                 }
-                let level = CompressedLevel::new(self.dim, std::mem::take(&mut self.seg), std::mem::take(&mut self.coords));
+                let level = CompressedLevel::new(
+                    self.dim,
+                    std::mem::take(&mut self.seg),
+                    std::mem::take(&mut self.coords),
+                );
                 *self.sink.lock().expect("poisoned level sink") = Some(level);
                 self.done = true;
                 BlockStatus::Done
@@ -182,10 +186,7 @@ mod tests {
         let v = sim.add_channel("val");
         let sink = val_sink();
         sim.add_block(Box::new(ValWriter::new("Xvals", v, sink.clone())));
-        sim.preload(
-            v,
-            vec![tok::val(1.5), Token::Empty, tok::val(2.5), tok::stop(0), tok::done()],
-        );
+        sim.preload(v, vec![tok::val(1.5), Token::Empty, tok::val(2.5), tok::stop(0), tok::done()]);
         sim.run(100).unwrap();
         assert_eq!(sink.lock().unwrap().clone().unwrap(), vec![1.5, 0.0, 2.5]);
     }

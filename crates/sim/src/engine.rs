@@ -267,8 +267,7 @@ impl Simulator {
                 if *done {
                     continue;
                 }
-                let recorded_before: Vec<u64> =
-                    self.channels.iter().map(Channel::total_pushed).collect();
+                let recorded_before: Vec<u64> = self.channels.iter().map(Channel::total_pushed).collect();
                 let mut ctx = Context::new(&mut self.channels, cycle);
                 let status = block.tick(&mut ctx);
                 progress += ctx.ops;
@@ -379,10 +378,7 @@ mod tests {
         sim.add_block(Box::new(Forward { input: b, output: c, done: false }));
         sim.preload(a, [tok::crd(0), tok::crd(1), tok::stop(0), tok::done()]);
         let report = sim.run(100).unwrap();
-        assert_eq!(
-            sim.history(c),
-            &[tok::crd(0), tok::crd(1), tok::stop(0), tok::done()]
-        );
+        assert_eq!(sim.history(c), &[tok::crd(0), tok::crd(1), tok::stop(0), tok::done()]);
         // Fully pipelined: 4 tokens, back-to-back blocks scheduled in order
         // finish in 4 cycles (the second block sees each token the same cycle).
         assert_eq!(report.cycles, 4);

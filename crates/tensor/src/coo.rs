@@ -203,14 +203,8 @@ mod tests {
     fn push_validates_rank_and_bounds() {
         let mut coo = CooTensor::new(vec![2, 3]);
         assert!(coo.push(&[1, 2], 1.0).is_ok());
-        assert_eq!(
-            coo.push(&[1], 1.0),
-            Err(CooError::RankMismatch { expected: 2, found: 1 })
-        );
-        assert_eq!(
-            coo.push(&[1, 3], 1.0),
-            Err(CooError::OutOfBounds { dim: 1, coordinate: 3, size: 3 })
-        );
+        assert_eq!(coo.push(&[1], 1.0), Err(CooError::RankMismatch { expected: 2, found: 1 }));
+        assert_eq!(coo.push(&[1, 3], 1.0), Err(CooError::OutOfBounds { dim: 1, coordinate: 3, size: 3 }));
     }
 
     #[test]

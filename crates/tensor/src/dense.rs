@@ -129,11 +129,7 @@ impl DenseTensor {
     /// Panics when the shapes differ.
     pub fn max_abs_diff(&self, other: &DenseTensor) -> f64 {
         assert_eq!(self.shape, other.shape, "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

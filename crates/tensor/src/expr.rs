@@ -55,16 +55,19 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
@@ -200,11 +203,7 @@ impl Assignment {
     /// Creates an assignment; `target_indices` is a string of index
     /// variables (e.g. `"ij"`, or `""` for a scalar result).
     pub fn new(target: &str, target_indices: &str, rhs: Expr) -> Self {
-        Assignment {
-            target: target.to_string(),
-            target_indices: target_indices.chars().collect(),
-            rhs,
-        }
+        Assignment { target: target.to_string(), target_indices: target_indices.chars().collect(), rhs }
     }
 
     /// Every index variable in the statement: target indices first (in
@@ -222,11 +221,7 @@ impl Assignment {
     /// Index variables that are reduced (appear on the right-hand side but
     /// not in the target).
     pub fn reduction_vars(&self) -> Vec<IndexVar> {
-        self.rhs
-            .index_vars()
-            .into_iter()
-            .filter(|v| !self.target_indices.contains(v))
-            .collect()
+        self.rhs.index_vars().into_iter().filter(|v| !self.target_indices.contains(v)).collect()
     }
 }
 
@@ -262,18 +257,13 @@ pub mod table1 {
         Assignment::new(
             "X",
             "ij",
-            Expr::access("B", "ij")
-                .mul(Expr::access("C", "ik").mul(Expr::access("D", "jk")).reduce("k")),
+            Expr::access("B", "ij").mul(Expr::access("C", "ik").mul(Expr::access("D", "jk")).reduce("k")),
         )
     }
 
     /// Inner product of two order-3 tensors: `chi = sum_ijk B(i,j,k) * C(i,j,k)`.
     pub fn inner_prod() -> Assignment {
-        Assignment::new(
-            "chi",
-            "",
-            Expr::access("B", "ijk").mul(Expr::access("C", "ijk")).reduce("ijk"),
-        )
+        Assignment::new("chi", "", Expr::access("B", "ijk").mul(Expr::access("C", "ijk")).reduce("ijk"))
     }
 
     /// TTV: `X(i,j) = sum_k B(i,j,k) * c(k)`.
@@ -283,11 +273,7 @@ pub mod table1 {
 
     /// TTM: `X(i,j,k) = sum_l B(i,j,l) * C(k,l)`.
     pub fn ttm() -> Assignment {
-        Assignment::new(
-            "X",
-            "ijk",
-            Expr::access("B", "ijl").mul(Expr::access("C", "kl")).reduce("l"),
-        )
+        Assignment::new("X", "ijk", Expr::access("B", "ijl").mul(Expr::access("C", "kl")).reduce("l"))
     }
 
     /// MTTKRP: `X(i,j) = sum_kl B(i,k,l) * C(j,k) * D(j,l)`.
@@ -295,10 +281,7 @@ pub mod table1 {
         Assignment::new(
             "X",
             "ij",
-            Expr::access("B", "ikl")
-                .mul(Expr::access("C", "jk"))
-                .mul(Expr::access("D", "jl"))
-                .reduce("kl"),
+            Expr::access("B", "ikl").mul(Expr::access("C", "jk")).mul(Expr::access("D", "jl")).reduce("kl"),
         )
     }
 

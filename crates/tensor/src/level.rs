@@ -46,13 +46,7 @@ impl Level {
         match self {
             Level::Dense(l) => l.num_fibers,
             Level::Compressed(l) => l.seg.len().saturating_sub(1),
-            Level::Bitvector(l) => {
-                if l.words_per_fiber == 0 {
-                    0
-                } else {
-                    l.words.len() / l.words_per_fiber
-                }
-            }
+            Level::Bitvector(l) => l.words.len().checked_div(l.words_per_fiber).unwrap_or(0),
         }
     }
 
@@ -100,11 +94,7 @@ impl Level {
                 assert!(fiber + 1 < l.seg.len(), "fiber out of range");
                 l.seg[fiber + 1] - l.seg[fiber]
             }
-            Level::Bitvector(l) => l
-                .fiber_words(fiber)
-                .iter()
-                .map(|w| w.count_ones() as usize)
-                .sum(),
+            Level::Bitvector(l) => l.fiber_words(fiber).iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
 
@@ -142,9 +132,7 @@ impl DenseLevel {
 
     fn fiber(&self, fiber: usize) -> Vec<FiberEntry> {
         assert!(fiber < self.num_fibers, "fiber {fiber} out of range");
-        (0..self.size)
-            .map(|c| FiberEntry { coord: c as u32, child: fiber * self.size + c })
-            .collect()
+        (0..self.size).map(|c| FiberEntry { coord: c as u32, child: fiber * self.size + c }).collect()
     }
 
     fn locate(&self, fiber: usize, coord: u32) -> Option<usize> {
@@ -179,7 +167,11 @@ impl CompressedLevel {
     pub fn new(dim: usize, seg: Vec<usize>, crd: Vec<u32>) -> Self {
         assert!(!seg.is_empty(), "segment array must have at least one entry");
         assert!(seg.windows(2).all(|w| w[0] <= w[1]), "segment array must be non-decreasing");
-        assert_eq!(*seg.last().expect("nonempty"), crd.len(), "segment array must cover the coordinate array");
+        assert_eq!(
+            *seg.last().expect("nonempty"),
+            crd.len(),
+            "segment array must cover the coordinate array"
+        );
         for r in 0..seg.len() - 1 {
             let fiber = &crd[seg[r]..seg[r + 1]];
             assert!(
@@ -203,9 +195,7 @@ impl CompressedLevel {
 
     fn fiber(&self, fiber: usize) -> Vec<FiberEntry> {
         assert!(fiber + 1 < self.seg.len(), "fiber {fiber} out of range");
-        (self.seg[fiber]..self.seg[fiber + 1])
-            .map(|p| FiberEntry { coord: self.crd[p], child: p })
-            .collect()
+        (self.seg[fiber]..self.seg[fiber + 1]).map(|p| FiberEntry { coord: self.crd[p], child: p }).collect()
     }
 
     fn locate(&self, fiber: usize, coord: u32) -> Option<usize> {
@@ -311,10 +301,7 @@ impl BitvectorLevel {
     /// preceding fibers. Child positions are global ranks so the values array
     /// is indexed exactly like a compressed level's.
     pub fn fiber_rank_base(&self, fiber: usize) -> usize {
-        self.words[..fiber * self.words_per_fiber]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        self.words[..fiber * self.words_per_fiber].iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn fiber(&self, fiber: usize) -> Vec<FiberEntry> {

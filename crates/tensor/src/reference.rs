@@ -33,10 +33,9 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::UnknownTensor(name) => write!(f, "unknown tensor `{name}`"),
             EvalError::UnknownIndexVar(v) => write!(f, "unknown index variable `{v}`"),
-            EvalError::RankMismatch { tensor, access_rank, tensor_rank } => write!(
-                f,
-                "tensor `{tensor}` of rank {tensor_rank} accessed with {access_rank} indices"
-            ),
+            EvalError::RankMismatch { tensor, access_rank, tensor_rank } => {
+                write!(f, "tensor `{tensor}` of rank {tensor_rank} accessed with {access_rank} indices")
+            }
         }
     }
 }

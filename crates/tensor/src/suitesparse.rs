@@ -58,20 +58,118 @@ pub fn table3_catalog() -> Vec<MatrixInfo> {
     use SizeClass::*;
     vec![
         MatrixInfo { name: "relat3", domain: "Combinatorics", rows: 8, cols: 5, nnz: 24, size_class: Small },
-        MatrixInfo { name: "lpi_itest6", domain: "Linear Programming", rows: 11, cols: 17, nnz: 29, size_class: Small },
-        MatrixInfo { name: "LFAT5", domain: "Model Reduction", rows: 14, cols: 14, nnz: 46, size_class: Small },
-        MatrixInfo { name: "ch4-4-b1", domain: "Combinatorics", rows: 72, cols: 16, nnz: 144, size_class: Small },
-        MatrixInfo { name: "ch7-6-b1", domain: "Combinatorics", rows: 630, cols: 42, nnz: 1260, size_class: Small },
-        MatrixInfo { name: "bwm2000", domain: "Chemical Process Simulation", rows: 2000, cols: 2000, nnz: 7996, size_class: Medium },
-        MatrixInfo { name: "G32", domain: "Undirected Weighted Random Graph", rows: 2000, cols: 2000, nnz: 8000, size_class: Medium },
-        MatrixInfo { name: "progas", domain: "Linear Programming", rows: 1650, cols: 1900, nnz: 8897, size_class: Medium },
-        MatrixInfo { name: "lp_maros", domain: "Linear Programming", rows: 846, cols: 1966, nnz: 10137, size_class: Medium },
-        MatrixInfo { name: "G42", domain: "Undirected Weighted Random Graph", rows: 2000, cols: 2000, nnz: 23558, size_class: Medium },
-        MatrixInfo { name: "stormg2-27", domain: "Linear Programming", rows: 14439, cols: 37485, nnz: 94274, size_class: Large },
-        MatrixInfo { name: "lpl3", domain: "Linear Programming", rows: 10828, cols: 33686, nnz: 100525, size_class: Large },
-        MatrixInfo { name: "nemsemm2", domain: "Linear Programming", rows: 6943, cols: 48878, nnz: 182012, size_class: Large },
-        MatrixInfo { name: "rlfdual", domain: "Linear Programming", rows: 8052, cols: 74970, nnz: 282031, size_class: Large },
-        MatrixInfo { name: "rail507", domain: "Linear Programming", rows: 507, cols: 63516, nnz: 409856, size_class: Large },
+        MatrixInfo {
+            name: "lpi_itest6",
+            domain: "Linear Programming",
+            rows: 11,
+            cols: 17,
+            nnz: 29,
+            size_class: Small,
+        },
+        MatrixInfo {
+            name: "LFAT5",
+            domain: "Model Reduction",
+            rows: 14,
+            cols: 14,
+            nnz: 46,
+            size_class: Small,
+        },
+        MatrixInfo {
+            name: "ch4-4-b1",
+            domain: "Combinatorics",
+            rows: 72,
+            cols: 16,
+            nnz: 144,
+            size_class: Small,
+        },
+        MatrixInfo {
+            name: "ch7-6-b1",
+            domain: "Combinatorics",
+            rows: 630,
+            cols: 42,
+            nnz: 1260,
+            size_class: Small,
+        },
+        MatrixInfo {
+            name: "bwm2000",
+            domain: "Chemical Process Simulation",
+            rows: 2000,
+            cols: 2000,
+            nnz: 7996,
+            size_class: Medium,
+        },
+        MatrixInfo {
+            name: "G32",
+            domain: "Undirected Weighted Random Graph",
+            rows: 2000,
+            cols: 2000,
+            nnz: 8000,
+            size_class: Medium,
+        },
+        MatrixInfo {
+            name: "progas",
+            domain: "Linear Programming",
+            rows: 1650,
+            cols: 1900,
+            nnz: 8897,
+            size_class: Medium,
+        },
+        MatrixInfo {
+            name: "lp_maros",
+            domain: "Linear Programming",
+            rows: 846,
+            cols: 1966,
+            nnz: 10137,
+            size_class: Medium,
+        },
+        MatrixInfo {
+            name: "G42",
+            domain: "Undirected Weighted Random Graph",
+            rows: 2000,
+            cols: 2000,
+            nnz: 23558,
+            size_class: Medium,
+        },
+        MatrixInfo {
+            name: "stormg2-27",
+            domain: "Linear Programming",
+            rows: 14439,
+            cols: 37485,
+            nnz: 94274,
+            size_class: Large,
+        },
+        MatrixInfo {
+            name: "lpl3",
+            domain: "Linear Programming",
+            rows: 10828,
+            cols: 33686,
+            nnz: 100525,
+            size_class: Large,
+        },
+        MatrixInfo {
+            name: "nemsemm2",
+            domain: "Linear Programming",
+            rows: 6943,
+            cols: 48878,
+            nnz: 182012,
+            size_class: Large,
+        },
+        MatrixInfo {
+            name: "rlfdual",
+            domain: "Linear Programming",
+            rows: 8052,
+            cols: 74970,
+            nnz: 282031,
+            size_class: Large,
+        },
+        MatrixInfo {
+            name: "rail507",
+            domain: "Linear Programming",
+            rows: 507,
+            cols: 63516,
+            nnz: 409856,
+            size_class: Large,
+        },
     ]
 }
 

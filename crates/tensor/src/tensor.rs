@@ -194,14 +194,7 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: shape={:?} format={} nnz={}",
-            self.name,
-            self.shape,
-            self.format,
-            self.nnz()
-        )
+        write!(f, "{}: shape={:?} format={} nnz={}", self.name, self.shape, self.format, self.nnz())
     }
 }
 

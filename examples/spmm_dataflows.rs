@@ -8,11 +8,7 @@ fn main() {
     let b = synth::random_matrix_sparsity(120, 80, 0.95, 7);
     let c = synth::random_matrix_sparsity(80, 120, 0.95, 8);
     println!("X(i,j) = sum_k B(i,k) C(k,j) with 95% sparse 120x80 / 80x120 operands");
-    for flow in [
-        SpmmDataflow::InnerProduct,
-        SpmmDataflow::LinearCombination,
-        SpmmDataflow::OuterProduct,
-    ] {
+    for flow in [SpmmDataflow::InnerProduct, SpmmDataflow::LinearCombination, SpmmDataflow::OuterProduct] {
         let r = spmm(&b, &c, flow);
         println!("  {:<28} {:>10} cycles ({} result nonzeros)", flow.label(), r.cycles, r.output.nnz());
     }

@@ -5,8 +5,13 @@ use sam::memory::{figure15_sweep, MemoryConfig};
 
 fn main() {
     let config = MemoryConfig::default();
-    println!("ExTensor-style tiled SpM*SpM model ({} GB/s DRAM, {} MiB LLB, {}x{} tiles)",
-        config.dram_bandwidth_bytes_per_s / 1e9, config.llb_bytes / (1024 * 1024), config.tile, config.tile);
+    println!(
+        "ExTensor-style tiled SpM*SpM model ({} GB/s DRAM, {} MiB LLB, {}x{} tiles)",
+        config.dram_bandwidth_bytes_per_s / 1e9,
+        config.llb_bytes / (1024 * 1024),
+        config.tile,
+        config.tile
+    );
     for estimate in figure15_sweep(&[10000], &config) {
         println!(
             "  dim {:>6}: {:>12.0} cycles ({:>8.1} nonempty tiles)",

@@ -8,14 +8,19 @@
 //! * [`tensor`] — fibertrees, formats, synthetic data and the dense oracle,
 //! * [`primitives`] — the SAM dataflow blocks,
 //! * [`sim`] — the cycle-approximate simulator,
-//! * [`core`] — the SAM graph IR, wiring helpers and kernel library,
+//! * [`core`] — the SAM graph IR, graph builder, kernel graph catalog,
+//!   wiring helpers and hand-scheduled kernel library,
+//! * [`exec`] — the graph-driven execution engine (planner plus the
+//!   cycle-approximate and fast functional backends),
 //! * [`memory`] — the finite-memory / tiling model,
 //! * [`custard`] — the compiler from tensor index notation to SAM graphs.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/custard_compile.rs` for the compile → IR → execute pipeline.
 
 pub use custard;
 pub use sam_core as core;
+pub use sam_exec as exec;
 pub use sam_memory as memory;
 pub use sam_primitives as primitives;
 pub use sam_sim as sim;

@@ -1,10 +1,14 @@
 //! Workspace-level integration tests: every kernel is exercised through the
-//! umbrella crate and checked against the dense reference evaluator, and the
-//! Custard-lowered graphs are checked for structural sanity.
-use custard::{lower, parse, ConcreteIndexNotation, Formats, Schedule};
+//! umbrella crate and checked against the dense reference evaluator, the
+//! Custard-lowered graphs are checked for structural sanity, and the graph
+//! catalog is executed on both `sam-exec` backends with results
+//! cross-checked against each other and the dense reference.
+use custard::{lower, lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
+use sam::core::graphs;
 use sam::core::kernels::spmm::{spmm_order, SpmmDataflow};
 use sam::core::kernels::spmv::spmv;
 use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam::exec::{execute, CycleBackend, Executor, FastBackend, Inputs};
 use sam::tensor::expr::table1;
 use sam::tensor::reference::Environment;
 use sam::tensor::{synth, Tensor, TensorFormat};
@@ -47,16 +51,133 @@ fn dataflow_order_changes_cycles_but_not_results() {
 #[test]
 fn figure13_formats_agree_on_runs_and_blocks_data() {
     let dim = 1024;
-    for (b, c) in [
-        synth::runs_vector_pair(dim, 200, 8, 106),
-        synth::blocks_vector_pair(dim, 200, 8, 107),
-    ] {
+    for (b, c) in [synth::runs_vector_pair(dim, 200, 8, 106), synth::blocks_vector_pair(dim, 200, 8, 107)] {
         let reference = vec_elem_mul(&b, &c, dim, VecFormat::Crd).output.to_dense();
         for fmt in VecFormat::figure13_set() {
             let out = vec_elem_mul(&b, &c, dim, fmt).output.to_dense();
             assert!(out.approx_eq(&reference), "format {} diverged", fmt.label());
         }
     }
+}
+
+/// Every kernel graph in the catalog runs on both backends; FastBackend ==
+/// CycleBackend == dense reference.
+#[test]
+fn every_kernel_graph_agrees_across_backends_and_reference() {
+    let b = synth::random_matrix_sparsity(20, 16, 0.88, 200);
+    let c = synth::random_matrix_sparsity(16, 18, 0.88, 201);
+    let vb = synth::random_vector(120, 30, 202);
+    let vc = synth::random_vector(120, 35, 203);
+    let dense_c = synth::dense_matrix(20, 5, 204);
+    let dense_d = synth::dense_matrix(16, 5, 205);
+    let sv = synth::random_vector(16, 16, 206);
+
+    let cases: Vec<(sam::core::SamGraph, Inputs, &str)> = vec![
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+            "x(i) = b(i) * c(i)",
+        ),
+        (graphs::identity(), Inputs::new().coo("B", &b, TensorFormat::dcsr()), "X(i,j) = B(i,j)"),
+        (
+            graphs::spmv(),
+            Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::dense_vec()),
+            "x(i) = B(i,j) * c(j)",
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr()),
+            "X(i,j) = B(i,k) * C(k,j)",
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsc()),
+            "X(i,j) = B(i,k) * C(k,j)",
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &b, TensorFormat::dcsc()).coo("C", &c, TensorFormat::dcsr()),
+            "X(i,j) = B(i,k) * C(k,j)",
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+            "X(i,j) = B(i,j) * C(i,k) * D(j,k)",
+        ),
+    ];
+
+    for (graph, inputs, text) in cases {
+        // Dense reference for this expression over the bound operands.
+        let assignment = parse(text).unwrap();
+        let mut env = Environment::new();
+        for (name, tensor) in inputs.iter() {
+            env.insert(name, tensor.to_dense());
+        }
+        env.bind_dims(&assignment, &[]);
+        let expect = env.evaluate(&assignment).unwrap();
+
+        let cycle = execute(&graph, &inputs, &CycleBackend::default())
+            .unwrap_or_else(|e| panic!("{}: cycle backend failed: {e}", graph.name));
+        let fast = execute(&graph, &inputs, &FastBackend)
+            .unwrap_or_else(|e| panic!("{}: fast backend failed: {e}", graph.name));
+        let cycle_out = cycle.output.expect("tensor output");
+        let fast_out = fast.output.expect("tensor output");
+        assert_eq!(cycle_out, fast_out, "{}: backends disagree structurally", graph.name);
+        assert!(
+            cycle_out.to_dense().approx_eq(&expect),
+            "{}: executor output diverged from the dense reference",
+            graph.name
+        );
+        assert!(cycle.cycles.expect("cycle count") > 0);
+    }
+}
+
+/// The custard pipeline end-to-end: compile SpMV from notation, execute on
+/// both backends, compare with the hand-scheduled kernel's result.
+#[test]
+fn compiled_spmv_agrees_with_hand_kernel() {
+    let b = synth::random_matrix_sparsity(40, 30, 0.92, 210);
+    let c = synth::random_vector(30, 30, 211);
+    let hand = spmv(&b, &c);
+
+    let assignment = parse("x(i) = B(i,j) * c(j)").unwrap();
+    let cin = ConcreteIndexNotation::new(
+        assignment,
+        &Schedule::new(),
+        Formats::new().set("c", TensorFormat::dense_vec()),
+    );
+    let kernel = lower_exec(&cin).unwrap();
+    let mut inputs = Inputs::new();
+    for (name, fmt) in &kernel.formats {
+        let coo = if name == "B" { &b } else { &c };
+        inputs = inputs.coo(name, coo, fmt.clone());
+    }
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        assert!(
+            run.output.unwrap().to_dense().approx_eq(&hand.output.to_dense()),
+            "{} backend disagreed with the hand-scheduled kernel",
+            backend.name()
+        );
+    }
+}
+
+/// The fast backend moves strictly fewer or equal tokens than the cycle
+/// backend (no fork duplication) while producing the same tensor.
+#[test]
+fn fast_backend_is_leaner_than_cycle_backend() {
+    let b = synth::random_matrix_sparsity(30, 25, 0.9, 220);
+    let c = synth::random_matrix_sparsity(25, 30, 0.9, 221);
+    let graph = graphs::spmm(SpmmDataflow::LinearCombination);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
+    let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
+    let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+    assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
+    assert!(fast.tokens <= cycle.tokens, "fast={} cycle={}", fast.tokens, cycle.tokens);
 }
 
 #[test]

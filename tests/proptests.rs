@@ -1,55 +1,90 @@
-//! Property-based tests over the core data structures and kernels.
-use proptest::prelude::*;
+//! Randomized property tests over the core data structures and kernels.
+//!
+//! The original proptest-based harness is reproduced with a deterministic
+//! seeded generator (the build environment has no registry access for the
+//! `proptest` crate): each property is checked over a sweep of seeds, so
+//! failures are reproducible by seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
 use sam::streams::{Nested, Stream};
 use sam::tensor::{CooTensor, Tensor, TensorFormat};
+use std::collections::BTreeMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    /// Stream encoding of nested lists round-trips for arbitrary two-level
-    /// structures, including empty fibers.
-    #[test]
-    fn stream_nested_roundtrip(fibers in proptest::collection::vec(proptest::collection::vec(0u32..64, 0..6), 1..6)) {
+/// Stream encoding of nested lists round-trips for arbitrary two-level
+/// structures, including empty fibers.
+#[test]
+fn stream_nested_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_fibers = 1 + rng.gen_range(0usize..5);
+        let fibers: Vec<Vec<u32>> = (0..num_fibers)
+            .map(|_| {
+                let len = rng.gen_range(0usize..6);
+                (0..len).map(|_| rng.gen_range(0u32..64)).collect()
+            })
+            .collect();
         let nested: Nested<u32> = fibers.clone().into();
         let stream = Stream::from_nested(&nested);
-        prop_assert!(stream.is_finished());
-        prop_assert_eq!(stream.to_nested(), nested);
+        assert!(stream.is_finished(), "seed {seed}");
+        assert_eq!(stream.to_nested(), nested, "seed {seed}");
     }
+}
 
-    /// Fibertree construction preserves every nonzero for any format, and
-    /// lookups agree with the staged COO data.
-    #[test]
-    fn tensor_roundtrip_across_formats(points in proptest::collection::btree_map((0u32..12, 0u32..12), 0.5f64..10.0, 1..30)) {
+/// Fibertree construction preserves every nonzero for any format, and
+/// lookups agree with the staged COO data.
+#[test]
+fn tensor_roundtrip_across_formats() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let n = 1 + rng.gen_range(0usize..29);
+        let mut points = BTreeMap::new();
+        while points.len() < n {
+            let key = (rng.gen_range(0u32..12), rng.gen_range(0u32..12));
+            points.insert(key, 0.5 + 9.5 * rng.gen::<f64>());
+        }
         let entries: Vec<(Vec<u32>, f64)> = points.iter().map(|((i, j), v)| (vec![*i, *j], *v)).collect();
         let coo = CooTensor::from_entries(vec![12, 12], entries).unwrap();
         for fmt in [TensorFormat::dcsr(), TensorFormat::csr(), TensorFormat::csc(), TensorFormat::dense(2)] {
             let t = Tensor::from_coo("A", &coo, fmt);
-            prop_assert_eq!(t.nnz(), points.len());
+            assert_eq!(t.nnz(), points.len(), "seed {seed}");
             for ((i, j), v) in &points {
-                prop_assert!((t.get(&[*i, *j]) - v).abs() < 1e-12);
+                assert!((t.get(&[*i, *j]) - v).abs() < 1e-12, "seed {seed} at ({i},{j})");
             }
         }
     }
+}
 
-    /// The simulated element-wise multiply agrees with a directly computed
-    /// product for arbitrary sparse vectors, in every storage configuration.
-    #[test]
-    fn vecmul_matches_direct_product(
-        b in proptest::collection::btree_map(0u32..128, 0.5f64..2.0, 0..20),
-        c in proptest::collection::btree_map(0u32..128, 0.5f64..2.0, 0..20),
-    ) {
-        let dim = 128;
-        let to_coo = |m: &std::collections::BTreeMap<u32, f64>| {
-            CooTensor::from_entries(vec![dim], m.iter().map(|(k, v)| (vec![*k], *v)).collect()).unwrap()
+/// The simulated element-wise multiply agrees with a directly computed
+/// product for arbitrary sparse vectors, in every storage configuration.
+#[test]
+fn vecmul_matches_direct_product() {
+    let dim = 128u32;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let mut draw_vec = || {
+            let n = rng.gen_range(0usize..20);
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                m.insert(rng.gen_range(0..dim), 0.5 + 1.5 * rng.gen::<f64>());
+            }
+            m
+        };
+        let b = draw_vec();
+        let c = draw_vec();
+        let to_coo = |m: &BTreeMap<u32, f64>| {
+            CooTensor::from_entries(vec![dim as usize], m.iter().map(|(k, v)| (vec![*k], *v)).collect())
+                .unwrap()
         };
         let cb = to_coo(&b);
         let cc = to_coo(&c);
         for fmt in [VecFormat::Crd, VecFormat::Dense, VecFormat::CrdSkip, VecFormat::Bv { width: 64 }] {
-            let out = vec_elem_mul(&cb, &cc, dim, fmt).output.to_dense();
-            for i in 0..dim as u32 {
+            let out = vec_elem_mul(&cb, &cc, dim as usize, fmt).output.to_dense();
+            for i in 0..dim {
                 let expect = b.get(&i).copied().unwrap_or(0.0) * c.get(&i).copied().unwrap_or(0.0);
-                prop_assert!((out.at(&[i]) - expect).abs() < 1e-9);
+                assert!((out.at(&[i]) - expect).abs() < 1e-9, "seed {seed} fmt {} at {i}", fmt.label());
             }
         }
     }

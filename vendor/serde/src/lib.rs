@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The real `serde` cannot be fetched in this build environment; the
+//! workspace only uses the derive syntax (no code path actually serializes),
+//! so marker traits plus no-op derives are sufficient. Swapping this for the
+//! real crate later requires no source changes in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream users, but never serializes anything itself. These derives
+//! accept the same syntax (including `#[serde(...)]` helper attributes) and
+//! expand to nothing, so the workspace builds without network access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
