@@ -1,8 +1,20 @@
-//! Criterion benchmarks comparing the two `sam-exec` backends on the same
-//! planned graphs: the cycle-approximate simulator pays per-cycle
-//! scheduling for its performance model, while the fast functional backend
-//! evaluates whole streams per node. SpMV, SpM*SpM (Gustavson) and SDDMM
-//! are each planned once and re-run per sample.
+//! Criterion benchmarks comparing the `sam-exec` backends on the same
+//! planned graphs.
+//!
+//! Two axes are measured per kernel:
+//!
+//! * **cycle vs fast** — the cycle-approximate simulator pays per-cycle
+//!   scheduling for its performance model, while the fast functional
+//!   backend evaluates transfer functions directly.
+//! * **serial vs parallel fast** — the serial mode evaluates whole streams
+//!   one node at a time; `Threads(n)` pipelines every node over chunked
+//!   channels on `n` workers. The parallel win scales with available
+//!   cores and graph width, so the multi-operand kernels (SpMM, SDDMM,
+//!   MTTKRP) use larger operands where pipelining has room to pay off;
+//!   on a single-core host the comparison degenerates to measuring
+//!   channel overhead.
+//!
+//! Each graph is planned once and re-run per sample.
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sam_core::graphs;
 use sam_exec::{CycleBackend, Executor, FastBackend, Inputs, Plan};
@@ -10,13 +22,28 @@ use sam_tensor::{synth, TensorFormat};
 
 fn bench_pair(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &Inputs) {
     let cycle = CycleBackend::default();
-    let fast = FastBackend;
+    let fast = FastBackend::serial();
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     group.bench_function("cycle", |b| {
         b.iter(|| black_box(cycle.run(plan, inputs).expect("cycle run").tokens))
     });
     group.bench_function("fast", |b| b.iter(|| black_box(fast.run(plan, inputs).expect("fast run").tokens)));
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &Inputs) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, backend) in [
+        ("serial", FastBackend::serial()),
+        ("threads2", FastBackend::threads(2)),
+        ("threads4", FastBackend::threads(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(backend.run(plan, inputs).expect("fast run").tokens))
+        });
+    }
     group.finish();
 }
 
@@ -27,6 +54,7 @@ fn bench_spmv(c: &mut Criterion) {
     let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &v, TensorFormat::dense_vec());
     let plan = Plan::build(&graph, &inputs).expect("plan");
     bench_pair(c, "exec_spmv", &plan, &inputs);
+    bench_parallelism(c, "exec_spmv_parallel", &plan, &inputs);
 }
 
 fn bench_spmm(c: &mut Criterion) {
@@ -36,13 +64,21 @@ fn bench_spmm(c: &mut Criterion) {
     let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &m, TensorFormat::dcsr());
     let plan = Plan::build(&graph, &inputs).expect("plan");
     bench_pair(c, "exec_spmm_gustavson", &plan, &inputs);
+
+    // Larger operands for the parallelism comparison (no cycle run here, so
+    // the streams can be long enough for pipelining to amortize).
+    let b = synth::random_matrix_sparsity(500, 400, 0.95, 45);
+    let m = synth::random_matrix_sparsity(400, 500, 0.95, 46);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &m, TensorFormat::dcsr());
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_parallelism(c, "exec_spmm_parallel", &plan, &inputs);
 }
 
 fn bench_sddmm(c: &mut Criterion) {
     let graph = graphs::sddmm_coiteration();
-    let b = synth::random_matrix_sparsity(80, 80, 0.95, 45);
-    let cm = synth::dense_matrix(80, 10, 46);
-    let d = synth::dense_matrix(80, 10, 47);
+    let b = synth::random_matrix_sparsity(80, 80, 0.95, 47);
+    let cm = synth::dense_matrix(80, 10, 48);
+    let d = synth::dense_matrix(80, 10, 49);
     let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &cm, TensorFormat::dense(2)).coo(
         "D",
         &d,
@@ -50,7 +86,32 @@ fn bench_sddmm(c: &mut Criterion) {
     );
     let plan = Plan::build(&graph, &inputs).expect("plan");
     bench_pair(c, "exec_sddmm", &plan, &inputs);
+
+    let b = synth::random_matrix_sparsity(300, 300, 0.95, 50);
+    let cm = synth::dense_matrix(300, 16, 51);
+    let d = synth::dense_matrix(300, 16, 52);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &cm, TensorFormat::dense(2)).coo(
+        "D",
+        &d,
+        TensorFormat::dense(2),
+    );
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_parallelism(c, "exec_sddmm_parallel", &plan, &inputs);
 }
 
-criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm);
+fn bench_mttkrp(c: &mut Criterion) {
+    let graph = graphs::mttkrp();
+    let b = synth::random_tensor3([60, 40, 40], 12_000, 53);
+    let fc = synth::random_matrix_sparsity(30, 40, 0.5, 54);
+    let fd = synth::random_matrix_sparsity(30, 40, 0.5, 55);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::csf(3)).coo("C", &fc, TensorFormat::dcsc()).coo(
+        "D",
+        &fd,
+        TensorFormat::dcsc(),
+    );
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    bench_parallelism(c, "exec_mttkrp_parallel", &plan, &inputs);
+}
+
+criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm, bench_mttkrp);
 criterion_main!(benches);

@@ -150,6 +150,56 @@ fn spmm_outer() -> SamGraph {
     g.finish()
 }
 
+/// MTTKRP `X(i,j) = sum_kl B(i,k,l) * C(j,k) * D(j,l)` (Table 1) in the
+/// `i -> k -> l -> j` dataflow: the order-3 operand `B` drives iteration
+/// (CSF, mode order `i,k,l`), the factor matrices co-iterate against it
+/// stored transposed (`C` as `k,j`, `D` as `l,j` — DCSC of their logical
+/// `(j,k)` / `(j,l)` shapes), and two chained vector reducers accumulate
+/// the inner `j` fibers across `l` and then across `k`.
+pub fn mttkrp() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,k,l) * C(j,k) * D(j,l)");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (bk_crd, bk_ref) = g.scan("B", 'k', true, bi_ref);
+
+    // Co-iterate B's k fibers with C's outer (k) level, rescanned per i.
+    let rc = g.root("C");
+    let c_per_i = g.repeat("C", 'i', bi_crd, rc);
+    let (ck_crd, ck_ref) = g.scan("C", 'k', true, c_per_i);
+    let (k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+
+    // Co-iterate B's l fibers with D's outer (l) level, rescanned per (i,k).
+    let (bl_crd, bl_ref) = g.scan("B", 'l', true, k_refs[0]);
+    let rd = g.root("D");
+    let d_per_i = g.repeat("D", 'i', bi_crd, rd);
+    let d_per_k = g.repeat("D", 'k', k_crd, d_per_i);
+    let (dl_crd, dl_ref) = g.scan("D", 'l', true, d_per_k);
+    let (l_crd, l_refs) = g.intersect('l', [bl_crd, dl_crd], [bl_ref, dl_ref]);
+
+    // The innermost loop: C's and D's j fibers, intersected per (k, l).
+    let c_per_l = g.repeat("C", 'l', l_crd, k_refs[1]);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, c_per_l);
+    let (dj_crd, dj_ref) = g.scan("D", 'j', true, l_refs[1]);
+    let (j_crd, j_refs) = g.intersect('j', [cj_crd, dj_crd], [cj_ref, dj_ref]);
+
+    // B(i,k,l) * C(j,k) * D(j,l), with B's value broadcast over j.
+    let c_vals = g.array("C", j_refs[0]);
+    let d_vals = g.array("D", j_refs[1]);
+    let b_per_j = g.repeat("B", 'j', j_crd, l_refs[0]);
+    let b_vals = g.array("B", b_per_j);
+    let cd = g.alu("mul", c_vals, d_vals);
+    let prod = g.alu("mul", cd, b_vals);
+
+    // Sum the j fibers over l (within each k), then over k (within each i).
+    let (xj_l, xv_l) = g.reduce_vector(j_crd, prod);
+    let (xj, xv) = g.reduce_vector(xj_l, xv_l);
+    let (xi_out, xj_out) = g.crd_drop('i', bi_crd, xj);
+    g.write_level("X", 'i', xi_out);
+    g.write_level("X", 'j', xj_out);
+    g.write_vals("X", xv);
+    g.finish()
+}
+
 /// Fused SDDMM `X(i,j) = sum_k B(i,j) * C(i,k) * D(j,k)` with the dense
 /// factors' outer dimensions co-iterated against `B` (Figure 11's fused
 /// co-iteration variant). `B` is DCSR; `C` and `D` are dense.
@@ -205,6 +255,7 @@ mod tests {
             spmm(SpmmDataflow::InnerProduct),
             spmm(SpmmDataflow::OuterProduct),
             sddmm_coiteration(),
+            mttkrp(),
         ] {
             assert!(!graph.is_empty());
             for e in graph.edges() {
@@ -227,6 +278,18 @@ mod tests {
         assert_eq!(c.alu, 1);
         assert_eq!(c.reduce, 1);
         assert_eq!(c.level_write, 2);
+    }
+
+    #[test]
+    fn mttkrp_graph_chains_two_vector_reducers() {
+        let g = mttkrp();
+        let c = g.primitive_counts();
+        assert_eq!(c.level_scan, 7);
+        assert_eq!(c.intersect, 3);
+        assert_eq!(c.repeat, 5);
+        assert_eq!(c.reduce, 2);
+        assert_eq!(c.array, 3);
+        assert!(g.has_kind(|n| matches!(n, NodeKind::CoordDropper { .. })));
     }
 
     #[test]

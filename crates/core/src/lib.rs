@@ -2,12 +2,12 @@
 //!
 //! The SAM graph intermediate representation and the kernel library.
 //!
-//! * [`graph`] — the [`SamGraph`](graph::SamGraph) IR: typed nodes for every
+//! * [`graph`] — the [`SamGraph`] IR: typed nodes for every
 //!   SAM primitive, edges carrying stream kinds, primitive counting
 //!   (Table 1 / Table 2) and Graphviz DOT export. This is the
 //!   LLVM-like interface the paper positions between the Custard compiler
 //!   and hardware backends.
-//! * [`build`] — [`GraphBuilder`](build::GraphBuilder): ergonomic
+//! * [`build`] — [`GraphBuilder`]: ergonomic
 //!   construction of *executable* graphs whose edges carry explicit port
 //!   annotations, the form `sam-exec` plans and runs.
 //! * [`graphs`] — the paper's kernels (Figures 11–14) expressed once as

@@ -1,6 +1,6 @@
 //! Lowering concrete index notation to *executable* SAM graphs.
 //!
-//! [`crate::lower`] produces the schematic graphs used for primitive
+//! [`crate::lower()`] produces the schematic graphs used for primitive
 //! counting (Table 1), the ablation study and DOT export; its edges carry no
 //! port annotations and its reference streams are not fully routed, so the
 //! graphs cannot run. [`lower_exec`] is the executable counterpart: it

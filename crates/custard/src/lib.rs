@@ -11,7 +11,7 @@
 //! 2. [`Schedule`] (the `reorder` directive) and [`Formats`] fix the
 //!    dataflow order and per-tensor level formats, producing
 //!    [`ConcreteIndexNotation`],
-//! 3. [`lower`] builds the SAM graph: tensor paths, level scanners,
+//! 3. [`lower()`] builds the SAM graph: tensor paths, level scanners,
 //!    repeaters, intersecters/unioners, the compute tree (ALUs and reducers)
 //!    and the output construction (coordinate droppers and level writers).
 //!

@@ -82,6 +82,19 @@ pub enum PlanError {
         /// The storage level with the contradiction.
         level: usize,
     },
+    /// The graph does not consume all of a bound tensor's storage levels:
+    /// a value array reads references that stop `consumed` levels deep into
+    /// a tensor with `levels` levels (e.g. a matrix bound where the kernel
+    /// iterates a vector).
+    RankMismatch {
+        /// The tensor name.
+        tensor: String,
+        /// How many levels the reference stream reaching the value array
+        /// has traversed.
+        consumed: usize,
+        /// How many storage levels the bound tensor actually has.
+        levels: usize,
+    },
     /// An ALU names an operation the executor does not know.
     UnknownAluOp {
         /// The operation mnemonic.
@@ -126,6 +139,13 @@ impl fmt::Display for PlanError {
             }
             PlanError::FormatMismatch { tensor, level } => {
                 write!(f, "scanner annotation disagrees with level {level} of tensor `{tensor}`")
+            }
+            PlanError::RankMismatch { tensor, consumed, levels } => {
+                write!(
+                    f,
+                    "tensor `{tensor}` has {levels} storage level(s) but the graph consumes only \
+                     {consumed} before reading values"
+                )
             }
             PlanError::UnknownAluOp { op } => write!(f, "unknown ALU operation `{op}`"),
             PlanError::MissingValsWriter => write!(f, "graph has no values writer"),

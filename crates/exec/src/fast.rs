@@ -1,717 +1,148 @@
-//! The fast functional backend: evaluates the planned graph one node at a
-//! time over whole token streams.
+//! The fast functional backend: evaluates the planned graph without
+//! per-cycle simulation, serially or in parallel.
 //!
 //! Where the cycle-approximate backend ticks every block once per simulated
-//! cycle, this backend computes each node's complete output streams in a
-//! single pass over its inputs (in topological order), with no scheduler,
-//! channels or per-cycle bookkeeping. The per-primitive transfer functions
-//! mirror the `sam-primitives` block semantics token for token, so both
-//! backends produce the same output tensor from the same [`Plan`] — one is
-//! for performance modelling, the other for raw functional throughput.
+//! cycle, this backend applies each node's *transfer function* (the
+//! crate-internal `node` module) directly to its token streams. It runs in
+//! one of two modes, selected by [`Parallelism`]:
+//!
+//! * [`Parallelism::Serial`] — nodes evaluate one at a time in topological
+//!   order, each consuming its producers' finished `Vec`s and materializing
+//!   its own. No scheduler, no channels, no synchronization: peak
+//!   single-thread throughput.
+//! * [`Parallelism::Threads`]`(n)` — every planned node becomes a work unit
+//!   on a pool of `n` scoped worker threads, communicating over the bounded
+//!   chunked channels of [`sam_streams::chunked`]. Producers and consumers
+//!   pipeline chunk by chunk, so per-operand scan chains and the two sides
+//!   of every merge evaluate concurrently — the paper's picture of a
+//!   dataflow machine, with threads for pipeline stages.
+//!
+//! Both modes share the per-primitive transfer functions and the output
+//! assembly, so they produce bit-identical tensors from the same
+//! [`Plan`] — as does the cycle backend.
+//!
+//! ```
+//! use sam_core::graphs;
+//! use sam_exec::{execute, FastBackend, Inputs};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! let graph = graphs::spmv();
+//! let b = synth::random_matrix_sparsity(60, 40, 0.9, 7);
+//! let c = synth::random_vector(40, 40, 8);
+//! let inputs = Inputs::new()
+//!     .coo("B", &b, TensorFormat::dcsr())
+//!     .coo("c", &c, TensorFormat::dense_vec());
+//! let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+//! let parallel = execute(&graph, &inputs, &FastBackend::threads(4)).unwrap();
+//! assert_eq!(serial.output.unwrap(), parallel.output.unwrap());
+//! ```
 
 use crate::bind::Inputs;
 use crate::error::ExecError;
+use crate::node::{eval_node, NodeJob, SliceSource, WriterOutput};
 use crate::plan::Plan;
-use crate::{assemble_output, reducer_policy, Execution, Executor};
-use sam_core::graph::NodeKind;
-use sam_primitives::{root_stream, AluOp, EmptyFiberPolicy};
-use sam_sim::payload::{tok, Payload};
+use crate::{assemble_output, Execution, Executor, Parallelism};
 use sam_sim::SimToken;
-use sam_streams::Token;
-use sam_tensor::level::{CompressedLevel, Level};
-use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::time::Instant;
 
 type Stream = Vec<SimToken>;
 
-/// Runs plans functionally, without per-cycle simulation.
+/// Runs plans functionally, without per-cycle simulation; serial by
+/// default, parallel with [`FastBackend::threads`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct FastBackend;
+pub struct FastBackend {
+    parallelism: Parallelism,
+}
+
+impl FastBackend {
+    /// The single-threaded backend (also [`Default`]): whole streams per
+    /// node, no synchronization.
+    pub fn serial() -> Self {
+        FastBackend { parallelism: Parallelism::Serial }
+    }
+
+    /// A pipelined backend running nodes on `threads` worker threads over
+    /// chunked streams. `threads` is clamped to at least 1.
+    pub fn threads(threads: usize) -> Self {
+        FastBackend { parallelism: Parallelism::Threads(threads.max(1)) }
+    }
+
+    /// A backend with an explicit [`Parallelism`] setting.
+    /// `Threads(0)` is clamped to `Threads(1)`.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        match parallelism {
+            Parallelism::Serial => FastBackend::serial(),
+            Parallelism::Threads(n) => FastBackend::threads(n),
+        }
+    }
+}
 
 impl Executor for FastBackend {
     fn name(&self) -> &'static str {
-        "fast"
+        match self.parallelism {
+            Parallelism::Serial => "fast",
+            Parallelism::Threads(_) => "fast-mt",
+        }
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
-        let start = Instant::now();
-        let nodes = plan.graph().nodes();
-        let mut streams: Vec<Vec<Stream>> =
-            nodes.iter().map(|k| vec![Stream::new(); k.output_ports().len()]).collect();
-        let mut level_results: HashMap<usize, CompressedLevel> = HashMap::new();
-        let mut vals_result: Option<Vec<f64>> = None;
-
-        for &id in plan.order() {
-            let kind = &nodes[id.0];
-            let label = kind.label();
-            let input = |slot: usize| -> &Stream {
-                let p = plan.inputs_of(id)[slot];
-                &streams[p.node.0][p.port]
-            };
-            let outs: Vec<Stream> = match kind {
-                NodeKind::Root { .. } => vec![root_stream()],
-                NodeKind::LevelScanner { tensor, .. } => {
-                    let level = inputs.get(tensor).expect("validated binding").level(plan.scan_level(id));
-                    run_scanner(level, input(0))
-                }
-                NodeKind::Repeater { .. } => run_repeater(input(0), input(1), &label)?,
-                NodeKind::Intersecter { .. } => {
-                    run_intersect([input(0), input(1)], [input(2), input(3)], &label)?
-                }
-                NodeKind::Unioner { .. } => run_union([input(0), input(1)], [input(2), input(3)], &label)?,
-                NodeKind::Locator { tensor, .. } => {
-                    let level = inputs.get(tensor).expect("validated binding").level(plan.scan_level(id));
-                    run_locator(level, input(0), input(1), &label)?
-                }
-                NodeKind::Array { tensor } => {
-                    run_array(inputs.get(tensor).expect("validated binding").vals(), input(0), &label)?
-                }
-                NodeKind::Alu { .. } => run_alu(plan.alu_op(id), input(0), input(1), &label)?,
-                NodeKind::Reducer { order } => match order {
-                    0 => run_reduce_scalar(input(0), reducer_policy(0)),
-                    1 => run_reduce_vector(input(0), input(1), &label)?,
-                    _ => run_reduce_matrix(input(0), input(1), input(2), &label)?,
-                },
-                NodeKind::CoordDropper { .. } => run_dropper(input(0), input(1), &label)?,
-                NodeKind::LevelWriter { vals, .. } => {
-                    if *vals {
-                        vals_result = Some(run_val_writer(input(0)));
-                    } else {
-                        level_results.insert(id.0, run_level_writer(plan.writer_dim(id), input(0)));
-                    }
-                    Vec::new()
-                }
-                NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
-                    unreachable!("rejected during planning")
-                }
-            };
-            streams[id.0] = outs;
-        }
-
-        let levels: Vec<CompressedLevel> = plan
-            .level_writers()
-            .iter()
-            .map(|w| {
-                level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() })
-            })
-            .collect::<Result<_, _>>()?;
-        let vals =
-            vals_result.ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
-        let tokens: u64 = streams.iter().flatten().map(|s| s.len() as u64).sum();
-        let channels = streams.iter().map(|ports| ports.len()).sum();
-        let output = assemble_output(plan, levels, &vals)?;
-
-        Ok(Execution {
-            backend: self.name(),
-            output,
-            vals,
-            cycles: None,
-            blocks: nodes.len(),
-            channels,
-            tokens,
-            elapsed: start.elapsed(),
-        })
-    }
-}
-
-fn misaligned(label: &str) -> ExecError {
-    ExecError::Misaligned { label: label.to_string() }
-}
-
-/// Level scanner transfer function (Definition 3.1, stop rule of
-/// Section 3.3).
-fn run_scanner(level: &Level, input: &Stream) -> Vec<Stream> {
-    let mut crd = Stream::new();
-    let mut rf = Stream::new();
-    let mut need_stop = false;
-    let mut i = 0;
-    while i < input.len() {
-        let t = input[i];
-        if need_stop {
-            // Lookahead decides the level of the trailing stop token.
-            if let Token::Stop(n) = t {
-                i += 1;
-                crd.push(tok::stop(n + 1));
-                rf.push(tok::stop(n + 1));
-            } else {
-                crd.push(tok::stop(0));
-                rf.push(tok::stop(0));
-            }
-            need_stop = false;
-            continue;
-        }
-        i += 1;
-        match t {
-            Token::Val(p) => {
-                for e in level.fiber(p.expect_ref() as usize) {
-                    crd.push(tok::crd(e.coord));
-                    rf.push(tok::rf(e.child as u32));
-                }
-                need_stop = true;
-            }
-            Token::Empty => need_stop = true,
-            Token::Stop(n) => {
-                crd.push(tok::stop(n + 1));
-                rf.push(tok::stop(n + 1));
-            }
-            Token::Done => {
-                crd.push(tok::done());
-                rf.push(tok::done());
-                break;
-            }
-        }
-    }
-    vec![crd, rf]
-}
-
-/// Repeater transfer function (Definition 3.4).
-///
-/// The coordinate stream sits one fibertree level below the reference
-/// stream, so their structures correlate: every coordinate-stream *fiber*
-/// (even an empty one) corresponds to one reference data token, and every
-/// coordinate stop of level `n >= 1` additionally closes the reference
-/// stream's own fiber, consuming its (single, hierarchical) stop token.
-/// Walking that correspondence reproduces the cycle-level block's output
-/// without emulating its tick timing.
-fn run_repeater(crd_in: &Stream, ref_in: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut out = Stream::new();
-    let mut ref_pos = 0usize;
-    let mut current: Option<SimToken> = None;
-    for &t in crd_in {
-        match t {
-            Token::Val(_) => {
-                if current.is_none() {
-                    // The current fiber's reference: the next data token.
-                    match ref_in.get(ref_pos) {
-                        Some(&r @ (Token::Val(_) | Token::Empty)) => {
-                            ref_pos += 1;
-                            current = Some(r);
-                        }
-                        _ => return Err(misaligned(label)),
-                    }
-                }
-                out.push(current.expect("just fetched"));
-            }
-            Token::Empty => out.push(tok::empty()),
-            Token::Stop(n) => {
-                if current.is_none() {
-                    // An empty fiber still consumes its reference, unless
-                    // this bare stop only closes outer levels (the
-                    // reference stream then carries a stop here itself).
-                    if let Some(Token::Val(_) | Token::Empty) = ref_in.get(ref_pos) {
-                        ref_pos += 1;
-                    }
-                }
-                current = None;
-                if n > 0 {
-                    // The reference stream's own fiber closes with it.
-                    if let Some(Token::Stop(_)) = ref_in.get(ref_pos) {
-                        ref_pos += 1;
-                    }
-                }
-                out.push(tok::stop(n));
-            }
-            Token::Done => {
-                out.push(tok::done());
-                break;
-            }
-        }
-    }
-    Ok(vec![out])
-}
-
-/// Intersecter transfer function (Definition 3.2): two-finger merge.
-fn run_intersect(crd: [&Stream; 2], refs: [&Stream; 2], label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut oc = Stream::new();
-    let mut o0 = Stream::new();
-    let mut o1 = Stream::new();
-    let (mut a, mut b) = (0usize, 0usize);
-    loop {
-        let (Some(&ta), Some(&tb)) = (crd[0].get(a), crd[1].get(b)) else {
-            return Err(misaligned(label));
-        };
-        match (ta, tb) {
-            (Token::Val(pa), Token::Val(pb)) => {
-                let ca = pa.expect_crd();
-                let cb = pb.expect_crd();
-                if ca == cb {
-                    oc.push(tok::crd(ca));
-                    o0.push(*refs[0].get(a).ok_or_else(|| misaligned(label))?);
-                    o1.push(*refs[1].get(b).ok_or_else(|| misaligned(label))?);
-                    a += 1;
-                    b += 1;
-                } else if ca < cb {
-                    a += 1;
-                } else {
-                    b += 1;
-                }
-            }
-            (Token::Val(_), _) | (Token::Empty, _) => a += 1,
-            (_, Token::Val(_)) | (_, Token::Empty) => b += 1,
-            (Token::Stop(na), Token::Stop(nb)) => {
-                let s = tok::stop(na.max(nb));
-                oc.push(s);
-                o0.push(s);
-                o1.push(s);
-                a += 1;
-                b += 1;
-            }
-            (Token::Done, Token::Done) => {
-                oc.push(tok::done());
-                o0.push(tok::done());
-                o1.push(tok::done());
-                break;
-            }
-            (Token::Stop(_), Token::Done) => a += 1,
-            (Token::Done, Token::Stop(_)) => b += 1,
-        }
-    }
-    Ok(vec![oc, o0, o1])
-}
-
-/// Unioner transfer function (Definition 3.3).
-fn run_union(crd: [&Stream; 2], refs: [&Stream; 2], label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut oc = Stream::new();
-    let mut o0 = Stream::new();
-    let mut o1 = Stream::new();
-    let (mut a, mut b) = (0usize, 0usize);
-    loop {
-        let (Some(&ta), Some(&tb)) = (crd[0].get(a), crd[1].get(b)) else {
-            return Err(misaligned(label));
-        };
-        let ra = |a: usize| refs[0].get(a).copied().ok_or_else(|| misaligned(label));
-        let rb = |b: usize| refs[1].get(b).copied().ok_or_else(|| misaligned(label));
-        match (ta, tb) {
-            (Token::Val(pa), Token::Val(pb)) => {
-                let ca = pa.expect_crd();
-                let cb = pb.expect_crd();
-                if ca == cb {
-                    oc.push(tok::crd(ca));
-                    o0.push(ra(a)?);
-                    o1.push(rb(b)?);
-                    a += 1;
-                    b += 1;
-                } else if ca < cb {
-                    oc.push(tok::crd(ca));
-                    o0.push(ra(a)?);
-                    o1.push(tok::empty());
-                    a += 1;
-                } else {
-                    oc.push(tok::crd(cb));
-                    o0.push(tok::empty());
-                    o1.push(rb(b)?);
-                    b += 1;
-                }
-            }
-            (Token::Val(pa), _) => {
-                oc.push(tok::crd(pa.expect_crd()));
-                o0.push(ra(a)?);
-                o1.push(tok::empty());
-                a += 1;
-            }
-            (_, Token::Val(pb)) => {
-                oc.push(tok::crd(pb.expect_crd()));
-                o0.push(tok::empty());
-                o1.push(rb(b)?);
-                b += 1;
-            }
-            (Token::Empty, _) => a += 1,
-            (_, Token::Empty) => b += 1,
-            (Token::Stop(na), Token::Stop(nb)) => {
-                let s = tok::stop(na.max(nb));
-                oc.push(s);
-                o0.push(s);
-                o1.push(s);
-                a += 1;
-                b += 1;
-            }
-            (Token::Done, Token::Done) => {
-                oc.push(tok::done());
-                o0.push(tok::done());
-                o1.push(tok::done());
-                break;
-            }
-            (Token::Stop(_), Token::Done) => a += 1,
-            (Token::Done, Token::Stop(_)) => b += 1,
-        }
-    }
-    Ok(vec![oc, o0, o1])
-}
-
-/// Locator transfer function (Definition 4.1).
-fn run_locator(level: &Level, crd: &Stream, rf: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut oc = Stream::new();
-    let mut pass = Stream::new();
-    let mut located = Stream::new();
-    let push_all = |t: SimToken, oc: &mut Stream, pass: &mut Stream, located: &mut Stream| {
-        oc.push(t);
-        pass.push(t);
-        located.push(t);
-    };
-    for i in 0..crd.len().max(rf.len()) {
-        let (Some(&c), Some(&r)) = (crd.get(i), rf.get(i)) else {
-            return Err(misaligned(label));
-        };
-        match (c, r) {
-            (Token::Val(pc), Token::Val(pr)) => {
-                let coord = pc.expect_crd();
-                let fiber = pr.expect_ref() as usize;
-                match level.locate(fiber, coord) {
-                    Some(child) => {
-                        oc.push(tok::crd(coord));
-                        pass.push(tok::rf(fiber as u32));
-                        located.push(tok::rf(child as u32));
-                    }
-                    None => push_all(tok::empty(), &mut oc, &mut pass, &mut located),
-                }
-            }
-            (Token::Empty, _) | (_, Token::Empty) => push_all(tok::empty(), &mut oc, &mut pass, &mut located),
-            (Token::Stop(nc), Token::Stop(nr)) => {
-                push_all(tok::stop(nc.max(nr)), &mut oc, &mut pass, &mut located)
-            }
-            (Token::Done, Token::Done) => {
-                push_all(tok::done(), &mut oc, &mut pass, &mut located);
-                break;
-            }
-            _ => return Err(misaligned(label)),
-        }
-    }
-    Ok(vec![oc, pass, located])
-}
-
-/// Array-in-load-mode transfer function (Definition 3.5).
-fn run_array(vals: &[f64], input: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut out = Stream::new();
-    for &t in input {
-        match t {
-            Token::Val(p) => {
-                let r = p.expect_ref() as usize;
-                if r >= vals.len() {
-                    return Err(ExecError::RefOutOfBounds { label: label.to_string(), reference: r });
-                }
-                out.push(tok::val(vals[r]));
-            }
-            Token::Empty => out.push(tok::empty()),
-            Token::Stop(n) => out.push(tok::stop(n)),
-            Token::Done => {
-                out.push(tok::done());
-                break;
-            }
-        }
-    }
-    Ok(vec![out])
-}
-
-/// ALU transfer function (Definition 3.6): empty tokens read as zero.
-fn run_alu(op: AluOp, a: &Stream, b: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let apply = |x: f64, y: f64| match op {
-        AluOp::Add => x + y,
-        AluOp::Sub => x - y,
-        AluOp::Mul => x * y,
-    };
-    let mut out = Stream::new();
-    for i in 0..a.len().max(b.len()) {
-        let (Some(&ta), Some(&tb)) = (a.get(i), b.get(i)) else {
-            return Err(misaligned(label));
-        };
-        match (ta, tb) {
-            (Token::Val(pa), Token::Val(pb)) => out.push(tok::val(apply(pa.expect_val(), pb.expect_val()))),
-            (Token::Val(pa), Token::Empty) => out.push(tok::val(apply(pa.expect_val(), 0.0))),
-            (Token::Empty, Token::Val(pb)) => out.push(tok::val(apply(0.0, pb.expect_val()))),
-            (Token::Empty, Token::Empty) => out.push(tok::val(apply(0.0, 0.0))),
-            (Token::Stop(na), Token::Stop(nb)) => out.push(tok::stop(na.max(nb))),
-            (Token::Done, Token::Done) => {
-                out.push(tok::done());
-                break;
-            }
-            _ => return Err(misaligned(label)),
-        }
-    }
-    Ok(vec![out])
-}
-
-/// Scalar reducer transfer function (Definition 3.7, order 0).
-fn run_reduce_scalar(input: &Stream, policy: EmptyFiberPolicy) -> Vec<Stream> {
-    let mut out = Stream::new();
-    let mut acc = 0.0;
-    let mut has_data = false;
-    for &t in input {
-        match t {
-            Token::Val(p) => {
-                acc += p.expect_val();
-                has_data = true;
-            }
-            Token::Empty => {}
-            Token::Stop(n) => {
-                if has_data || policy == EmptyFiberPolicy::ExplicitZero {
-                    out.push(tok::val(acc));
-                }
-                acc = 0.0;
-                has_data = false;
-                if n > 0 {
-                    out.push(tok::stop(n - 1));
-                }
-            }
-            Token::Done => {
-                out.push(tok::done());
-                break;
-            }
-        }
-    }
-    vec![out]
-}
-
-/// Vector reducer transfer function (Definition 3.7, order 1 / Figure 7).
-fn run_reduce_vector(crd: &Stream, val: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut oc = Stream::new();
-    let mut ov = Stream::new();
-    let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
-    let flush = |acc: &mut BTreeMap<u32, f64>, closing: Option<u8>, oc: &mut Stream, ov: &mut Stream| {
-        for (c, v) in std::mem::take(acc) {
-            oc.push(tok::crd(c));
-            ov.push(tok::val(v));
-        }
-        if let Some(level) = closing {
-            oc.push(tok::stop(level));
-            ov.push(tok::stop(level));
-        }
-    };
-    for i in 0..crd.len().max(val.len()) {
-        let (Some(&c), Some(&v)) = (crd.get(i), val.get(i)) else {
-            return Err(misaligned(label));
-        };
-        match (c, v) {
-            (Token::Val(pc), Token::Val(pv)) => {
-                *acc.entry(pc.expect_crd()).or_insert(0.0) += pv.expect_val();
-            }
-            (Token::Empty, _) | (_, Token::Empty) => {}
-            (Token::Stop(nc), Token::Stop(nv)) => {
-                let n = nc.max(nv);
-                if n > 0 {
-                    flush(&mut acc, Some(n - 1), &mut oc, &mut ov);
-                }
-            }
-            (Token::Done, Token::Done) => {
-                if !acc.is_empty() {
-                    flush(&mut acc, None, &mut oc, &mut ov);
-                }
-                oc.push(tok::done());
-                ov.push(tok::done());
-                break;
-            }
-            _ => return Err(misaligned(label)),
-        }
-    }
-    Ok(vec![oc, ov])
-}
-
-/// Matrix reducer transfer function (Definition 3.7, order 2).
-fn run_reduce_matrix(
-    outer: &Stream,
-    inner: &Stream,
-    val: &Stream,
-    label: &str,
-) -> Result<Vec<Stream>, ExecError> {
-    let mut oo = Stream::new();
-    let mut oi = Stream::new();
-    let mut ov = Stream::new();
-    let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
-    let mut po = 0usize;
-    let mut current_outer: Option<u32> = None;
-    for i in 0..inner.len().max(val.len()) {
-        if current_outer.is_none() {
-            if let Some(Token::Val(p)) = outer.get(po) {
-                current_outer = Some(p.expect_crd());
-                po += 1;
-            }
-        }
-        let (Some(&c), Some(&v)) = (inner.get(i), val.get(i)) else {
-            return Err(misaligned(label));
-        };
-        match (c, v) {
-            (Token::Val(pc), Token::Val(pv)) => {
-                let o = current_outer.ok_or_else(|| misaligned(label))?;
-                *acc.entry((o, pc.expect_crd())).or_insert(0.0) += pv.expect_val();
-            }
-            (Token::Empty, _) | (_, Token::Empty) => {}
-            (Token::Stop(_), Token::Stop(_)) => {
-                current_outer = None;
-                if let Some(Token::Stop(_)) = outer.get(po) {
-                    po += 1;
-                }
-            }
-            (Token::Done, Token::Done) => {
-                while let Some(&t) = outer.get(po) {
-                    po += 1;
-                    if t.is_done() {
-                        break;
-                    }
-                }
-                flush_matrix(&mut acc, Some(1), &mut oo, &mut oi, &mut ov);
-                oo.push(tok::done());
-                oi.push(tok::done());
-                ov.push(tok::done());
-                break;
-            }
-            _ => return Err(misaligned(label)),
-        }
-    }
-    Ok(vec![oo, oi, ov])
-}
-
-/// Emits the accumulated matrix exactly like the cycle-level reducer block.
-fn flush_matrix(
-    acc: &mut BTreeMap<(u32, u32), f64>,
-    closing_stop: Option<u8>,
-    oo: &mut Stream,
-    oi: &mut Stream,
-    ov: &mut Stream,
-) {
-    let mut by_outer: BTreeMap<u32, Vec<(u32, f64)>> = BTreeMap::new();
-    for ((o, i), v) in std::mem::take(acc) {
-        by_outer.entry(o).or_default().push((i, v));
-    }
-    let n = by_outer.len();
-    for (idx, (o, inners)) in by_outer.into_iter().enumerate() {
-        let last_fiber = idx + 1 == n;
-        let m = inners.len();
-        for (jdx, (i, v)) in inners.into_iter().enumerate() {
-            oo.push(if jdx == 0 { tok::crd(o) } else { tok::empty() });
-            oi.push(tok::crd(i));
-            ov.push(tok::val(v));
-            if jdx + 1 == m {
-                let level = if last_fiber { closing_stop.unwrap_or(1) } else { 0 };
-                oo.push(if last_fiber { tok::stop(level.saturating_sub(1)) } else { tok::empty() });
-                oi.push(tok::stop(level));
-                ov.push(tok::stop(level));
-            }
-        }
-    }
-    if n == 0 {
-        if let Some(level) = closing_stop {
-            oo.push(tok::stop(level));
-            oi.push(tok::stop(level));
-            ov.push(tok::stop(level));
+        match self.parallelism {
+            Parallelism::Serial => run_serial(self.name(), plan, inputs),
+            Parallelism::Threads(n) => crate::parallel::run_parallel(self.name(), plan, inputs, n),
         }
     }
 }
 
-/// Appends to a dropper output, merging consecutive trailing stop tokens by
-/// keeping the higher level (the Figure 8 upgrade rule).
-fn push_merged(queue: &mut Stream, t: SimToken) {
-    if let Token::Stop(new_level) = t {
-        if let Some(Token::Stop(prev)) = queue.last_mut() {
-            *prev = (*prev).max(new_level);
-            return;
-        }
-    }
-    queue.push(t);
-}
+/// Serial evaluation: one node at a time in topological order, whole
+/// streams per node.
+fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+    let start = Instant::now();
+    let nodes = plan.graph().nodes();
+    let mut streams: Vec<Vec<Stream>> = nodes.iter().map(|_| Vec::new()).collect();
+    let mut level_results: HashMap<usize, sam_tensor::level::CompressedLevel> = HashMap::new();
+    let mut vals_result: Option<Vec<f64>> = None;
 
-/// Coordinate dropper transfer function (Definition 3.9, Figure 8).
-fn run_dropper(outer: &Stream, inner: &Stream, label: &str) -> Result<Vec<Stream>, ExecError> {
-    let mut out_outer = Stream::new();
-    let mut out_inner = Stream::new();
-    let mut fiber: Vec<SimToken> = Vec::new();
-    let mut effectual = false;
-    let mut po = 0usize;
-    for &t in inner {
-        match t {
-            Token::Val(p) => {
-                effectual |= match p {
-                    Payload::Val(v) => v != 0.0,
-                    _ => true,
-                };
-                fiber.push(t);
+    for &id in plan.order() {
+        let job = NodeJob::build(plan, inputs, id);
+        let mut srcs: Vec<SliceSource<'_>> =
+            plan.inputs_of(id).iter().map(|p| SliceSource::new(&streams[p.node.0][p.port])).collect();
+        let mut outs: Vec<Stream> = vec![Stream::new(); nodes[id.0].output_ports().len()];
+        match eval_node(&job, &mut srcs, &mut outs)? {
+            Some(WriterOutput::Level(level)) => {
+                level_results.insert(id.0, level);
             }
-            Token::Empty => {}
-            Token::Stop(level) => {
-                let Some(&outer_tok) = outer.get(po) else {
-                    return Err(misaligned(label));
-                };
-                match outer_tok {
-                    Token::Val(_) => {
-                        po += 1;
-                        if effectual {
-                            for ft in fiber.drain(..) {
-                                push_merged(&mut out_inner, ft);
-                            }
-                            push_merged(&mut out_inner, tok::stop(level));
-                            push_merged(&mut out_outer, outer_tok);
-                        } else {
-                            fiber.clear();
-                            if level > 0 {
-                                push_merged(&mut out_inner, tok::stop(level));
-                            }
-                        }
-                        if level > 0 {
-                            if let Some(Token::Stop(no)) = outer.get(po) {
-                                let no = *no;
-                                po += 1;
-                                push_merged(&mut out_outer, tok::stop(no));
-                            } else {
-                                push_merged(&mut out_outer, tok::stop(level - 1));
-                            }
-                        }
-                        effectual = false;
-                    }
-                    Token::Stop(_) | Token::Empty | Token::Done => {
-                        push_merged(&mut out_inner, tok::stop(level));
-                        if matches!(outer_tok, Token::Stop(_)) {
-                            po += 1;
-                            push_merged(&mut out_outer, outer_tok);
-                        }
-                        effectual = false;
-                        fiber.clear();
-                    }
-                }
-            }
-            Token::Done => {
-                while let Some(&o) = outer.get(po) {
-                    po += 1;
-                    if o.is_done() {
-                        break;
-                    }
-                    push_merged(&mut out_outer, o);
-                }
-                push_merged(&mut out_inner, tok::done());
-                push_merged(&mut out_outer, tok::done());
-                break;
-            }
+            Some(WriterOutput::Vals(vals)) => vals_result = Some(vals),
+            None => {}
         }
+        streams[id.0] = outs;
     }
-    Ok(vec![out_outer, out_inner])
-}
 
-/// Level-writer transfer function (Definition 3.8).
-fn run_level_writer(dim: usize, input: &Stream) -> CompressedLevel {
-    let mut coords: Vec<u32> = Vec::new();
-    let mut seg: Vec<usize> = vec![0];
-    for &t in input {
-        match t {
-            Token::Val(p) => coords.push(p.expect_crd()),
-            Token::Empty => {}
-            Token::Stop(_) => seg.push(coords.len()),
-            Token::Done => break,
-        }
-    }
-    if *seg.last().expect("nonempty") != coords.len() {
-        seg.push(coords.len());
-    }
-    CompressedLevel::new(dim, seg, coords)
-}
+    let levels: Vec<_> = plan
+        .level_writers()
+        .iter()
+        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() }))
+        .collect::<Result<_, _>>()?;
+    let vals =
+        vals_result.ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+    let tokens: u64 = streams.iter().flatten().map(|s| s.len() as u64).sum();
+    // Report the planned channel count, like the parallel mode, so the
+    // metric is comparable across Parallelism settings.
+    let channels = plan.channels().len();
+    let output = assemble_output(plan, levels, &vals)?;
 
-/// Values-writer transfer function: empty tokens store explicit zeros.
-fn run_val_writer(input: &Stream) -> Vec<f64> {
-    let mut vals = Vec::new();
-    for &t in input {
-        match t {
-            Token::Val(p) => vals.push(p.expect_val()),
-            Token::Empty => vals.push(0.0),
-            Token::Stop(_) => {}
-            Token::Done => break,
-        }
-    }
-    vals
+    Ok(Execution {
+        backend,
+        output,
+        vals,
+        cycles: None,
+        blocks: nodes.len(),
+        channels,
+        tokens,
+        elapsed: start.elapsed(),
+    })
 }

@@ -14,9 +14,12 @@
 //! * two **backends** behind one [`Executor`] trait:
 //!   [`CycleBackend`] instantiates `sam-primitives` blocks into the
 //!   `sam-sim` simulator for cycle-approximate runs, while [`FastBackend`]
-//!   evaluates the same plan functionally, whole streams at a time, for raw
-//!   throughput (the "fast concrete executor next to the instrumented
-//!   machine" pattern).
+//!   evaluates the same plan functionally — serially over whole streams,
+//!   or pipelined across worker threads over chunked streams when given a
+//!   [`Parallelism::Threads`] setting (the "fast concrete executor next to
+//!   the instrumented machine" pattern).
+//!
+//! # Running a kernel on both backends
 //!
 //! ```
 //! use sam_core::graphs;
@@ -31,22 +34,76 @@
 //!     .coo("b", &b, TensorFormat::sparse_vec())
 //!     .coo("c", &c, TensorFormat::sparse_vec());
 //! let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-//! let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+//! let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
 //! assert!(cycle.cycles.unwrap() > 0);
 //! assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
 //! ```
+//!
+//! # Building, planning and executing by hand
+//!
+//! [`Plan::build`] exposes the intermediate step [`execute`] wraps: plan
+//! once, inspect the planned topology, then run the same plan on any
+//! backend (and over the same inputs, as many times as needed).
+//!
+//! ```
+//! use sam_core::build::GraphBuilder;
+//! use sam_exec::{Executor, FastBackend, Inputs, Plan};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! // Build x(i) = b(i) * b(i) directly with the graph builder.
+//! let mut g = GraphBuilder::new("x(i) = b(i) * b(i)");
+//! let root = g.root("b");
+//! let (crd, rf) = g.scan("b", 'i', true, root);
+//! let v = g.array("b", rf);
+//! let sq = g.alu("mul", v, v);
+//! g.write_level("x", 'i', crd);
+//! g.write_vals("x", sq);
+//! let graph = g.finish();
+//!
+//! let b = synth::random_vector(32, 8, 3);
+//! let inputs = Inputs::new().coo("b", &b, TensorFormat::sparse_vec());
+//! let plan = Plan::build(&graph, &inputs).unwrap();
+//! // The value array and the ALU's second input ride on planned forks.
+//! assert!(plan.fork_count() > 0);
+//! assert!(!plan.channels().is_empty());
+//! let run = FastBackend::serial().run(&plan, &inputs).unwrap();
+//! assert_eq!(run.vals.len(), b.entries().len());
+//! ```
+//!
+//! # Parallel execution
+//!
+//! ```
+//! use sam_core::graphs;
+//! use sam_core::kernels::spmm::SpmmDataflow;
+//! use sam_exec::{execute, Executor, FastBackend, Inputs, Parallelism};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! let graph = graphs::spmm(SpmmDataflow::LinearCombination);
+//! let b = synth::random_matrix_sparsity(40, 30, 0.9, 5);
+//! let c = synth::random_matrix_sparsity(30, 20, 0.9, 6);
+//! let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
+//! let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+//! let parallel = execute(&graph, &inputs, &FastBackend::threads(4)).unwrap();
+//! assert_eq!(serial.output.unwrap(), parallel.output.unwrap());
+//! assert_eq!(parallel.backend, "fast-mt");
+//! assert!(matches!(FastBackend::threads(4).parallelism(), Parallelism::Threads(4)));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bind;
 pub mod cycle;
 pub mod error;
 pub mod fast;
+mod node;
+mod parallel;
 pub mod plan;
 
 pub use bind::Inputs;
 pub use cycle::CycleBackend;
 pub use error::{ExecError, PlanError};
 pub use fast::FastBackend;
-pub use plan::{Plan, PortRef, DEFAULT_MAX_CYCLES};
+pub use plan::{ChannelSpec, Plan, PortRef, DEFAULT_MAX_CYCLES};
 
 use sam_core::graph::SamGraph;
 use sam_primitives::EmptyFiberPolicy;
@@ -69,7 +126,9 @@ pub struct Execution {
     /// Number of primitive instances executed (including planned forks on
     /// the cycle backend).
     pub blocks: usize,
-    /// Number of streams/channels materialized.
+    /// Number of streams/channels materialized. The fast backend reports
+    /// the planned channel count (identical across `Parallelism` settings);
+    /// the cycle backend reports simulator channels, including fork lanes.
     pub channels: usize,
     /// Total tokens that flowed through the graph.
     pub tokens: u64,
@@ -77,10 +136,31 @@ pub struct Execution {
     pub elapsed: Duration,
 }
 
+/// How a backend schedules the planned nodes.
+///
+/// The default is [`Parallelism::Serial`]; [`FastBackend::threads`] selects
+/// pipelined execution. The cycle backend models hardware that is parallel
+/// by construction, so the knob does not apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One node at a time, in topological order, whole streams per node.
+    #[default]
+    Serial,
+    /// Every node is a work unit on a pool of this many worker threads,
+    /// pipelining over bounded chunked channels. Clamped to at least 1.
+    Threads(usize),
+}
+
 /// A backend that can run a [`Plan`].
 pub trait Executor {
     /// Short backend name used in reports.
     fn name(&self) -> &'static str;
+
+    /// How this backend schedules node evaluation. Defaults to
+    /// [`Parallelism::Serial`].
+    fn parallelism(&self) -> Parallelism {
+        Parallelism::Serial
+    }
 
     /// Executes the plan over the bound inputs.
     ///
@@ -163,7 +243,7 @@ mod tests {
         let inputs =
             Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
         let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-        let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+        let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
         let mut env = dense_env(&[("b", &b), ("c", &c)]);
         env.set_dim('i', 200);
         let expect = env.evaluate(&table1::vec_elem_mul()).unwrap();
@@ -184,7 +264,7 @@ mod tests {
         env.insert("c", Tensor::from_coo("c", &c, TensorFormat::dense_vec()).to_dense());
         env.bind_dims(&table1::spmv(), &[]);
         let expect = env.evaluate(&table1::spmv()).unwrap();
-        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
             let run = execute(&graph, &inputs, backend).unwrap();
             assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
         }
@@ -213,7 +293,7 @@ mod tests {
             };
             let inputs = Inputs::new().coo("B", &b, b_fmt).coo("C", &c, c_fmt);
             let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-            let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+            let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
             assert!(
                 cycle.output.as_ref().unwrap().to_dense().approx_eq(&expect),
                 "{} cycle run diverged",
@@ -241,7 +321,7 @@ mod tests {
         let mut env = dense_env(&[("B", &b), ("C", &c), ("D", &d)]);
         env.bind_dims(&table1::sddmm(), &[]);
         let expect = env.evaluate(&table1::sddmm()).unwrap();
-        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+        for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
             let run = execute(&graph, &inputs, backend).unwrap();
             assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
         }
@@ -252,7 +332,7 @@ mod tests {
         let b = synth::random_matrix_sparsity(15, 12, 0.85, 12);
         let graph = graphs::identity();
         let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr());
-        let run = execute(&graph, &inputs, &FastBackend).unwrap();
+        let run = execute(&graph, &inputs, &FastBackend::default()).unwrap();
         let expect = Tensor::from_coo("B", &b, TensorFormat::dcsr());
         assert!(run.output.unwrap().approx_eq(&expect));
     }

@@ -1,0 +1,871 @@
+//! Per-primitive transfer functions, written once against pull/push stream
+//! abstractions so both fast-backend execution modes share them.
+//!
+//! Every function here consumes its input streams strictly left to right
+//! (with at most one token of lookahead) and appends to its output streams
+//! strictly in order. That discipline is what lets the same code run two
+//! ways:
+//!
+//! * **serial** — a [`Source`] over a finished `Vec<SimToken>` and a plain
+//!   `Vec<SimToken>` as the [`Sink`]: the node evaluates whole streams in
+//!   one call, exactly like the original single-threaded fast backend, and
+//! * **parallel** — a [`Source`]/[`Sink`] over the bounded chunked channels
+//!   of `sam_streams::chunked`: the node runs on its own thread, consuming
+//!   chunks as producers emit them and streaming chunks to consumers, so
+//!   independent scan chains and the two sides of every merge make progress
+//!   concurrently.
+//!
+//! The transfer functions themselves mirror the `sam-primitives` block
+//! semantics token for token (see the paper definitions cited on each), so
+//! the cycle backend, the serial fast backend and the parallel fast backend
+//! all compute identical streams from the same [`Plan`](crate::Plan).
+
+use crate::bind::Inputs;
+use crate::error::ExecError;
+use crate::plan::Plan;
+use crate::reducer_policy;
+use sam_core::graph::{NodeId, NodeKind};
+use sam_primitives::{root_stream, AluOp, EmptyFiberPolicy};
+use sam_sim::payload::{tok, Payload};
+use sam_sim::SimToken;
+use sam_streams::Token;
+use sam_tensor::level::{CompressedLevel, Level};
+use std::collections::BTreeMap;
+
+/// A pull-based token stream: the reading half of a node's input.
+pub(crate) trait Source {
+    /// The next token, or `None` when the stream ends (producer finished or
+    /// failed without a done token).
+    fn next(&mut self) -> Option<SimToken>;
+
+    /// The next token without consuming it.
+    fn peek(&mut self) -> Option<SimToken>;
+}
+
+/// A push-based token stream: the writing half of a node's output.
+pub(crate) trait Sink {
+    /// Appends one token to the stream.
+    fn push(&mut self, t: SimToken);
+}
+
+/// A [`Source`] over a finished, fully materialized stream (serial mode).
+pub(crate) struct SliceSource<'a> {
+    tokens: &'a [SimToken],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    pub(crate) fn new(tokens: &'a [SimToken]) -> Self {
+        SliceSource { tokens, pos: 0 }
+    }
+}
+
+impl Source for SliceSource<'_> {
+    fn next(&mut self) -> Option<SimToken> {
+        let t = self.tokens.get(self.pos).copied();
+        self.pos += 1;
+        t
+    }
+
+    fn peek(&mut self) -> Option<SimToken> {
+        self.tokens.get(self.pos).copied()
+    }
+}
+
+impl Sink for Vec<SimToken> {
+    fn push(&mut self, t: SimToken) {
+        Vec::push(self, t);
+    }
+}
+
+/// The tensor data a writer node hands back to the driver.
+pub(crate) enum WriterOutput {
+    /// One compressed output level (a non-values level writer).
+    Level(CompressedLevel),
+    /// The output values array (the values writer).
+    Vals(Vec<f64>),
+}
+
+/// Everything one node evaluation needs besides its streams: the resolved
+/// tensor level / values / ALU op / writer dimension from the plan.
+pub(crate) struct NodeJob<'a> {
+    pub(crate) kind: &'a NodeKind,
+    pub(crate) label: String,
+    level: Option<&'a Level>,
+    vals: Option<&'a [f64]>,
+    alu: Option<AluOp>,
+    writer_dim: usize,
+}
+
+impl<'a> NodeJob<'a> {
+    /// Resolves the plan- and input-side context of `id` for evaluation.
+    pub(crate) fn build(plan: &'a Plan, inputs: &'a Inputs, id: NodeId) -> NodeJob<'a> {
+        let kind = &plan.graph().nodes()[id.0];
+        let mut job =
+            NodeJob { kind, label: kind.label(), level: None, vals: None, alu: None, writer_dim: 0 };
+        match kind {
+            NodeKind::LevelScanner { tensor, .. } | NodeKind::Locator { tensor, .. } => {
+                job.level = Some(inputs.get(tensor).expect("validated binding").level(plan.scan_level(id)));
+            }
+            NodeKind::Array { tensor } => {
+                job.vals = Some(inputs.get(tensor).expect("validated binding").vals());
+            }
+            NodeKind::Alu { .. } => job.alu = Some(plan.alu_op(id)),
+            NodeKind::LevelWriter { vals, .. } if !vals => job.writer_dim = plan.writer_dim(id),
+            _ => {}
+        }
+        job
+    }
+}
+
+/// Runs one node over its input sources, pushing to its output sinks.
+/// Writers return their collected output instead of streaming.
+pub(crate) fn eval_node<S: Source, K: Sink>(
+    job: &NodeJob<'_>,
+    srcs: &mut [S],
+    outs: &mut [K],
+) -> Result<Option<WriterOutput>, ExecError> {
+    let label = job.label.as_str();
+    match job.kind {
+        NodeKind::Root { .. } => {
+            for t in root_stream() {
+                outs[0].push(t);
+            }
+        }
+        NodeKind::LevelScanner { .. } => {
+            let [crd, rf] = outs else { unreachable!("scanner has two outputs") };
+            run_scanner(job.level.expect("scanner level"), &mut srcs[0], crd, rf);
+        }
+        NodeKind::Repeater { .. } => {
+            let [crd_in, ref_in] = srcs else { unreachable!("repeater has two inputs") };
+            run_repeater(crd_in, ref_in, &mut outs[0], label)?;
+        }
+        NodeKind::Intersecter { .. } => {
+            let [c0, c1, r0, r1] = srcs else { unreachable!("intersecter has four inputs") };
+            let [oc, o0, o1] = outs else { unreachable!("intersecter has three outputs") };
+            run_intersect(c0, c1, r0, r1, oc, o0, o1, label)?;
+        }
+        NodeKind::Unioner { .. } => {
+            let [c0, c1, r0, r1] = srcs else { unreachable!("unioner has four inputs") };
+            let [oc, o0, o1] = outs else { unreachable!("unioner has three outputs") };
+            run_union(c0, c1, r0, r1, oc, o0, o1, label)?;
+        }
+        NodeKind::Locator { .. } => {
+            let [crd, rf] = srcs else { unreachable!("locator has two inputs") };
+            let [oc, pass, located] = outs else { unreachable!("locator has three outputs") };
+            run_locator(job.level.expect("locator level"), crd, rf, oc, pass, located, label)?;
+        }
+        NodeKind::Array { .. } => {
+            run_array(job.vals.expect("array values"), &mut srcs[0], &mut outs[0], label)?;
+        }
+        NodeKind::Alu { .. } => {
+            let [a, b] = srcs else { unreachable!("ALU has two inputs") };
+            run_alu(job.alu.expect("validated ALU"), a, b, &mut outs[0], label)?;
+        }
+        NodeKind::Reducer { order } => match order {
+            0 => run_reduce_scalar(&mut srcs[0], reducer_policy(0), &mut outs[0]),
+            1 => {
+                let [crd, val] = srcs else { unreachable!("vector reducer has two inputs") };
+                let [oc, ov] = outs else { unreachable!("vector reducer has two outputs") };
+                run_reduce_vector(crd, val, oc, ov, label)?;
+            }
+            _ => {
+                let [outer, inner, val] = srcs else { unreachable!("matrix reducer has three inputs") };
+                let [oo, oi, ov] = outs else { unreachable!("matrix reducer has three outputs") };
+                run_reduce_matrix(outer, inner, val, oo, oi, ov, label)?;
+            }
+        },
+        NodeKind::CoordDropper { .. } => {
+            let [outer, inner] = srcs else { unreachable!("dropper has two inputs") };
+            let [oo, oi] = outs else { unreachable!("dropper has two outputs") };
+            run_dropper(outer, inner, oo, oi, label)?;
+        }
+        NodeKind::LevelWriter { vals, .. } => {
+            return Ok(Some(if *vals {
+                WriterOutput::Vals(run_val_writer(&mut srcs[0]))
+            } else {
+                WriterOutput::Level(run_level_writer(job.writer_dim, &mut srcs[0]))
+            }));
+        }
+        NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter => {
+            unreachable!("rejected during planning")
+        }
+    }
+    Ok(None)
+}
+
+fn misaligned(label: &str) -> ExecError {
+    ExecError::Misaligned { label: label.to_string() }
+}
+
+/// Reads the crd/ref token pair at one position of a merged operand; the
+/// two streams of an operand always advance in lockstep.
+fn fetch_pair<S: Source>(crd: &mut S, rf: &mut S) -> Option<(SimToken, SimToken)> {
+    let c = crd.next()?;
+    let r = rf.next()?;
+    Some((c, r))
+}
+
+/// Emits the stop that trails a scanned fiber, upgrading it when the input
+/// stream closes outer fibers at the same point (one-token lookahead).
+fn trailing_stop<S: Source, K: Sink>(input: &mut S, crd: &mut K, rf: &mut K) {
+    match input.peek() {
+        Some(Token::Stop(n)) => {
+            input.next();
+            crd.push(tok::stop(n + 1));
+            rf.push(tok::stop(n + 1));
+        }
+        _ => {
+            crd.push(tok::stop(0));
+            rf.push(tok::stop(0));
+        }
+    }
+}
+
+/// Level scanner transfer function (Definition 3.1, stop rule of
+/// Section 3.3).
+fn run_scanner<S: Source, K: Sink>(level: &Level, input: &mut S, crd: &mut K, rf: &mut K) {
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(p) => {
+                for e in level.fiber(p.expect_ref() as usize) {
+                    crd.push(tok::crd(e.coord));
+                    rf.push(tok::rf(e.child as u32));
+                }
+                trailing_stop(input, crd, rf);
+            }
+            Token::Empty => trailing_stop(input, crd, rf),
+            Token::Stop(n) => {
+                crd.push(tok::stop(n + 1));
+                rf.push(tok::stop(n + 1));
+            }
+            Token::Done => {
+                crd.push(tok::done());
+                rf.push(tok::done());
+                break;
+            }
+        }
+    }
+}
+
+/// Repeater transfer function (Definition 3.4).
+///
+/// The coordinate stream sits one fibertree level below the reference
+/// stream, so their structures correlate: every coordinate-stream *fiber*
+/// (even an empty one) corresponds to one reference data token, and every
+/// coordinate stop of level `n >= 1` additionally closes the reference
+/// stream's own fiber, consuming its (single, hierarchical) stop token.
+/// Walking that correspondence reproduces the cycle-level block's output
+/// without emulating its tick timing.
+fn run_repeater<S: Source, K: Sink>(
+    crd_in: &mut S,
+    ref_in: &mut S,
+    out: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut current: Option<SimToken> = None;
+    while let Some(t) = crd_in.next() {
+        match t {
+            Token::Val(_) => {
+                if current.is_none() {
+                    // The current fiber's reference: the next data token.
+                    match ref_in.next() {
+                        Some(r @ (Token::Val(_) | Token::Empty)) => current = Some(r),
+                        _ => return Err(misaligned(label)),
+                    }
+                }
+                out.push(current.expect("just fetched"));
+            }
+            Token::Empty => out.push(tok::empty()),
+            Token::Stop(n) => {
+                if current.is_none() {
+                    // An empty fiber still consumes its reference, unless
+                    // this bare stop only closes outer levels (the
+                    // reference stream then carries a stop here itself).
+                    if let Some(Token::Val(_) | Token::Empty) = ref_in.peek() {
+                        ref_in.next();
+                    }
+                }
+                current = None;
+                if n > 0 {
+                    // The reference stream's own fiber closes with it.
+                    if let Some(Token::Stop(_)) = ref_in.peek() {
+                        ref_in.next();
+                    }
+                }
+                out.push(tok::stop(n));
+            }
+            Token::Done => {
+                out.push(tok::done());
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Intersecter transfer function (Definition 3.2): two-finger merge.
+#[allow(clippy::too_many_arguments)]
+fn run_intersect<S: Source, K: Sink>(
+    c0: &mut S,
+    c1: &mut S,
+    r0: &mut S,
+    r1: &mut S,
+    oc: &mut K,
+    o0: &mut K,
+    o1: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+    let mut b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+    loop {
+        match (a.0, b.0) {
+            (Token::Val(pa), Token::Val(pb)) => {
+                let ca = pa.expect_crd();
+                let cb = pb.expect_crd();
+                if ca == cb {
+                    oc.push(tok::crd(ca));
+                    o0.push(a.1);
+                    o1.push(b.1);
+                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                } else if ca < cb {
+                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                } else {
+                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                }
+            }
+            (Token::Val(_), _) | (Token::Empty, _) => {
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+            }
+            (_, Token::Val(_)) | (_, Token::Empty) => {
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Stop(na), Token::Stop(nb)) => {
+                let s = tok::stop(na.max(nb));
+                oc.push(s);
+                o0.push(s);
+                o1.push(s);
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Done, Token::Done) => {
+                oc.push(tok::done());
+                o0.push(tok::done());
+                o1.push(tok::done());
+                break;
+            }
+            (Token::Stop(_), Token::Done) => {
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Done, Token::Stop(_)) => {
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Unioner transfer function (Definition 3.3).
+#[allow(clippy::too_many_arguments)]
+fn run_union<S: Source, K: Sink>(
+    c0: &mut S,
+    c1: &mut S,
+    r0: &mut S,
+    r1: &mut S,
+    oc: &mut K,
+    o0: &mut K,
+    o1: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+    let mut b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+    loop {
+        match (a.0, b.0) {
+            (Token::Val(pa), Token::Val(pb)) => {
+                let ca = pa.expect_crd();
+                let cb = pb.expect_crd();
+                if ca == cb {
+                    oc.push(tok::crd(ca));
+                    o0.push(a.1);
+                    o1.push(b.1);
+                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                } else if ca < cb {
+                    oc.push(tok::crd(ca));
+                    o0.push(a.1);
+                    o1.push(tok::empty());
+                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                } else {
+                    oc.push(tok::crd(cb));
+                    o0.push(tok::empty());
+                    o1.push(b.1);
+                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                }
+            }
+            (Token::Val(pa), _) => {
+                oc.push(tok::crd(pa.expect_crd()));
+                o0.push(a.1);
+                o1.push(tok::empty());
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+            }
+            (_, Token::Val(pb)) => {
+                oc.push(tok::crd(pb.expect_crd()));
+                o0.push(tok::empty());
+                o1.push(b.1);
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Empty, _) => {
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+            }
+            (_, Token::Empty) => {
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Stop(na), Token::Stop(nb)) => {
+                let s = tok::stop(na.max(nb));
+                oc.push(s);
+                o0.push(s);
+                o1.push(s);
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Done, Token::Done) => {
+                oc.push(tok::done());
+                o0.push(tok::done());
+                o1.push(tok::done());
+                break;
+            }
+            (Token::Stop(_), Token::Done) => {
+                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+            }
+            (Token::Done, Token::Stop(_)) => {
+                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locator transfer function (Definition 4.1).
+#[allow(clippy::too_many_arguments)]
+fn run_locator<S: Source, K: Sink>(
+    level: &Level,
+    crd: &mut S,
+    rf: &mut S,
+    oc: &mut K,
+    pass: &mut K,
+    located: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    loop {
+        let (Some(c), Some(r)) = (crd.next(), rf.next()) else {
+            return Err(misaligned(label));
+        };
+        match (c, r) {
+            (Token::Val(pc), Token::Val(pr)) => {
+                let coord = pc.expect_crd();
+                let fiber = pr.expect_ref() as usize;
+                match level.locate(fiber, coord) {
+                    Some(child) => {
+                        oc.push(tok::crd(coord));
+                        pass.push(tok::rf(fiber as u32));
+                        located.push(tok::rf(child as u32));
+                    }
+                    None => {
+                        oc.push(tok::empty());
+                        pass.push(tok::empty());
+                        located.push(tok::empty());
+                    }
+                }
+            }
+            (Token::Empty, _) | (_, Token::Empty) => {
+                oc.push(tok::empty());
+                pass.push(tok::empty());
+                located.push(tok::empty());
+            }
+            (Token::Stop(nc), Token::Stop(nr)) => {
+                let s = tok::stop(nc.max(nr));
+                oc.push(s);
+                pass.push(s);
+                located.push(s);
+            }
+            (Token::Done, Token::Done) => {
+                oc.push(tok::done());
+                pass.push(tok::done());
+                located.push(tok::done());
+                break;
+            }
+            _ => return Err(misaligned(label)),
+        }
+    }
+    Ok(())
+}
+
+/// Array-in-load-mode transfer function (Definition 3.5).
+fn run_array<S: Source, K: Sink>(
+    vals: &[f64],
+    input: &mut S,
+    out: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(p) => {
+                let r = p.expect_ref() as usize;
+                if r >= vals.len() {
+                    return Err(ExecError::RefOutOfBounds { label: label.to_string(), reference: r });
+                }
+                out.push(tok::val(vals[r]));
+            }
+            Token::Empty => out.push(tok::empty()),
+            Token::Stop(n) => out.push(tok::stop(n)),
+            Token::Done => {
+                out.push(tok::done());
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// ALU transfer function (Definition 3.6): empty tokens read as zero.
+fn run_alu<S: Source, K: Sink>(
+    op: AluOp,
+    a: &mut S,
+    b: &mut S,
+    out: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let apply = |x: f64, y: f64| match op {
+        AluOp::Add => x + y,
+        AluOp::Sub => x - y,
+        AluOp::Mul => x * y,
+    };
+    loop {
+        let (Some(ta), Some(tb)) = (a.next(), b.next()) else {
+            return Err(misaligned(label));
+        };
+        match (ta, tb) {
+            (Token::Val(pa), Token::Val(pb)) => out.push(tok::val(apply(pa.expect_val(), pb.expect_val()))),
+            (Token::Val(pa), Token::Empty) => out.push(tok::val(apply(pa.expect_val(), 0.0))),
+            (Token::Empty, Token::Val(pb)) => out.push(tok::val(apply(0.0, pb.expect_val()))),
+            (Token::Empty, Token::Empty) => out.push(tok::val(apply(0.0, 0.0))),
+            (Token::Stop(na), Token::Stop(nb)) => out.push(tok::stop(na.max(nb))),
+            (Token::Done, Token::Done) => {
+                out.push(tok::done());
+                break;
+            }
+            _ => return Err(misaligned(label)),
+        }
+    }
+    Ok(())
+}
+
+/// Scalar reducer transfer function (Definition 3.7, order 0).
+fn run_reduce_scalar<S: Source, K: Sink>(input: &mut S, policy: EmptyFiberPolicy, out: &mut K) {
+    let mut acc = 0.0;
+    let mut has_data = false;
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(p) => {
+                acc += p.expect_val();
+                has_data = true;
+            }
+            Token::Empty => {}
+            Token::Stop(n) => {
+                if has_data || policy == EmptyFiberPolicy::ExplicitZero {
+                    out.push(tok::val(acc));
+                }
+                acc = 0.0;
+                has_data = false;
+                if n > 0 {
+                    out.push(tok::stop(n - 1));
+                }
+            }
+            Token::Done => {
+                out.push(tok::done());
+                break;
+            }
+        }
+    }
+}
+
+/// Vector reducer transfer function (Definition 3.7, order 1 / Figure 7).
+fn run_reduce_vector<S: Source, K: Sink>(
+    crd: &mut S,
+    val: &mut S,
+    oc: &mut K,
+    ov: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
+    let flush = |acc: &mut BTreeMap<u32, f64>, closing: Option<u8>, oc: &mut K, ov: &mut K| {
+        for (c, v) in std::mem::take(acc) {
+            oc.push(tok::crd(c));
+            ov.push(tok::val(v));
+        }
+        if let Some(level) = closing {
+            oc.push(tok::stop(level));
+            ov.push(tok::stop(level));
+        }
+    };
+    loop {
+        let (Some(c), Some(v)) = (crd.next(), val.next()) else {
+            return Err(misaligned(label));
+        };
+        match (c, v) {
+            (Token::Val(pc), Token::Val(pv)) => {
+                *acc.entry(pc.expect_crd()).or_insert(0.0) += pv.expect_val();
+            }
+            (Token::Empty, _) | (_, Token::Empty) => {}
+            (Token::Stop(nc), Token::Stop(nv)) => {
+                let n = nc.max(nv);
+                if n > 0 {
+                    flush(&mut acc, Some(n - 1), oc, ov);
+                }
+            }
+            (Token::Done, Token::Done) => {
+                if !acc.is_empty() {
+                    flush(&mut acc, None, oc, ov);
+                }
+                oc.push(tok::done());
+                ov.push(tok::done());
+                break;
+            }
+            _ => return Err(misaligned(label)),
+        }
+    }
+    Ok(())
+}
+
+/// Matrix reducer transfer function (Definition 3.7, order 2).
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_matrix<S: Source, K: Sink>(
+    outer: &mut S,
+    inner: &mut S,
+    val: &mut S,
+    oo: &mut K,
+    oi: &mut K,
+    ov: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut current_outer: Option<u32> = None;
+    loop {
+        if current_outer.is_none() {
+            if let Some(Token::Val(p)) = outer.peek() {
+                outer.next();
+                current_outer = Some(p.expect_crd());
+            }
+        }
+        let (Some(c), Some(v)) = (inner.next(), val.next()) else {
+            return Err(misaligned(label));
+        };
+        match (c, v) {
+            (Token::Val(pc), Token::Val(pv)) => {
+                let o = current_outer.ok_or_else(|| misaligned(label))?;
+                *acc.entry((o, pc.expect_crd())).or_insert(0.0) += pv.expect_val();
+            }
+            (Token::Empty, _) | (_, Token::Empty) => {}
+            (Token::Stop(_), Token::Stop(_)) => {
+                current_outer = None;
+                if let Some(Token::Stop(_)) = outer.peek() {
+                    outer.next();
+                }
+            }
+            (Token::Done, Token::Done) => {
+                while let Some(t) = outer.next() {
+                    if t.is_done() {
+                        break;
+                    }
+                }
+                flush_matrix(&mut acc, Some(1), oo, oi, ov);
+                oo.push(tok::done());
+                oi.push(tok::done());
+                ov.push(tok::done());
+                break;
+            }
+            _ => return Err(misaligned(label)),
+        }
+    }
+    Ok(())
+}
+
+/// Emits the accumulated matrix exactly like the cycle-level reducer block.
+fn flush_matrix<K: Sink>(
+    acc: &mut BTreeMap<(u32, u32), f64>,
+    closing_stop: Option<u8>,
+    oo: &mut K,
+    oi: &mut K,
+    ov: &mut K,
+) {
+    let mut by_outer: BTreeMap<u32, Vec<(u32, f64)>> = BTreeMap::new();
+    for ((o, i), v) in std::mem::take(acc) {
+        by_outer.entry(o).or_default().push((i, v));
+    }
+    let n = by_outer.len();
+    for (idx, (o, inners)) in by_outer.into_iter().enumerate() {
+        let last_fiber = idx + 1 == n;
+        let m = inners.len();
+        for (jdx, (i, v)) in inners.into_iter().enumerate() {
+            oo.push(if jdx == 0 { tok::crd(o) } else { tok::empty() });
+            oi.push(tok::crd(i));
+            ov.push(tok::val(v));
+            if jdx + 1 == m {
+                let level = if last_fiber { closing_stop.unwrap_or(1) } else { 0 };
+                oo.push(if last_fiber { tok::stop(level.saturating_sub(1)) } else { tok::empty() });
+                oi.push(tok::stop(level));
+                ov.push(tok::stop(level));
+            }
+        }
+    }
+    if n == 0 {
+        if let Some(level) = closing_stop {
+            oo.push(tok::stop(level));
+            oi.push(tok::stop(level));
+            ov.push(tok::stop(level));
+        }
+    }
+}
+
+/// A sink adapter merging consecutive stop tokens by keeping the higher
+/// level (the Figure 8 upgrade rule the dropper outputs follow).
+struct MergeSink<'a, K: Sink> {
+    inner: &'a mut K,
+    pending: Option<SimToken>,
+}
+
+impl<'a, K: Sink> MergeSink<'a, K> {
+    fn new(inner: &'a mut K) -> Self {
+        MergeSink { inner, pending: None }
+    }
+
+    fn push(&mut self, t: SimToken) {
+        if let (Some(Token::Stop(prev)), Token::Stop(new_level)) = (self.pending, t) {
+            self.pending = Some(Token::Stop(prev.max(new_level)));
+            return;
+        }
+        if let Some(prev) = self.pending.take() {
+            self.inner.push(prev);
+        }
+        self.pending = Some(t);
+    }
+
+    fn finish(mut self) {
+        if let Some(prev) = self.pending.take() {
+            self.inner.push(prev);
+        }
+    }
+}
+
+/// Coordinate dropper transfer function (Definition 3.9, Figure 8).
+fn run_dropper<S: Source, K: Sink>(
+    outer: &mut S,
+    inner: &mut S,
+    out_outer: &mut K,
+    out_inner: &mut K,
+    label: &str,
+) -> Result<(), ExecError> {
+    let mut mo = MergeSink::new(out_outer);
+    let mut mi = MergeSink::new(out_inner);
+    let mut fiber: Vec<SimToken> = Vec::new();
+    let mut effectual = false;
+    while let Some(t) = inner.next() {
+        match t {
+            Token::Val(p) => {
+                effectual |= match p {
+                    Payload::Val(v) => v != 0.0,
+                    _ => true,
+                };
+                fiber.push(t);
+            }
+            Token::Empty => {}
+            Token::Stop(level) => {
+                let Some(outer_tok) = outer.peek() else {
+                    return Err(misaligned(label));
+                };
+                match outer_tok {
+                    Token::Val(_) => {
+                        outer.next();
+                        if effectual {
+                            for ft in fiber.drain(..) {
+                                mi.push(ft);
+                            }
+                            mi.push(tok::stop(level));
+                            mo.push(outer_tok);
+                        } else {
+                            fiber.clear();
+                            if level > 0 {
+                                mi.push(tok::stop(level));
+                            }
+                        }
+                        if level > 0 {
+                            if let Some(Token::Stop(no)) = outer.peek() {
+                                outer.next();
+                                mo.push(tok::stop(no));
+                            } else {
+                                mo.push(tok::stop(level - 1));
+                            }
+                        }
+                        effectual = false;
+                    }
+                    Token::Stop(_) | Token::Empty | Token::Done => {
+                        mi.push(tok::stop(level));
+                        if matches!(outer_tok, Token::Stop(_)) {
+                            outer.next();
+                            mo.push(outer_tok);
+                        }
+                        effectual = false;
+                        fiber.clear();
+                    }
+                }
+            }
+            Token::Done => {
+                while let Some(o) = outer.next() {
+                    if o.is_done() {
+                        break;
+                    }
+                    mo.push(o);
+                }
+                mi.push(tok::done());
+                mo.push(tok::done());
+                break;
+            }
+        }
+    }
+    mo.finish();
+    mi.finish();
+    Ok(())
+}
+
+/// Level-writer transfer function (Definition 3.8).
+fn run_level_writer<S: Source>(dim: usize, input: &mut S) -> CompressedLevel {
+    let mut coords: Vec<u32> = Vec::new();
+    let mut seg: Vec<usize> = vec![0];
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(p) => coords.push(p.expect_crd()),
+            Token::Empty => {}
+            Token::Stop(_) => seg.push(coords.len()),
+            Token::Done => break,
+        }
+    }
+    if *seg.last().expect("nonempty") != coords.len() {
+        seg.push(coords.len());
+    }
+    CompressedLevel::new(dim, seg, coords)
+}
+
+/// Values-writer transfer function: empty tokens store explicit zeros.
+fn run_val_writer<S: Source>(input: &mut S) -> Vec<f64> {
+    let mut vals = Vec::new();
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(p) => vals.push(p.expect_val()),
+            Token::Empty => vals.push(0.0),
+            Token::Stop(_) => {}
+            Token::Done => break,
+        }
+    }
+    vals
+}

@@ -1,0 +1,182 @@
+//! The parallel fast-backend driver: one work unit per planned node,
+//! pipelined over chunked channels on a bounded worker pool.
+//!
+//! The planner already emits everything this driver needs: a topological
+//! order, a producer endpoint per input port, and the channel topology
+//! ([`Plan::channels`]) with one channel per (producer port, consumer port)
+//! pair — fan-out reuses the planner's fork insertion, materialized here as
+//! one sender per consumer rather than a dedicated fork block.
+//!
+//! Scheduling is deliberately simple and provably deadlock-free:
+//!
+//! * Workers claim nodes from a shared cursor that walks the topological
+//!   order, so a node's producers are always claimed no later than the node
+//!   itself.
+//! * A claimed node runs its transfer function to completion, pulling from
+//!   [`ChunkReceiver`]s (blocking until the producer streams a chunk or
+//!   finishes) and pushing to [`ChunkSender`]s.
+//! * Receivers attach at claim time; sends into channels whose consumer has
+//!   not been claimed yet spill instead of blocking (see
+//!   [`sam_streams::chunked`]), so fewer threads than nodes degrades to
+//!   buffered execution, never to a stall. With at least as many threads as
+//!   nodes, the whole graph pipelines chunk by chunk under backpressure.
+//!
+//! A node that fails (misaligned streams, out-of-bounds reference) drops
+//! its senders, which truncates downstream streams; consumers then fail in
+//! turn, and the driver reports the earliest error in topological order —
+//! the root cause, exactly the error the serial mode would have raised.
+
+use crate::bind::Inputs;
+use crate::error::ExecError;
+use crate::node::{eval_node, NodeJob, Sink, Source, WriterOutput};
+use crate::plan::Plan;
+use crate::{assemble_output, Execution};
+use sam_sim::SimToken;
+use sam_streams::chunked::{channel, ChunkConfig, ChunkReceiver, ChunkSender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+impl Source for ChunkReceiver<SimToken> {
+    fn next(&mut self) -> Option<SimToken> {
+        ChunkReceiver::next(self)
+    }
+
+    fn peek(&mut self) -> Option<SimToken> {
+        ChunkReceiver::peek(self).copied()
+    }
+}
+
+/// One node's output port in parallel mode: a sender per consumer (the
+/// planner's fork, applied at push time) plus a token count for reporting.
+struct ChannelSink {
+    senders: Vec<ChunkSender<SimToken>>,
+    tokens: u64,
+}
+
+impl Sink for ChannelSink {
+    fn push(&mut self, t: SimToken) {
+        self.tokens += 1;
+        for tx in &mut self.senders {
+            tx.push(t);
+        }
+    }
+}
+
+/// The streams one claimed node reads and writes.
+struct NodeStreams {
+    srcs: Vec<ChunkReceiver<SimToken>>,
+    sinks: Vec<ChannelSink>,
+}
+
+/// Pipelined evaluation of `plan` on `threads` worker threads.
+pub(crate) fn run_parallel(
+    backend: &'static str,
+    plan: &Plan,
+    inputs: &Inputs,
+    threads: usize,
+) -> Result<Execution, ExecError> {
+    let start = Instant::now();
+    let nodes = plan.graph().nodes();
+    let n = nodes.len();
+    let threads = threads.max(1).min(n.max(1));
+    let config = ChunkConfig::default();
+
+    // Materialize the planned channel topology.
+    let mut srcs: Vec<Vec<Option<ChunkReceiver<SimToken>>>> =
+        nodes.iter().map(|k| (0..k.input_ports().len()).map(|_| None).collect()).collect();
+    let mut senders: Vec<Vec<Vec<ChunkSender<SimToken>>>> =
+        nodes.iter().map(|k| (0..k.output_ports().len()).map(|_| Vec::new()).collect()).collect();
+    let channel_count = plan.channels().len();
+    for spec in plan.channels() {
+        let (tx, rx) = channel::<SimToken>(config);
+        senders[spec.from.node.0][spec.from.port].push(tx);
+        srcs[spec.to.0][spec.to_port] = Some(rx);
+    }
+    let works: Vec<Option<NodeStreams>> = srcs
+        .into_iter()
+        .zip(senders)
+        .map(|(node_srcs, node_senders)| {
+            Some(NodeStreams {
+                srcs: node_srcs.into_iter().map(|s| s.expect("planner bound every input port")).collect(),
+                sinks: node_senders.into_iter().map(|txs| ChannelSink { senders: txs, tokens: 0 }).collect(),
+            })
+        })
+        .collect();
+
+    type NodeResult = (Result<Option<WriterOutput>, ExecError>, u64);
+    let works = Mutex::new(works);
+    let results: Mutex<Vec<Option<NodeResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(&id) = plan.order().get(idx) else { break };
+                let mut work = works.lock().expect("work list")[id.0].take().expect("each node claimed once");
+                // From here on the producers of this node may block on us
+                // instead of spilling: we are actively draining.
+                for src in &work.srcs {
+                    src.attach();
+                }
+                let job = NodeJob::build(plan, inputs, id);
+                let res = eval_node(&job, &mut work.srcs, &mut work.sinks);
+                let tokens = work.sinks.iter().map(|s| s.tokens).sum();
+                // Dropping the streams finishes this node's outputs (flush +
+                // end-of-stream) and detaches its inputs.
+                drop(work);
+                results.lock().expect("results")[id.0] = Some((res, tokens));
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("results");
+    // Report the earliest failure in topological order: downstream nodes
+    // fail on the truncated streams an upstream failure leaves behind.
+    for &id in plan.order() {
+        if matches!(&results[id.0], Some((Err(_), _))) {
+            let Some((Err(e), _)) = results[id.0].take() else { unreachable!("just matched") };
+            return Err(e);
+        }
+    }
+
+    let mut level_results: HashMap<usize, sam_tensor::level::CompressedLevel> = HashMap::new();
+    let mut vals_result: Option<Vec<f64>> = None;
+    let mut tokens = 0u64;
+    for (i, slot) in results.iter_mut().enumerate() {
+        let Some((res, node_tokens)) = slot.take() else {
+            return Err(ExecError::IncompleteOutput { label: nodes[i].label() });
+        };
+        tokens += node_tokens;
+        match res.expect("errors handled above") {
+            Some(WriterOutput::Level(level)) => {
+                level_results.insert(i, level);
+            }
+            Some(WriterOutput::Vals(vals)) => vals_result = Some(vals),
+            None => {}
+        }
+    }
+
+    let levels: Vec<_> = plan
+        .level_writers()
+        .iter()
+        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() }))
+        .collect::<Result<_, _>>()?;
+    let vals =
+        vals_result.ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+    let output = assemble_output(plan, levels, &vals)?;
+
+    Ok(Execution {
+        backend,
+        output,
+        vals,
+        cycles: None,
+        blocks: n,
+        channels: channel_count,
+        tokens,
+        elapsed: start.elapsed(),
+    })
+}

@@ -33,6 +33,23 @@ pub struct PortRef {
     pub port: usize,
 }
 
+/// One planned point-to-point stream channel.
+///
+/// The planner emits exactly one channel per (producer port, consumer
+/// port) pair; an output port with several consumers appears in several
+/// channels — that is the planner's fork, which the cycle backend
+/// materializes as a `Fork` block and the parallel fast backend as one
+/// sender per consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// The producing endpoint.
+    pub from: PortRef,
+    /// The consuming node.
+    pub to: NodeId,
+    /// The consuming node's input-port index.
+    pub to_port: usize,
+}
+
 /// Default cycle budget used by the cycle-approximate backend.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 
@@ -49,6 +66,8 @@ pub struct Plan {
     node_inputs: Vec<Vec<PortRef>>,
     /// Per node and output port: `(consumer node, consumer input port)`.
     consumers: Vec<Vec<Vec<(NodeId, usize)>>>,
+    /// The flattened channel topology (one entry per consumer port).
+    channels: Vec<ChannelSpec>,
     /// Per node: storage level read by scanners and locators.
     scan_levels: Vec<usize>,
     /// Per node: output dimension of level writers.
@@ -184,12 +203,26 @@ impl Plan {
             return Err(PlanError::Cycle { stuck });
         }
 
-        // Phase 4: fan-out per output port.
+        // Phase 4: fan-out per output port, and the channel topology the
+        // backends materialize (forks become one channel per consumer).
         let mut consumers: Vec<Vec<Vec<(NodeId, usize)>>> =
             nodes.iter().map(|k| vec![Vec::new(); k.output_ports().len()]).collect();
         for (idx, e) in graph.edges().iter().enumerate() {
             consumers[e.from.0][src_ports[idx]].push((e.to, dst_slots[idx]));
         }
+        let channels: Vec<ChannelSpec> = consumers
+            .iter()
+            .enumerate()
+            .flat_map(|(node, ports)| {
+                ports.iter().enumerate().flat_map(move |(port, conns)| {
+                    conns.iter().map(move |&(to, to_port)| ChannelSpec {
+                        from: PortRef { node: NodeId(node), port },
+                        to,
+                        to_port,
+                    })
+                })
+            })
+            .collect();
 
         // Phase 5: tensor binding along reference streams.
         let mut scan_levels = vec![0usize; n];
@@ -283,8 +316,34 @@ impl Plan {
                     }
                 }
                 NodeKind::Array { tensor } => {
-                    if inputs.get(tensor).is_none() {
+                    let Some(bound) = inputs.get(tensor) else {
                         return Err(PlanError::UnknownTensor { name: tensor.clone() });
+                    };
+                    // Rank validation: a value array reads references into
+                    // the values, which only exist below the *last* storage
+                    // level. A traced reference stream of another tensor is
+                    // a wiring bug; one that stops short of the last level
+                    // means the graph never consumed the tensor's deeper
+                    // levels (e.g. a matrix bound to a vector kernel) and
+                    // would silently read wrong positions. Untracked
+                    // streams (e.g. routed through a coordinate dropper)
+                    // stay permissive and fail at execution if wrong.
+                    let src = &node_inputs[id.0][0];
+                    if let Some((t, depth)) = ref_ann.get(&(src.node.0, src.port)) {
+                        if t != tensor {
+                            return Err(PlanError::TensorMismatch {
+                                label: kind.label(),
+                                expected: tensor.clone(),
+                                found: t.clone(),
+                            });
+                        }
+                        if *depth != bound.levels().len() {
+                            return Err(PlanError::RankMismatch {
+                                tensor: tensor.clone(),
+                                consumed: *depth,
+                                levels: bound.levels().len(),
+                            });
+                        }
                     }
                 }
                 NodeKind::Alu { op } => {
@@ -325,6 +384,7 @@ impl Plan {
             order,
             node_inputs,
             consumers,
+            channels,
             scan_levels,
             writer_dims,
             alu_ops,
@@ -358,6 +418,12 @@ impl Plan {
     /// Total number of planned stream forks (ports with fan-out above one).
     pub fn fork_count(&self) -> usize {
         self.consumers.iter().flatten().filter(|c| c.len() > 1).count()
+    }
+
+    /// The planned channel topology: one [`ChannelSpec`] per (producer
+    /// port, consumer port) pair, forks already expanded.
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
     }
 
     /// The storage level a scanner or locator reads.

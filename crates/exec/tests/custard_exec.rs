@@ -25,7 +25,7 @@ fn check(text: &str, schedule: &Schedule, formats: Formats, operands: &[(&str, &
     env.bind_dims(&assignment, &[]);
     let expect = env.evaluate(&assignment).expect("reference evaluation");
 
-    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
         let run = execute(&kernel.graph, &inputs, backend)
             .unwrap_or_else(|e| panic!("`{text}` on {}: {e}", backend.name()));
         let out = run.output.unwrap_or_else(|| panic!("`{text}` produced no tensor"));
@@ -110,7 +110,7 @@ fn right_nested_subtraction_associates_correctly() {
     }
     env.bind_dims(&assignment, &[]);
     let expect = env.evaluate(&assignment).unwrap();
-    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
         let run = execute(&kernel.graph, &inputs, backend).unwrap();
         assert!(
             run.output.unwrap().to_dense().approx_eq(&expect),

@@ -1,0 +1,170 @@
+//! Cross-backend, cross-parallelism equivalence: every kernel graph in the
+//! `sam_core::graphs` catalog is executed by the cycle backend, the serial
+//! fast backend and the parallel fast backend at two thread counts, and
+//! every result is bit-identical to the serial run and numerically equal to
+//! the dense reference evaluator.
+
+use sam_core::graph::SamGraph;
+use sam_core::graphs;
+use sam_core::kernels::spmm::SpmmDataflow;
+use sam_exec::{execute, CycleBackend, FastBackend, Inputs};
+use sam_tensor::expr::{table1, Assignment};
+use sam_tensor::reference::Environment;
+use sam_tensor::{synth, TensorFormat};
+
+/// The whole kernel catalog with operands sized to stress multi-fiber
+/// iteration while keeping the cycle backend fast enough for CI.
+fn catalog() -> Vec<(SamGraph, Inputs, Assignment)> {
+    let vb = synth::random_vector(150, 45, 301);
+    let vc = synth::random_vector(150, 40, 302);
+    let m = synth::random_matrix_sparsity(24, 18, 0.85, 303);
+    let n = synth::random_matrix_sparsity(18, 21, 0.85, 304);
+    let sv = synth::random_vector(18, 18, 305);
+    let dense_c = synth::dense_matrix(24, 6, 306);
+    let dense_d = synth::dense_matrix(18, 6, 307);
+    let b3 = synth::random_tensor3([14, 8, 9], 160, 308);
+    let fc = synth::random_matrix_sparsity(10, 8, 0.55, 309);
+    let fd = synth::random_matrix_sparsity(10, 9, 0.55, 310);
+
+    vec![
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+            table1::vec_elem_mul(),
+        ),
+        (graphs::identity(), Inputs::new().coo("B", &m, TensorFormat::dcsr()), table1::identity()),
+        (
+            graphs::spmv(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::dense_vec()),
+            table1::spmv(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
+            table1::spmm(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsc()),
+            table1::spmm(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsc()).coo("C", &n, TensorFormat::dcsr()),
+            table1::spmm(),
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+            table1::sddmm(),
+        ),
+        (
+            graphs::mttkrp(),
+            // The factor matrices iterate k (resp. l) before j, so they are
+            // bound transposed: DCSC of their logical (j,k) / (j,l) shapes.
+            Inputs::new().coo("B", &b3, TensorFormat::csf(3)).coo("C", &fc, TensorFormat::dcsc()).coo(
+                "D",
+                &fd,
+                TensorFormat::dcsc(),
+            ),
+            table1::mttkrp(),
+        ),
+    ]
+}
+
+#[test]
+fn every_kernel_agrees_across_backends_and_thread_counts() {
+    for (graph, inputs, assignment) in catalog() {
+        // Dense reference over the same operands.
+        let mut env = Environment::new();
+        for (name, tensor) in inputs.iter() {
+            env.insert(name, tensor.to_dense());
+        }
+        env.bind_dims(&assignment, &[]);
+        let expect = env.evaluate(&assignment).unwrap();
+
+        let serial = execute(&graph, &inputs, &FastBackend::serial())
+            .unwrap_or_else(|e| panic!("{}: serial fast run failed: {e}", graph.name));
+        let serial_out = serial.output.expect("tensor output");
+        assert!(
+            serial_out.to_dense().approx_eq(&expect),
+            "{}: serial fast output diverged from the dense reference",
+            graph.name
+        );
+
+        let cycle = execute(&graph, &inputs, &CycleBackend::default())
+            .unwrap_or_else(|e| panic!("{}: cycle run failed: {e}", graph.name));
+        assert_eq!(
+            cycle.output.expect("tensor output"),
+            serial_out,
+            "{}: cycle and fast backends disagree",
+            graph.name
+        );
+
+        for threads in [2, 4] {
+            let backend = FastBackend::threads(threads);
+            let parallel = execute(&graph, &inputs, &backend)
+                .unwrap_or_else(|e| panic!("{}: Threads({threads}) run failed: {e}", graph.name));
+            assert_eq!(parallel.backend, "fast-mt");
+            assert_eq!(
+                parallel.output.expect("tensor output"),
+                serial_out,
+                "{}: Threads({threads}) diverged from serial",
+                graph.name
+            );
+            assert_eq!(
+                parallel.vals, serial.vals,
+                "{}: Threads({threads}) produced different raw values",
+                graph.name
+            );
+            assert_eq!(
+                parallel.tokens, serial.tokens,
+                "{}: Threads({threads}) moved a different token count",
+                graph.name
+            );
+        }
+    }
+}
+
+/// Parallel execution propagates the root-cause error, not a downstream
+/// symptom: structurally misaligned streams must surface as the observing
+/// node's own error on every parallelism level.
+#[test]
+fn parallel_errors_match_serial_errors() {
+    use sam_core::build::GraphBuilder;
+    use sam_exec::ExecError;
+
+    // A vector reducer whose coordinate stream (b's 32 coordinates) is far
+    // longer than its value stream (c's 2 values): the pairwise walk hits
+    // a data/stop mismatch partway through, after real tokens have already
+    // flowed, which the planner legitimately cannot see.
+    let mut g = GraphBuilder::new("bad");
+    let rb = g.root("b");
+    let (b_crd, _b_ref) = g.scan("b", 'i', true, rb);
+    let rc = g.root("c");
+    let (_c_crd, c_ref) = g.scan("c", 'i', true, rc);
+    let c_vals = g.array("c", c_ref);
+    let (x_crd, x_val) = g.reduce_vector(b_crd, c_vals);
+    g.write_level("x", 'i', x_crd);
+    g.write_vals("x", x_val);
+    let graph = g.finish();
+
+    let b = synth::random_vector(64, 32, 311);
+    let c = synth::random_vector(64, 2, 312);
+    let inputs =
+        Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
+    let serial = execute(&graph, &inputs, &FastBackend::serial());
+    let parallel = execute(&graph, &inputs, &FastBackend::threads(3));
+    let Err(ExecError::Misaligned { label: serial_label }) = serial else {
+        panic!("serial run should fail on the misaligned reducer streams, got {serial:?}");
+    };
+    let Err(ExecError::Misaligned { label: parallel_label }) = parallel else {
+        panic!("parallel run should fail on the misaligned reducer streams, got {parallel:?}");
+    };
+    assert_eq!(serial_label, parallel_label);
+    assert!(serial_label.contains("reduce"), "error should name the reducer, was `{serial_label}`");
+}

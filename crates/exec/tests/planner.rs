@@ -51,6 +51,64 @@ fn planned_forks_materialize_as_cycle_backend_blocks() {
 }
 
 #[test]
+fn plan_emits_full_channel_topology() {
+    let graph = graphs::spmv();
+    let b = synth::random_matrix_sparsity(10, 8, 0.8, 3);
+    let c = synth::random_vector(8, 8, 4);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec());
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    // One channel per edge (forks expanded to one channel per consumer)...
+    assert_eq!(plan.channels().len(), graph.edges().len());
+    // ...and together they cover every input port of every node exactly once.
+    let mut covered: Vec<Vec<bool>> =
+        graph.nodes().iter().map(|k| vec![false; k.input_ports().len()]).collect();
+    for spec in plan.channels() {
+        assert!(spec.from.port < graph.nodes()[spec.from.node.0].output_ports().len());
+        assert!(!covered[spec.to.0][spec.to_port], "input port driven twice");
+        covered[spec.to.0][spec.to_port] = true;
+    }
+    assert!(covered.iter().flatten().all(|&c| c), "every input port has a channel");
+}
+
+#[test]
+fn rank_mismatch_is_reported() {
+    // A matrix bound into the vector kernel: the graph scans only level 0,
+    // so its value array would silently read level-1 fiber references
+    // instead of value positions.
+    let graph = graphs::vec_elem_mul(true);
+    let b = synth::random_matrix_sparsity(16, 8, 0.8, 5);
+    let c = synth::random_vector(16, 4, 2);
+    let inputs = Inputs::new().coo("b", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::sparse_vec());
+    match Plan::build(&graph, &inputs) {
+        Err(PlanError::RankMismatch { tensor, consumed, levels }) => {
+            assert_eq!(tensor, "b");
+            assert_eq!(consumed, 1);
+            assert_eq!(levels, 2);
+        }
+        other => panic!("expected rank-mismatch error, got {other:?}"),
+    }
+}
+
+#[test]
+fn array_fed_by_another_tensors_refs_is_reported() {
+    // The value array declares `c` but receives b's traced reference
+    // stream: a wiring bug that would read c's values at b's positions.
+    let mut g = GraphBuilder::new("crossed");
+    let rb = g.root("b");
+    let (crd, rf) = g.scan("b", 'i', true, rb);
+    let v = g.array("c", rf);
+    g.write_level("x", 'i', crd);
+    g.write_vals("x", v);
+    match Plan::build(&g.finish(), &vec_inputs(16)) {
+        Err(PlanError::TensorMismatch { expected, found, .. }) => {
+            assert_eq!(expected, "c");
+            assert_eq!(found, "b");
+        }
+        other => panic!("expected tensor-mismatch error, got {other:?}"),
+    }
+}
+
+#[test]
 fn cycle_detection() {
     let mut graph = SamGraph::new("cyclic");
     let a = graph.add_node(NodeKind::Alu { op: "add".into() });
@@ -147,7 +205,7 @@ fn execute_convenience_runs_both_backends() {
     let graph = graphs::vec_elem_mul(true);
     let inputs = vec_inputs(64);
     let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-    let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+    let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
     assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
     assert_eq!(cycle.backend, "cycle");
     assert_eq!(fast.backend, "fast");

@@ -1,0 +1,357 @@
+//! Chunked, bounded stream channels for pipelined execution.
+//!
+//! A SAM stream can be arbitrarily long — the whole point of the machine is
+//! that operators process it incrementally. This module provides the
+//! transport that makes incremental processing concrete: a single-producer,
+//! single-consumer channel that moves tokens in fixed-size *chunks* instead
+//! of whole `Vec`s, so a producer and its consumer can run concurrently
+//! while only a bounded window of the stream is materialized between them.
+//!
+//! The channel is deliberately simple (a mutex-guarded deque of chunks plus
+//! two condition variables) and deliberately forgiving:
+//!
+//! * **Chunking** amortizes synchronization: the lock is taken once per
+//!   [`ChunkConfig::chunk_len`] items, not once per token.
+//! * **Backpressure** bounds memory: once [`ChunkConfig::depth`] chunks are
+//!   queued, [`ChunkSender::push`] blocks until the consumer drains one —
+//!   but only when the consumer has [`ChunkReceiver::attach`]ed. Sends into
+//!   a channel whose consumer has not started yet *spill* (the queue grows
+//!   past `depth`) rather than stall the producer, which lets a scheduler
+//!   run more stream operators than it has threads without deadlocking.
+//! * **Deadlock escape**: even an attached consumer can participate in a
+//!   wait cycle (two paths of a fork re-joining with more skew than the
+//!   channel capacity holds, the classic bounded-Kahn-network hazard). A
+//!   blocked sender therefore waits at most [`SPILL_TIMEOUT`] before
+//!   spilling the chunk anyway; progress is always possible, at worst at
+//!   the memory cost the serial evaluator would have paid.
+//!
+//! Dropping the sender finishes the stream ([`ChunkReceiver::next`] returns
+//! `None` once the queue drains); dropping the receiver detaches it, after
+//! which sends are silently discarded so an abandoned producer can wind
+//! down without error plumbing.
+//!
+//! ```
+//! use sam_streams::chunked::{channel, ChunkConfig};
+//! use std::thread;
+//!
+//! let (mut tx, mut rx) = channel::<u32>(ChunkConfig::default());
+//! rx.attach();
+//! thread::scope(|s| {
+//!     s.spawn(move || {
+//!         for i in 0..10_000 {
+//!             tx.push(i);
+//!         }
+//!         // Dropping `tx` flushes the tail chunk and finishes the stream.
+//!     });
+//!     let mut sum = 0u64;
+//!     while let Some(i) = rx.next() {
+//!         sum += u64::from(i);
+//!     }
+//!     assert_eq!(sum, 10_000 * 9_999 / 2);
+//! });
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default number of tokens per chunk.
+pub const DEFAULT_CHUNK_LEN: usize = 1024;
+
+/// Default number of in-flight chunks before a sender blocks.
+pub const DEFAULT_DEPTH: usize = 8;
+
+/// How long a blocked sender waits for the consumer before spilling the
+/// chunk past the configured depth (the bounded-channel deadlock escape).
+pub const SPILL_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Sizing of one chunked channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// Tokens per chunk; the sender flushes automatically at this size.
+    pub chunk_len: usize,
+    /// Chunks buffered before the sender applies backpressure.
+    pub depth: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        ChunkConfig { chunk_len: DEFAULT_CHUNK_LEN, depth: DEFAULT_DEPTH }
+    }
+}
+
+impl ChunkConfig {
+    /// A config with the given chunk length and the default depth.
+    ///
+    /// `chunk_len` is clamped to at least 1.
+    pub fn with_chunk_len(chunk_len: usize) -> Self {
+        ChunkConfig { chunk_len: chunk_len.max(1), ..ChunkConfig::default() }
+    }
+}
+
+/// Queue state shared by one sender/receiver pair.
+struct State<T> {
+    chunks: VecDeque<Vec<T>>,
+    /// The producer dropped its sender; the stream is complete.
+    finished: bool,
+    /// The consumer started pulling (see [`ChunkReceiver::attach`]).
+    attached: bool,
+    /// The consumer dropped its receiver; sends are discarded.
+    receiver_gone: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when queue space frees up or the receiver detaches.
+    can_send: Condvar,
+    /// Signalled when a chunk arrives or the stream finishes.
+    can_recv: Condvar,
+}
+
+/// The producing half of a chunked channel; created by [`channel`].
+///
+/// Tokens accumulate in a local buffer and are flushed as one chunk when
+/// the buffer fills or the sender is dropped, so pushing is lock-free in
+/// the common case.
+pub struct ChunkSender<T> {
+    shared: Arc<Shared<T>>,
+    buf: Vec<T>,
+    chunk_len: usize,
+    depth: usize,
+    /// A previous flush already spilled past `depth` and the queue has not
+    /// drained below it since: keep spilling without re-paying the
+    /// [`SPILL_TIMEOUT`] wait (one stall per congestion episode, not one
+    /// per chunk).
+    spilling: bool,
+}
+
+impl<T> ChunkSender<T> {
+    /// Appends one token, flushing a full chunk downstream if needed.
+    pub fn push(&mut self, item: T) {
+        self.buf.push(item);
+        if self.buf.len() >= self.chunk_len {
+            self.flush();
+        }
+    }
+
+    /// Sends the locally buffered tokens downstream as a (possibly short)
+    /// chunk. A no-op when the buffer is empty.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_len));
+        let mut state = self.shared.state.lock().expect("channel state");
+        loop {
+            if state.receiver_gone {
+                return; // Consumer abandoned the stream; discard.
+            }
+            if state.chunks.len() < self.depth {
+                // The queue drained below depth: normal operation resumes.
+                self.spilling = false;
+                state.chunks.push_back(chunk);
+                self.shared.can_recv.notify_one();
+                return;
+            }
+            if !state.attached || self.spilling {
+                // The consumer has not started (blocking could stall the
+                // whole schedule) or this congestion episode already paid
+                // its timeout: spill instead of waiting.
+                state.chunks.push_back(chunk);
+                self.shared.can_recv.notify_one();
+                return;
+            }
+            let (next, timeout) =
+                self.shared.can_send.wait_timeout(state, SPILL_TIMEOUT).expect("channel state");
+            state = next;
+            if timeout.timed_out() {
+                // Deadlock escape: accept unbounded growth over a stall.
+                self.spilling = true;
+                state.chunks.push_back(chunk);
+                self.shared.can_recv.notify_one();
+                return;
+            }
+        }
+    }
+}
+
+impl<T> Drop for ChunkSender<T> {
+    fn drop(&mut self) {
+        self.flush();
+        let mut state = self.shared.state.lock().expect("channel state");
+        state.finished = true;
+        drop(state);
+        self.shared.can_recv.notify_one();
+    }
+}
+
+/// The consuming half of a chunked channel; created by [`channel`].
+pub struct ChunkReceiver<T> {
+    shared: Arc<Shared<T>>,
+    cur: std::vec::IntoIter<T>,
+    peeked: Option<T>,
+}
+
+impl<T> ChunkReceiver<T> {
+    /// Marks the consumer as running, switching the sender from
+    /// spill-on-full to block-on-full. Call when the task that will drain
+    /// this receiver actually starts; until then the producer never blocks
+    /// on it.
+    pub fn attach(&self) {
+        let mut state = self.shared.state.lock().expect("channel state");
+        state.attached = true;
+    }
+
+    /// The next token, blocking until the producer sends one or finishes.
+    /// Returns `None` once the stream is complete and drained.
+    #[allow(clippy::should_implement_trait)] // mirrors Iterator::next; an Iterator impl is provided too
+    pub fn next(&mut self) -> Option<T> {
+        if let Some(t) = self.peeked.take() {
+            return Some(t);
+        }
+        if let Some(t) = self.cur.next() {
+            return Some(t);
+        }
+        let mut state = self.shared.state.lock().expect("channel state");
+        loop {
+            if let Some(chunk) = state.chunks.pop_front() {
+                drop(state);
+                self.shared.can_send.notify_one();
+                self.cur = chunk.into_iter();
+                return self.cur.next();
+            }
+            if state.finished {
+                return None;
+            }
+            state = self.shared.can_recv.wait(state).expect("channel state");
+        }
+    }
+
+    /// The next token without consuming it, blocking like [`Self::next`].
+    pub fn peek(&mut self) -> Option<&T> {
+        if self.peeked.is_none() {
+            self.peeked = self.next();
+        }
+        self.peeked.as_ref()
+    }
+}
+
+impl<T> Iterator for ChunkReceiver<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        ChunkReceiver::next(self)
+    }
+}
+
+impl<T> Drop for ChunkReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel state");
+        state.receiver_gone = true;
+        state.chunks.clear();
+        drop(state);
+        self.shared.can_send.notify_one();
+    }
+}
+
+/// Creates a chunked single-producer single-consumer channel.
+pub fn channel<T>(config: ChunkConfig) -> (ChunkSender<T>, ChunkReceiver<T>) {
+    let chunk_len = config.chunk_len.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            chunks: VecDeque::new(),
+            finished: false,
+            attached: false,
+            receiver_gone: false,
+        }),
+        can_send: Condvar::new(),
+        can_recv: Condvar::new(),
+    });
+    let sender = ChunkSender {
+        shared: Arc::clone(&shared),
+        buf: Vec::with_capacity(chunk_len),
+        chunk_len,
+        depth: config.depth.max(1),
+        spilling: false,
+    };
+    let receiver = ChunkReceiver { shared, cur: Vec::new().into_iter(), peeked: None };
+    (sender, receiver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn round_trips_in_order() {
+        let (mut tx, mut rx) = channel::<usize>(ChunkConfig::with_chunk_len(4));
+        for i in 0..11 {
+            tx.push(i);
+        }
+        drop(tx);
+        let got: Vec<usize> = rx.by_ref().collect();
+        assert_eq!(got, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receiver_sees_end_of_stream_once() {
+        let (tx, mut rx) = channel::<u8>(ChunkConfig::default());
+        drop(tx);
+        assert_eq!(rx.next(), None);
+        assert_eq!(rx.next(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut tx, mut rx) = channel::<u8>(ChunkConfig::default());
+        tx.push(7);
+        tx.push(8);
+        drop(tx);
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.next(), Some(7));
+        assert_eq!(rx.next(), Some(8));
+        assert_eq!(rx.peek(), None);
+        assert_eq!(rx.next(), None);
+    }
+
+    #[test]
+    fn unattached_consumer_never_blocks_the_producer() {
+        // depth 1, many chunks: without the spill rule this would deadlock.
+        let (mut tx, mut rx) = channel::<usize>(ChunkConfig { chunk_len: 2, depth: 1 });
+        for i in 0..100 {
+            tx.push(i);
+        }
+        drop(tx);
+        assert_eq!(rx.by_ref().count(), 100);
+    }
+
+    #[test]
+    fn dropped_receiver_discards_sends() {
+        let (mut tx, rx) = channel::<usize>(ChunkConfig { chunk_len: 1, depth: 1 });
+        drop(rx);
+        for i in 0..100 {
+            tx.push(i); // Must neither block nor panic.
+        }
+    }
+
+    #[test]
+    fn pipelines_across_threads() {
+        let (mut tx, mut rx) = channel::<u64>(ChunkConfig { chunk_len: 64, depth: 2 });
+        rx.attach();
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100_000u64 {
+                    tx.push(i);
+                }
+            });
+            let mut expect = 0u64;
+            while let Some(i) = rx.next() {
+                assert_eq!(i, expect);
+                expect += 1;
+            }
+            assert_eq!(expect, 100_000);
+        });
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`Stream`] — an owned, finished stream with constructors from and
 //!   conversions to nested lists ([`Nested`]),
 //! * [`TokenStats`] — per-kind token counting used by the Figure 14
-//!   experiment, and
+//!   experiment,
 //! * [`analysis`] — the level-based vs. point-based encoding comparison of
-//!   paper Section 3.8.
+//!   paper Section 3.8, and
+//! * [`chunked`] — bounded chunked channels that move streams between
+//!   concurrent operators in segments instead of whole `Vec`s (the
+//!   transport behind `sam-exec`'s parallel fast backend).
 //!
 //! # Example
 //!
@@ -39,7 +42,10 @@
 //! );
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
+pub mod chunked;
 pub mod nested;
 pub mod stats;
 pub mod stream;

@@ -17,7 +17,7 @@
 //! * [`Tensor`] — an in-memory fibertree (shape, mode order, levels, values),
 //! * [`TensorFormat`] / [`LevelFormat`] — the format language (per-mode
 //!   storage plus mode ordering) mirroring TACO's format abstraction,
-//! * [`DenseTensor`] and [`reference`] — a dense reference evaluator used as
+//! * [`DenseTensor`] and [`mod@reference`] — a dense reference evaluator used as
 //!   the functional-correctness oracle for every kernel and experiment,
 //! * [`expr`] — the tensor-index-notation expression AST shared with the
 //!   Custard compiler, and

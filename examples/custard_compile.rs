@@ -34,7 +34,7 @@ fn main() {
     env.bind_dims(&assignment, &[]);
     let expect = env.evaluate(&assignment).expect("reference evaluation");
 
-    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
         let run = execute(&kernel.graph, &inputs, backend).expect("execution succeeds");
         let ok = run.output.as_ref().expect("tensor output").to_dense().approx_eq(&expect);
         println!(

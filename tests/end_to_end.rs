@@ -122,7 +122,7 @@ fn every_kernel_graph_agrees_across_backends_and_reference() {
 
         let cycle = execute(&graph, &inputs, &CycleBackend::default())
             .unwrap_or_else(|e| panic!("{}: cycle backend failed: {e}", graph.name));
-        let fast = execute(&graph, &inputs, &FastBackend)
+        let fast = execute(&graph, &inputs, &FastBackend::default())
             .unwrap_or_else(|e| panic!("{}: fast backend failed: {e}", graph.name));
         let cycle_out = cycle.output.expect("tensor output");
         let fast_out = fast.output.expect("tensor output");
@@ -156,7 +156,7 @@ fn compiled_spmv_agrees_with_hand_kernel() {
         let coo = if name == "B" { &b } else { &c };
         inputs = inputs.coo(name, coo, fmt.clone());
     }
-    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend] {
+    for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
         let run = execute(&kernel.graph, &inputs, backend).unwrap();
         assert!(
             run.output.unwrap().to_dense().approx_eq(&hand.output.to_dense()),
@@ -175,7 +175,7 @@ fn fast_backend_is_leaner_than_cycle_backend() {
     let graph = graphs::spmm(SpmmDataflow::LinearCombination);
     let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
     let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-    let fast = execute(&graph, &inputs, &FastBackend).unwrap();
+    let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
     assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
     assert!(fast.tokens <= cycle.tokens, "fast={} cycle={}", fast.tokens, cycle.tokens);
 }
