@@ -99,6 +99,45 @@ fn bench_sddmm(c: &mut Criterion) {
     bench_parallelism(c, "exec_sddmm_parallel", &plan, &inputs);
 }
 
+/// The Section 4.2 coordinate-skipping win: one dense-ish operand against a
+/// hypersparse one. The skip graphs' fused galloping scanners should beat
+/// their skip-free twins by orders of magnitude here, on both fast modes.
+fn bench_skip_skew(c: &mut Criterion) {
+    // Skewed element-wise vector multiply: 180k nonzeros against 100.
+    let vb = synth::random_vector(200_000, 180_000, 56);
+    let vc = synth::random_vector(200_000, 100, 57);
+    let inputs =
+        Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec());
+    let plain = Plan::build(&graphs::vec_elem_mul(true), &inputs).expect("plan");
+    let skip = Plan::build(&graphs::vec_elem_mul_with_skip(true), &inputs).expect("plan");
+    let mut group = c.benchmark_group("exec_vecmul_skew");
+    group.sample_size(10);
+    let serial = FastBackend::serial();
+    let mt = FastBackend::threads(4);
+    group.bench_function("fast", |b| b.iter(|| black_box(serial.run(&plain, &inputs).expect("run").tokens)));
+    group.bench_function("fast-skip", |b| {
+        b.iter(|| black_box(serial.run(&skip, &inputs).expect("run").tokens))
+    });
+    group.bench_function("threads4-skip", |b| {
+        b.iter(|| black_box(mt.run(&skip, &inputs).expect("run").tokens))
+    });
+    group.finish();
+
+    // Skewed co-iteration SpMV: dense-ish rows against a hypersparse vector.
+    let m = synth::random_matrix_sparsity(400, 2_000, 0.2, 58);
+    let sv = synth::random_vector(2_000, 12, 59);
+    let inputs = Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec());
+    let plain = Plan::build(&graphs::spmv_coiteration(), &inputs).expect("plan");
+    let skip = Plan::build(&graphs::spmv_with_skip(), &inputs).expect("plan");
+    let mut group = c.benchmark_group("exec_spmv_skew");
+    group.sample_size(10);
+    group.bench_function("fast", |b| b.iter(|| black_box(serial.run(&plain, &inputs).expect("run").tokens)));
+    group.bench_function("fast-skip", |b| {
+        b.iter(|| black_box(serial.run(&skip, &inputs).expect("run").tokens))
+    });
+    group.finish();
+}
+
 fn bench_mttkrp(c: &mut Criterion) {
     let graph = graphs::mttkrp();
     let b = synth::random_tensor3([60, 40, 40], 12_000, 53);
@@ -113,5 +152,5 @@ fn bench_mttkrp(c: &mut Criterion) {
     bench_parallelism(c, "exec_mttkrp_parallel", &plan, &inputs);
 }
 
-criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm, bench_mttkrp);
+criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm, bench_skip_skew, bench_mttkrp);
 criterion_main!(benches);

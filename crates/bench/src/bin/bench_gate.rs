@@ -1,0 +1,169 @@
+//! The benchmark regression gate for CI's `bench-smoke` job.
+//!
+//! Reads the freshly measured `BENCH_exec.json` (written by
+//! `cargo bench -p sam-bench --bench exec_backends -- --save-json`) and the
+//! checked-in `BENCH_baseline.json`, and fails (exit code 1) when any
+//! fast-backend serial benchmark (`fast` or `fast-skip`) regresses more
+//! than [`THRESHOLD`]× against its baseline. Cycle-backend and thread-pool
+//! numbers are reported but not gated: the former measures the simulator's
+//! model, the latter is too noisy on shared CI runners.
+//!
+//! Usage: `bench_gate [current.json] [baseline.json]` (defaults to
+//! `BENCH_exec.json` and `BENCH_baseline.json` at the workspace root).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Maximum tolerated slowdown of a gated benchmark against its baseline.
+const THRESHOLD: f64 = 2.0;
+
+/// The gated backends: serial fast-mode rows, where wall-clock noise on a
+/// dedicated step is smallest and the skip fusion must keep paying.
+const GATED: &[&str] = &["fast", "fast-skip"];
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor with a `Cargo.lock`).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Parses the two-level `{"group": {"bench": number, ...}, ...}` JSON the
+/// bench harness emits. A hand-rolled scanner: the vendored serde stub has
+/// no serde_json, and the schema is fixed.
+fn parse(text: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let mut out: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut chars = text.char_indices().peekable();
+    let mut group: Option<String> = None;
+    let err = |pos: usize, what: &str| format!("byte {pos}: {what}");
+
+    fn read_string(
+        text: &str,
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        let Some((start, '"')) = chars.next() else {
+            return Err("expected a string".to_string());
+        };
+        for (i, c) in chars.by_ref() {
+            match c {
+                '\\' => return Err(format!("byte {i}: escapes are not supported")),
+                '"' => return Ok(text[start + 1..i].to_string()),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' | '{' | ',' | ':' => {
+                chars.next();
+            }
+            '}' => {
+                chars.next();
+                group = match group {
+                    Some(_) => None,
+                    None => return Ok(out),
+                };
+            }
+            '"' => {
+                let key = read_string(text, &mut chars)?;
+                // A key either opens a group object or maps to a number.
+                let mut lookahead = chars.clone();
+                while let Some(&(_, c2)) = lookahead.peek() {
+                    match c2 {
+                        ' ' | '\t' | '\n' | '\r' | ':' => {
+                            lookahead.next();
+                        }
+                        '{' => {
+                            group = Some(key.clone());
+                            out.entry(key).or_default();
+                            break;
+                        }
+                        _ => {
+                            let g = group.clone().ok_or_else(|| err(i, "number outside a group"))?;
+                            // Consume the skipped whitespace/colon for real.
+                            chars = lookahead.clone();
+                            let start = chars.peek().map(|&(p, _)| p).unwrap_or(text.len());
+                            let mut end = start;
+                            while let Some(&(p, c3)) = chars.peek() {
+                                if c3.is_ascii_digit() || c3 == '.' || c3 == '-' || c3 == 'e' || c3 == '+' {
+                                    end = p + c3.len_utf8();
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                            let ns: f64 =
+                                text[start..end].parse().map_err(|_| err(start, "malformed number"))?;
+                            out.entry(g).or_default().insert(key.clone(), ns);
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => return Err(err(i, "unexpected character")),
+        }
+    }
+    Err("unterminated object".to_string())
+}
+
+fn load(path: &Path) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let current_path = args.first().map(PathBuf::from).unwrap_or_else(|| root.join("BENCH_exec.json"));
+    let baseline_path = args.get(1).map(PathBuf::from).unwrap_or_else(|| root.join("BENCH_baseline.json"));
+
+    let (current, baseline) = match (load(&current_path), load(&baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0u32;
+    let mut gated = 0u32;
+    println!("{:<28} {:<16} {:>14} {:>14} {:>8}", "kernel", "backend", "baseline", "current", "ratio");
+    for (kernel, benches) in &baseline {
+        for (backend, &base_ns) in benches {
+            let Some(&cur_ns) = current.get(kernel).and_then(|b| b.get(backend)) else {
+                println!("{kernel:<28} {backend:<16} {base_ns:>12.0}ns {:>14} {:>8}", "missing", "-");
+                if GATED.contains(&backend.as_str()) {
+                    eprintln!("bench_gate: gated benchmark {kernel}/{backend} missing from current run");
+                    regressions += 1;
+                }
+                continue;
+            };
+            let ratio = cur_ns / base_ns;
+            let is_gated = GATED.contains(&backend.as_str());
+            let verdict = if is_gated && ratio > THRESHOLD { " REGRESSED" } else { "" };
+            println!("{kernel:<28} {backend:<16} {base_ns:>12.0}ns {cur_ns:>12.0}ns {ratio:>7.2}x{verdict}");
+            if is_gated {
+                gated += 1;
+                if ratio > THRESHOLD {
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    println!("\n{gated} gated benchmarks (fast-serial), threshold {THRESHOLD}x, {regressions} regression(s)");
+    if regressions > 0 {
+        eprintln!("bench_gate: fast-serial regressed more than {THRESHOLD}x against the baseline");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

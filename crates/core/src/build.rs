@@ -104,6 +104,42 @@ impl GraphBuilder {
         self.merge(NodeKind::Unioner { index }, index, in_crd, in_ref)
     }
 
+    /// Adds a binary intersecter with coordinate-skip feedback edges
+    /// (Section 4.2) wired back to both operands' level scanners; returns
+    /// `(crd, [ref_a, ref_b])` like [`GraphBuilder::intersect`].
+    ///
+    /// On a coordinate mismatch the intersecter sends the larger coordinate
+    /// back along the skip edge, and the trailing operand's scanner gallops
+    /// past every smaller coordinate it has not yet emitted — the paper's
+    /// optimization for skewed intersections (one dense operand, one
+    /// hypersparse).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `in_crd` ports are the coordinate outputs of level
+    /// scanners: skip feedback only makes sense towards a scanner that can
+    /// fast-forward its fiber cursor.
+    pub fn intersect_with_skip(
+        &mut self,
+        index: char,
+        in_crd: [Port; 2],
+        in_ref: [Port; 2],
+    ) -> (Port, [Port; 2]) {
+        for (side, p) in in_crd.iter().enumerate() {
+            assert!(
+                matches!(self.graph.nodes()[p.node.0], NodeKind::LevelScanner { .. }) && p.port == 0,
+                "skip operand {side} of intersect {index} must be a level scanner's crd output"
+            );
+        }
+        let (crd, refs) = self.merge(NodeKind::Intersecter { index }, index, in_crd, in_ref);
+        let node = crd.node;
+        // Skip output ports 3 and 4 feed back into the scanners' skip input
+        // (input port 1), against the dataflow direction.
+        self.graph.add_edge_on(node, 3, in_crd[0].node, 1, StreamKind::Skip, format!("{index} skip a"));
+        self.graph.add_edge_on(node, 4, in_crd[1].node, 1, StreamKind::Skip, format!("{index} skip b"));
+        (crd, refs)
+    }
+
     /// Adds a locator; returns `(crd, pass ref, located ref)`.
     pub fn locate(&mut self, tensor: &str, index: char, in_crd: Port, in_ref: Port) -> (Port, Port, Port) {
         let node = self.graph.add_node(NodeKind::Locator { tensor: tensor.to_string(), index });

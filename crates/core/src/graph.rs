@@ -124,7 +124,9 @@ impl NodeKind {
     pub fn input_ports(&self) -> Vec<PortKind> {
         match self {
             NodeKind::Root { .. } => vec![],
-            NodeKind::LevelScanner { .. } => vec![PortKind::Ref],
+            // The trailing skip port is the Section 4.2 coordinate-skip
+            // feedback input; it is optional and usually unwired.
+            NodeKind::LevelScanner { .. } => vec![PortKind::Ref, PortKind::Skip],
             NodeKind::Repeater { .. } => vec![PortKind::Crd, PortKind::Ref],
             NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
                 vec![PortKind::Crd, PortKind::Crd, PortKind::Ref, PortKind::Ref]
@@ -153,7 +155,12 @@ impl NodeKind {
             NodeKind::Root { .. } => vec![PortKind::Ref],
             NodeKind::LevelScanner { .. } => vec![PortKind::Crd, PortKind::Ref],
             NodeKind::Repeater { .. } => vec![PortKind::Ref],
-            NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
+            // Ports 3 and 4 are the optional coordinate-skip feedback lanes
+            // towards operand 0's and operand 1's scanners (Section 4.2).
+            NodeKind::Intersecter { .. } => {
+                vec![PortKind::Crd, PortKind::Ref, PortKind::Ref, PortKind::Skip, PortKind::Skip]
+            }
+            NodeKind::Unioner { .. } => {
                 vec![PortKind::Crd, PortKind::Ref, PortKind::Ref]
             }
             NodeKind::Locator { .. } => vec![PortKind::Crd, PortKind::Ref, PortKind::Ref],
@@ -184,6 +191,12 @@ pub enum StreamKind {
     Val,
     /// Bitvector stream.
     Bits,
+    /// Coordinate-skip feedback stream (Section 4.2): an intersecter sends
+    /// the coordinate it is waiting for back to a trailing operand's level
+    /// scanner, which gallops past everything smaller. Skip edges point
+    /// *against* the dataflow direction; the planner whitelists them during
+    /// cycle detection.
+    Skip,
 }
 
 /// The stream kind expected or produced at one port of a node.
@@ -198,6 +211,9 @@ pub enum PortKind {
     Ref,
     /// Value stream.
     Val,
+    /// Coordinate-skip feedback stream. Skip ports are *optional*: the
+    /// planner allows them to stay unwired, unlike every other port kind.
+    Skip,
     /// Either coordinates or values.
     Any,
 }
@@ -209,6 +225,7 @@ impl PortKind {
             PortKind::Crd => kind == StreamKind::Crd,
             PortKind::Ref => kind == StreamKind::Ref,
             PortKind::Val => kind == StreamKind::Val,
+            PortKind::Skip => kind == StreamKind::Skip,
             PortKind::Any => matches!(kind, StreamKind::Crd | StreamKind::Val),
         }
     }
@@ -412,7 +429,7 @@ impl SamGraph {
                 StreamKind::Crd => "solid",
                 StreamKind::Ref => "dashed",
                 StreamKind::Val => "bold",
-                StreamKind::Bits => "dotted",
+                StreamKind::Bits | StreamKind::Skip => "dotted",
             };
             out.push_str(&format!(
                 "  n{} -> n{} [style={}, label=\"{}\"];\n",

@@ -12,20 +12,48 @@
 //! micro-architecturally tuned variants (coordinate skipping, bitvector
 //! lanes); these graphs are their portable, compiler-facing counterparts.
 
-use crate::build::GraphBuilder;
+use crate::build::{GraphBuilder, Port};
 use crate::graph::SamGraph;
 use crate::kernels::spmm::SpmmDataflow;
+
+/// Adds an intersecter with or without the Section 4.2 coordinate-skip
+/// feedback edges, so each kernel builder exists once and its skip-enabled
+/// twin is one flag away.
+fn isect(
+    g: &mut GraphBuilder,
+    skip: bool,
+    index: char,
+    in_crd: [Port; 2],
+    in_ref: [Port; 2],
+) -> (Port, [Port; 2]) {
+    if skip {
+        g.intersect_with_skip(index, in_crd, in_ref)
+    } else {
+        g.intersect(index, in_crd, in_ref)
+    }
+}
 
 /// Element-wise sparse vector multiplication `x(i) = b(i) * c(i)`
 /// (Figure 13's `Crd` configuration; pass `compressed = false` for the
 /// `Dense` configuration).
 pub fn vec_elem_mul(compressed: bool) -> SamGraph {
+    vec_elem_mul_inner(compressed, false)
+}
+
+/// [`vec_elem_mul`] with coordinate-skip feedback on the intersection —
+/// the purest demonstration of the Section 4.2 win when one vector is
+/// dense-ish and the other hypersparse.
+pub fn vec_elem_mul_with_skip(compressed: bool) -> SamGraph {
+    vec_elem_mul_inner(compressed, true)
+}
+
+fn vec_elem_mul_inner(compressed: bool, skip: bool) -> SamGraph {
     let mut g = GraphBuilder::new("x(i) = b(i) * c(i)");
     let rb = g.root("b");
     let rc = g.root("c");
     let (b_crd, b_ref) = g.scan("b", 'i', compressed, rb);
     let (c_crd, c_ref) = g.scan("c", 'i', compressed, rc);
-    let (i_crd, i_refs) = g.intersect('i', [b_crd, c_crd], [b_ref, c_ref]);
+    let (i_crd, i_refs) = isect(&mut g, skip, 'i', [b_crd, c_crd], [b_ref, c_ref]);
     let bv = g.array("b", i_refs[0]);
     let cv = g.array("c", i_refs[1]);
     let prod = g.alu("mul", bv, cv);
@@ -70,20 +98,65 @@ pub fn spmv() -> SamGraph {
     g.finish()
 }
 
+/// Co-iteration SpMV `x(i) = sum_j B(i,j) * c(j)` with `B` DCSR and `c`
+/// *compressed*: instead of locating every `B` column into a dense vector
+/// (the [`spmv`] iterate-locate form), `B`'s column fibers are intersected
+/// against the sparse vector, rescanned per row.
+pub fn spmv_coiteration() -> SamGraph {
+    spmv_coiteration_inner(false)
+}
+
+/// [`spmv_coiteration`] with coordinate-skip feedback on the `j`
+/// intersection: when a `B` row is much denser than `c` (or vice versa),
+/// the trailing scanner gallops instead of streaming every coordinate.
+pub fn spmv_with_skip() -> SamGraph {
+    spmv_coiteration_inner(true)
+}
+
+fn spmv_coiteration_inner(skip: bool) -> SamGraph {
+    let mut g = GraphBuilder::new("x(i) = B(i,j) * c(j) [coiter]");
+    let rb = g.root("B");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, bi_ref);
+    // Rescan the sparse vector once per row and intersect it with the row's
+    // column coordinates.
+    let rc = g.root("c");
+    let c_per_i = g.repeat("c", 'i', bi_crd, rc);
+    let (cj_crd, cj_ref) = g.scan("c", 'j', true, c_per_i);
+    let (_j_crd, j_refs) = isect(&mut g, skip, 'j', [bj_crd, cj_crd], [bj_ref, cj_ref]);
+    let b_vals = g.array("B", j_refs[0]);
+    let c_vals = g.array("c", j_refs[1]);
+    let prod = g.alu("mul", b_vals, c_vals);
+    let x_vals = g.reduce_scalar(prod);
+    g.write_level("x", 'i', bi_crd);
+    g.write_vals("x", x_vals);
+    g.finish()
+}
+
 /// SpM*SpM `X(i,j) = sum_k B(i,k) * C(k,j)` in one of the three Figure 12
 /// dataflow classes. Operand formats follow the hand kernels: `B` is DCSR
 /// (DCSC for the outer-product dataflow), `C` is DCSR (DCSC for the
 /// inner-product dataflow).
 pub fn spmm(dataflow: SpmmDataflow) -> SamGraph {
     match dataflow {
-        SpmmDataflow::LinearCombination => spmm_gustavson(),
-        SpmmDataflow::InnerProduct => spmm_inner(),
-        SpmmDataflow::OuterProduct => spmm_outer(),
+        SpmmDataflow::LinearCombination => spmm_gustavson(false),
+        SpmmDataflow::InnerProduct => spmm_inner(false),
+        SpmmDataflow::OuterProduct => spmm_outer(false),
+    }
+}
+
+/// [`spmm`] with coordinate-skip feedback on the `k` intersection of the
+/// chosen dataflow.
+pub fn spmm_with_skip(dataflow: SpmmDataflow) -> SamGraph {
+    match dataflow {
+        SpmmDataflow::LinearCombination => spmm_gustavson(true),
+        SpmmDataflow::InnerProduct => spmm_inner(true),
+        SpmmDataflow::OuterProduct => spmm_outer(true),
     }
 }
 
 /// The linear-combination-of-rows (Gustavson) graph of paper Figure 4.
-fn spmm_gustavson() -> SamGraph {
+fn spmm_gustavson(skip: bool) -> SamGraph {
     let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [ikj]");
     let rb = g.root("B");
     let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
@@ -91,7 +164,7 @@ fn spmm_gustavson() -> SamGraph {
     let rc = g.root("C");
     let c_per_i = g.repeat("C", 'i', bi_crd, rc);
     let (ck_crd, ck_ref) = g.scan("C", 'k', true, c_per_i);
-    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (_k_crd, k_refs) = isect(&mut g, skip, 'k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
     let (cj_crd, cj_ref) = g.scan("C", 'j', true, k_refs[1]);
     let b_per_j = g.repeat("B", 'j', cj_crd, k_refs[0]);
     let b_vals = g.array("B", b_per_j);
@@ -106,7 +179,7 @@ fn spmm_gustavson() -> SamGraph {
 }
 
 /// The inner-product graph (`i -> j -> k`).
-fn spmm_inner() -> SamGraph {
+fn spmm_inner(skip: bool) -> SamGraph {
     let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [ijk]");
     let rb = g.root("B");
     let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
@@ -116,7 +189,7 @@ fn spmm_inner() -> SamGraph {
     let b_per_j = g.repeat("B", 'j', cj_crd, bi_ref);
     let (bk_crd, bk_ref) = g.scan("B", 'k', true, b_per_j);
     let (ck_crd, ck_ref) = g.scan("C", 'k', true, cj_ref);
-    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (_k_crd, k_refs) = isect(&mut g, skip, 'k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
     let b_vals = g.array("B", k_refs[0]);
     let c_vals = g.array("C", k_refs[1]);
     let prod = g.alu("mul", b_vals, c_vals);
@@ -129,13 +202,13 @@ fn spmm_inner() -> SamGraph {
 
 /// The outer-product graph (`k -> i -> j`) with a matrix accumulator
 /// (OuterSPACE, paper Figure 16).
-fn spmm_outer() -> SamGraph {
+fn spmm_outer(skip: bool) -> SamGraph {
     let mut g = GraphBuilder::new("X(i,j) = B(i,k) * C(k,j) [kij]");
     let rb = g.root("B");
     let (bk_crd, bk_ref) = g.scan("B", 'k', true, rb);
     let rc = g.root("C");
     let (ck_crd, ck_ref) = g.scan("C", 'k', true, rc);
-    let (_k_crd, k_refs) = g.intersect('k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
+    let (_k_crd, k_refs) = isect(&mut g, skip, 'k', [bk_crd, ck_crd], [bk_ref, ck_ref]);
     let (bi_crd, bi_ref) = g.scan("B", 'i', true, k_refs[0]);
     let c_per_i = g.repeat("C", 'i', bi_crd, k_refs[1]);
     let (cj_crd, cj_ref) = g.scan("C", 'j', true, c_per_i);
@@ -204,6 +277,17 @@ pub fn mttkrp() -> SamGraph {
 /// factors' outer dimensions co-iterated against `B` (Figure 11's fused
 /// co-iteration variant). `B` is DCSR; `C` and `D` are dense.
 pub fn sddmm_coiteration() -> SamGraph {
+    sddmm_coiteration_inner(false)
+}
+
+/// [`sddmm_coiteration`] with coordinate-skip feedback on the `i` and `j`
+/// intersections: the dense factors' scanners gallop straight to `B`'s next
+/// nonzero coordinate instead of streaming the whole dimension.
+pub fn sddmm_with_skip() -> SamGraph {
+    sddmm_coiteration_inner(true)
+}
+
+fn sddmm_coiteration_inner(skip: bool) -> SamGraph {
     let mut g = GraphBuilder::new("X(i,j) = B(i,j) * C(i,k) * D(j,k)");
     let rb = g.root("B");
     let rc = g.root("C");
@@ -212,13 +296,13 @@ pub fn sddmm_coiteration() -> SamGraph {
     // Co-iterate B's i coordinates with C's dense i level.
     let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
     let (ci_crd, ci_ref) = g.scan("C", 'i', false, rc);
-    let (i_crd, i_refs) = g.intersect('i', [bi_crd, ci_crd], [bi_ref, ci_ref]);
+    let (i_crd, i_refs) = isect(&mut g, skip, 'i', [bi_crd, ci_crd], [bi_ref, ci_ref]);
 
     // Co-iterate B's j coordinates with D's dense j level (rescanned per row).
     let (bj_crd, bj_ref) = g.scan("B", 'j', true, i_refs[0]);
     let d_per_i = g.repeat("D", 'i', i_crd, rd);
     let (dj_crd, dj_ref) = g.scan("D", 'j', false, d_per_i);
-    let (j_crd, j_refs) = g.intersect('j', [bj_crd, dj_crd], [bj_ref, dj_ref]);
+    let (j_crd, j_refs) = isect(&mut g, skip, 'j', [bj_crd, dj_crd], [bj_ref, dj_ref]);
 
     // Broadcast C's row fiber reference over the surviving j coordinates.
     let c_per_j = g.repeat("C", 'j', j_crd, i_refs[1]);
@@ -249,12 +333,17 @@ mod tests {
     fn graphs_are_fully_port_wired() {
         for graph in [
             vec_elem_mul(true),
+            vec_elem_mul_with_skip(true),
             identity(),
             spmv(),
+            spmv_coiteration(),
+            spmv_with_skip(),
             spmm(SpmmDataflow::LinearCombination),
             spmm(SpmmDataflow::InnerProduct),
             spmm(SpmmDataflow::OuterProduct),
+            spmm_with_skip(SpmmDataflow::LinearCombination),
             sddmm_coiteration(),
+            sddmm_with_skip(),
             mttkrp(),
         ] {
             assert!(!graph.is_empty());
@@ -290,6 +379,35 @@ mod tests {
         assert_eq!(c.reduce, 2);
         assert_eq!(c.array, 3);
         assert!(g.has_kind(|n| matches!(n, NodeKind::CoordDropper { .. })));
+    }
+
+    #[test]
+    fn skip_variants_add_only_feedback_edges() {
+        use crate::graph::StreamKind;
+        for (plain, with_skip, lanes) in [
+            (vec_elem_mul(true), vec_elem_mul_with_skip(true), 2),
+            (spmv_coiteration(), spmv_with_skip(), 2),
+            (spmm(SpmmDataflow::LinearCombination), spmm_with_skip(SpmmDataflow::LinearCombination), 2),
+            (spmm(SpmmDataflow::InnerProduct), spmm_with_skip(SpmmDataflow::InnerProduct), 2),
+            (spmm(SpmmDataflow::OuterProduct), spmm_with_skip(SpmmDataflow::OuterProduct), 2),
+            (sddmm_coiteration(), sddmm_with_skip(), 4),
+        ] {
+            let count = |g: &SamGraph| g.edges().iter().filter(|e| e.kind == StreamKind::Skip).count();
+            assert_eq!(count(&plain), 0, "{}: unexpected skip edges", plain.name);
+            assert_eq!(count(&with_skip), lanes, "{}: wrong skip lane count", with_skip.name);
+            // The twins share their primitive structure exactly — skip is
+            // pure feedback wiring, not extra compute nodes.
+            assert_eq!(plain.primitive_counts(), with_skip.primitive_counts());
+            assert_eq!(plain.len(), with_skip.len());
+            // Every skip edge runs from an intersecter's skip port back to a
+            // level scanner's skip input.
+            for e in with_skip.edges().iter().filter(|e| e.kind == StreamKind::Skip) {
+                assert!(matches!(with_skip.nodes()[e.from.0], NodeKind::Intersecter { .. }));
+                assert!(matches!(with_skip.nodes()[e.to.0], NodeKind::LevelScanner { .. }));
+                assert!(e.src_port == Some(3) || e.src_port == Some(4));
+                assert_eq!(e.dst_port, Some(1));
+            }
+        }
     }
 
     #[test]

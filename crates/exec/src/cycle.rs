@@ -53,10 +53,12 @@ impl Executor for CycleBackend {
         let mut level_sinks: HashMap<usize, LevelWriterSink> = HashMap::new();
         let mut vals_sink: Option<ValWriterSink> = None;
 
+        // Pass 1: allocate every node's output channels and forks up front.
+        // Skip feedback lanes make this necessary: the scanner's skip input
+        // is fed by the *downstream* intersecter, so its channel must exist
+        // before the scanner block is constructed.
         for &id in plan.order() {
-            let kind = &nodes[id.0];
-            let label = format!("n{}:{}", id.0, kind.label());
-            // Allocate this node's output channels and any forks.
+            let label = format!("n{}:{}", id.0, nodes[id.0].label());
             for (port, consumers) in plan.consumers_of(id).iter().enumerate() {
                 let base = sim.add_channel(format!("{label}.out{port}"));
                 out_ch[id.0].push(base);
@@ -73,6 +75,12 @@ impl Executor for CycleBackend {
                     sim.add_block(Box::new(Fork::new(format!("{label}.fork{port}"), base, lanes)));
                 }
             }
+        }
+
+        // Pass 2: instantiate one block per node over the allocated channels.
+        for &id in plan.order() {
+            let kind = &nodes[id.0];
+            let label = format!("n{}:{}", id.0, kind.label());
             let slot = |s: usize| input_ch[&(id.0, s)];
             match kind {
                 NodeKind::Root { .. } => {
@@ -81,25 +89,35 @@ impl Executor for CycleBackend {
                 NodeKind::LevelScanner { tensor, .. } => {
                     let t = inputs.get(tensor).expect("validated binding");
                     let level = Arc::new(t.level(plan.scan_level(id)).clone());
-                    sim.add_block(Box::new(LevelScanner::new(
-                        label,
-                        level,
-                        slot(0),
-                        out_ch[id.0][0],
-                        out_ch[id.0][1],
-                    )));
+                    let mut block =
+                        LevelScanner::new(label, level, slot(0), out_ch[id.0][0], out_ch[id.0][1]);
+                    // A planned skip lane targets the scanner's skip input
+                    // (port 1), fed by the downstream intersecter.
+                    if let Some(&skip) = input_ch.get(&(id.0, 1)) {
+                        block = block.with_skip(skip);
+                    }
+                    sim.add_block(Box::new(block));
                 }
                 NodeKind::Repeater { .. } => {
                     sim.add_block(Box::new(Repeater::new(label, slot(0), slot(1), out_ch[id.0][0])));
                 }
                 NodeKind::Intersecter { .. } => {
-                    sim.add_block(Box::new(Intersecter::new(
-                        label,
-                        [slot(0), slot(1)],
-                        [slot(2), slot(3)],
-                        out_ch[id.0][0],
-                        [out_ch[id.0][1], out_ch[id.0][2]],
-                    )));
+                    // Lower planned skip lanes onto the block's skip outputs
+                    // (ports 3 and 4), which feed the operands' scanners.
+                    let lanes = plan.skip_scanners(id);
+                    sim.add_block(Box::new(
+                        Intersecter::new(
+                            label,
+                            [slot(0), slot(1)],
+                            [slot(2), slot(3)],
+                            out_ch[id.0][0],
+                            [out_ch[id.0][1], out_ch[id.0][2]],
+                        )
+                        .with_skip_lanes([
+                            lanes[0].map(|_| out_ch[id.0][3]),
+                            lanes[1].map(|_| out_ch[id.0][4]),
+                        ]),
+                    ));
                 }
                 NodeKind::Unioner { .. } => {
                     sim.add_block(Box::new(Unioner::new(

@@ -13,8 +13,19 @@ use std::fmt;
 pub enum PlanError {
     /// The graph contains a primitive the executor cannot run.
     UnsupportedNode {
+        /// Index of the offending node within the graph.
+        node: usize,
         /// Label of the offending node.
         label: String,
+        /// The unsupported primitive kind (the label sans per-node detail).
+        kind: String,
+    },
+    /// A coordinate-skip feedback edge is wired incorrectly.
+    BadSkipEdge {
+        /// Label of the offending edge.
+        edge: String,
+        /// Why the wiring is invalid.
+        reason: String,
     },
     /// The graph is not a DAG.
     Cycle {
@@ -115,7 +126,12 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::UnsupportedNode { label } => write!(f, "node `{label}` is not executable"),
+            PlanError::UnsupportedNode { node, label, kind } => {
+                write!(f, "node n{node} (`{label}`) is not executable: `{kind}` is unsupported")
+            }
+            PlanError::BadSkipEdge { edge, reason } => {
+                write!(f, "skip edge `{edge}` is wired incorrectly: {reason}")
+            }
             PlanError::Cycle { stuck } => write!(f, "graph contains a cycle through: {}", stuck.join(", ")),
             PlanError::UnboundInput { label, port } => {
                 write!(f, "input port {port} of `{label}` has no incoming stream")

@@ -39,10 +39,13 @@
 
 use crate::bind::Inputs;
 use crate::error::ExecError;
-use crate::node::{eval_node, NodeJob, SliceSource, WriterOutput};
+use crate::node::{
+    eval_node, run_intersect, scanner_level, GallopScan, IntersectOperand, NodeJob, SliceSource, WriterOutput,
+};
 use crate::plan::Plan;
 use crate::{assemble_output, Execution, Executor, Parallelism};
 use sam_sim::SimToken;
+use sam_streams::chunked::ChunkConfig;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -50,22 +53,29 @@ type Stream = Vec<SimToken>;
 
 /// Runs plans functionally, without per-cycle simulation; serial by
 /// default, parallel with [`FastBackend::threads`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct FastBackend {
     parallelism: Parallelism,
+    chunk: ChunkConfig,
+}
+
+impl Default for FastBackend {
+    fn default() -> Self {
+        FastBackend::serial()
+    }
 }
 
 impl FastBackend {
     /// The single-threaded backend (also [`Default`]): whole streams per
     /// node, no synchronization.
     pub fn serial() -> Self {
-        FastBackend { parallelism: Parallelism::Serial }
+        FastBackend { parallelism: Parallelism::Serial, chunk: ChunkConfig::default() }
     }
 
     /// A pipelined backend running nodes on `threads` worker threads over
     /// chunked streams. `threads` is clamped to at least 1.
     pub fn threads(threads: usize) -> Self {
-        FastBackend { parallelism: Parallelism::Threads(threads.max(1)) }
+        FastBackend { parallelism: Parallelism::Threads(threads.max(1)), chunk: ChunkConfig::default() }
     }
 
     /// A backend with an explicit [`Parallelism`] setting.
@@ -75,6 +85,14 @@ impl FastBackend {
             Parallelism::Serial => FastBackend::serial(),
             Parallelism::Threads(n) => FastBackend::threads(n),
         }
+    }
+
+    /// Overrides the chunked-channel sizing used by `Threads(n)` execution
+    /// (serial mode ignores it). Small depths force the spill escape path;
+    /// the equivalence suite uses this to prove results are unaffected.
+    pub fn with_chunk_config(mut self, chunk: ChunkConfig) -> Self {
+        self.chunk = chunk;
+        self
     }
 }
 
@@ -93,13 +111,17 @@ impl Executor for FastBackend {
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
         match self.parallelism {
             Parallelism::Serial => run_serial(self.name(), plan, inputs),
-            Parallelism::Threads(n) => crate::parallel::run_parallel(self.name(), plan, inputs, n),
+            Parallelism::Threads(n) => {
+                crate::parallel::run_parallel(self.name(), plan, inputs, n, self.chunk)
+            }
         }
     }
 }
 
 /// Serial evaluation: one node at a time in topological order, whole
-/// streams per node.
+/// streams per node. Skip-target scanners are not evaluated standalone:
+/// each is fused into its intersecter as a [`GallopScan`], so skipped
+/// coordinates are never materialized at all.
 fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
     let start = Instant::now();
     let nodes = plan.graph().nodes();
@@ -108,10 +130,41 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
     let mut vals_result: Option<Vec<f64>> = None;
 
     for &id in plan.order() {
-        let job = NodeJob::build(plan, inputs, id);
-        let mut srcs: Vec<SliceSource<'_>> =
-            plan.inputs_of(id).iter().map(|p| SliceSource::new(&streams[p.node.0][p.port])).collect();
         let mut outs: Vec<Stream> = vec![Stream::new(); nodes[id.0].output_ports().len()];
+        if plan.is_skip_target(id) {
+            // Fused into the downstream intersecter; its output streams stay
+            // empty (validation guarantees nobody else reads them).
+            streams[id.0] = outs;
+            continue;
+        }
+        let lanes = plan.skip_scanners(id);
+        if lanes.iter().any(Option::is_some) {
+            let operand = |o: usize| -> IntersectOperand<'_, SliceSource<'_>> {
+                let src = |p: crate::plan::PortRef| SliceSource::new(&streams[p.node.0][p.port]);
+                match lanes[o] {
+                    Some(scanner) => {
+                        let input = src(plan.inputs_of(scanner)[0].expect("scanner ref input"));
+                        IntersectOperand::Scan(GallopScan::new(scanner_level(plan, inputs, scanner), input))
+                    }
+                    None => IntersectOperand::Streams {
+                        crd: src(plan.inputs_of(id)[o].expect("bound crd port")),
+                        rf: src(plan.inputs_of(id)[2 + o].expect("bound ref port")),
+                    },
+                }
+            };
+            let (a, b) = (operand(0), operand(1));
+            let [oc, o0, o1, ..] = &mut outs[..] else { unreachable!("intersecter has five outputs") };
+            run_intersect(a, b, oc, o0, o1, &nodes[id.0].label())?;
+            streams[id.0] = outs;
+            continue;
+        }
+        let job = NodeJob::build(plan, inputs, id);
+        let mut srcs: Vec<SliceSource<'_>> = plan
+            .inputs_of(id)
+            .iter()
+            .flatten()
+            .map(|p| SliceSource::new(&streams[p.node.0][p.port]))
+            .collect();
         match eval_node(&job, &mut srcs, &mut outs)? {
             Some(WriterOutput::Level(level)) => {
                 level_results.insert(id.0, level);

@@ -103,7 +103,7 @@ pub use bind::Inputs;
 pub use cycle::CycleBackend;
 pub use error::{ExecError, PlanError};
 pub use fast::FastBackend;
-pub use plan::{ChannelSpec, Plan, PortRef, DEFAULT_MAX_CYCLES};
+pub use plan::{ChannelSpec, Plan, PortRef, SkipSpec, DEFAULT_MAX_CYCLES};
 
 use sam_core::graph::SamGraph;
 use sam_primitives::EmptyFiberPolicy;

@@ -42,6 +42,16 @@ pub(crate) trait Source {
     fn peek(&mut self) -> Option<SimToken>;
 }
 
+impl<S: Source + ?Sized> Source for &mut S {
+    fn next(&mut self) -> Option<SimToken> {
+        (**self).next()
+    }
+
+    fn peek(&mut self) -> Option<SimToken> {
+        (**self).peek()
+    }
+}
+
 /// A push-based token stream: the writing half of a node's output.
 pub(crate) trait Sink {
     /// Appends one token to the stream.
@@ -97,6 +107,18 @@ pub(crate) struct NodeJob<'a> {
     writer_dim: usize,
 }
 
+/// The storage level a scanner (or locator) node reads, resolved from the
+/// plan's tensor binding — shared by the fused skip paths of both fast
+/// execution modes.
+pub(crate) fn scanner_level<'a>(plan: &Plan, inputs: &'a Inputs, id: NodeId) -> &'a Level {
+    let (NodeKind::LevelScanner { tensor, .. } | NodeKind::Locator { tensor, .. }) =
+        &plan.graph().nodes()[id.0]
+    else {
+        unreachable!("skip targets are scanners")
+    };
+    inputs.get(tensor).expect("validated binding").level(plan.scan_level(id))
+}
+
 impl<'a> NodeJob<'a> {
     /// Resolves the plan- and input-side context of `id` for evaluation.
     pub(crate) fn build(plan: &'a Plan, inputs: &'a Inputs, id: NodeId) -> NodeJob<'a> {
@@ -141,9 +163,19 @@ pub(crate) fn eval_node<S: Source, K: Sink>(
             run_repeater(crd_in, ref_in, &mut outs[0], label)?;
         }
         NodeKind::Intersecter { .. } => {
+            // Skip lanes, when planned, are run through the fused
+            // `run_intersect` path by the backends, not through here; the
+            // trailing skip output ports stay silent in the fast backend.
             let [c0, c1, r0, r1] = srcs else { unreachable!("intersecter has four inputs") };
-            let [oc, o0, o1] = outs else { unreachable!("intersecter has three outputs") };
-            run_intersect(c0, c1, r0, r1, oc, o0, o1, label)?;
+            let [oc, o0, o1, ..] = outs else { unreachable!("intersecter has five outputs") };
+            run_intersect(
+                IntersectOperand::Streams { crd: c0, rf: r0 },
+                IntersectOperand::Streams { crd: c1, rf: r1 },
+                oc,
+                o0,
+                o1,
+                label,
+            )?;
         }
         NodeKind::Unioner { .. } => {
             let [c0, c1, r0, r1] = srcs else { unreachable!("unioner has four inputs") };
@@ -304,50 +336,179 @@ fn run_repeater<S: Source, K: Sink>(
     Ok(())
 }
 
-/// Intersecter transfer function (Definition 3.2): two-finger merge.
-#[allow(clippy::too_many_arguments)]
-fn run_intersect<S: Source, K: Sink>(
-    c0: &mut S,
-    c1: &mut S,
-    r0: &mut S,
-    r1: &mut S,
+/// The scan progress of a [`GallopScan`], mirroring the cycle-level
+/// scanner's state machine.
+enum GallopState {
+    /// Waiting for the next input reference token.
+    Idle,
+    /// Walking the entries of fiber `fiber`; `pos` is the cursor the skip
+    /// requests gallop forward.
+    Emitting { fiber: usize, pos: usize, len: usize },
+    /// The fiber ended; the trailing stop's level depends on the next input
+    /// token (Section 3.3's hierarchical rule).
+    NeedStop,
+    /// The done pair was emitted.
+    Finished,
+}
+
+/// A level scanner fused into its downstream intersecter (the fast
+/// backend's lowering of a Section 4.2 skip lane).
+///
+/// Produces exactly the `(crd, ref)` token pairs [`run_scanner`] would
+/// materialize, but lazily — and [`GallopScan::skip_to`] gallops the
+/// in-flight fiber cursor past every coordinate below a skip target without
+/// generating tokens for them. Dense levels jump in O(1), compressed levels
+/// binary-search, so a skewed intersection costs the short side's length
+/// (times a logarithm), not the long side's.
+pub(crate) struct GallopScan<'a, S: Source> {
+    level: &'a Level,
+    input: S,
+    state: GallopState,
+}
+
+impl<'a, S: Source> GallopScan<'a, S> {
+    /// A fused scanner over `level`, pulling fiber references from `input`
+    /// (the stream that fed the standalone scanner node).
+    pub(crate) fn new(level: &'a Level, input: S) -> Self {
+        GallopScan { level, input, state: GallopState::Idle }
+    }
+
+    /// Gallops the current fiber's cursor to the first entry whose
+    /// coordinate is at least `target`. Requests outside a fiber are stale
+    /// (the fiber already ended) and ignored, like the cycle-level block.
+    fn skip_to(&mut self, target: u32) {
+        if let GallopState::Emitting { fiber, pos, .. } = &mut self.state {
+            *pos = self.level.gallop_from(*fiber, *pos, target);
+        }
+    }
+
+    /// The next `(crd, ref)` token pair, or `None` after the stream ends.
+    fn next_pair(&mut self) -> Option<(SimToken, SimToken)> {
+        loop {
+            match self.state {
+                GallopState::Emitting { fiber, pos, len } => {
+                    if pos < len {
+                        let e = self.level.entry_at(fiber, pos);
+                        self.state = if pos + 1 >= len {
+                            GallopState::NeedStop
+                        } else {
+                            GallopState::Emitting { fiber, pos: pos + 1, len }
+                        };
+                        return Some((tok::crd(e.coord), tok::rf(e.child as u32)));
+                    }
+                    self.state = GallopState::NeedStop;
+                }
+                GallopState::NeedStop => {
+                    self.state = GallopState::Idle;
+                    // One-token lookahead upgrades the trailing stop when the
+                    // input closes outer fibers here (same as trailing_stop).
+                    if let Some(Token::Stop(n)) = self.input.peek() {
+                        self.input.next();
+                        return Some((tok::stop(n + 1), tok::stop(n + 1)));
+                    }
+                    return Some((tok::stop(0), tok::stop(0)));
+                }
+                GallopState::Idle => match self.input.next()? {
+                    Token::Val(p) => {
+                        let fiber = p.expect_ref() as usize;
+                        let len = self.level.fiber_len(fiber);
+                        self.state = if len == 0 {
+                            GallopState::NeedStop
+                        } else {
+                            GallopState::Emitting { fiber, pos: 0, len }
+                        };
+                    }
+                    Token::Empty => self.state = GallopState::NeedStop,
+                    Token::Stop(n) => return Some((tok::stop(n + 1), tok::stop(n + 1))),
+                    Token::Done => {
+                        self.state = GallopState::Finished;
+                        return Some((tok::done(), tok::done()));
+                    }
+                },
+                GallopState::Finished => return None,
+            }
+        }
+    }
+}
+
+/// One operand of an intersecter: either finished crd/ref streams (no skip
+/// lane planned — fetching steps token by token) or a fused [`GallopScan`]
+/// that honors skip requests.
+pub(crate) enum IntersectOperand<'a, S: Source> {
+    /// Plain streams; [`IntersectOperand::skip_to`] is a no-op.
+    Streams {
+        /// The operand's coordinate stream.
+        crd: S,
+        /// The operand's reference stream.
+        rf: S,
+    },
+    /// A fused, skip-enabled scanner.
+    Scan(GallopScan<'a, S>),
+}
+
+impl<S: Source> IntersectOperand<'_, S> {
+    fn fetch(&mut self) -> Option<(SimToken, SimToken)> {
+        match self {
+            IntersectOperand::Streams { crd, rf } => fetch_pair(crd, rf),
+            IntersectOperand::Scan(scan) => scan.next_pair(),
+        }
+    }
+
+    fn skip_to(&mut self, target: u32) {
+        if let IntersectOperand::Scan(scan) = self {
+            scan.skip_to(target);
+        }
+    }
+}
+
+/// Intersecter transfer function (Definition 3.2): two-finger merge, with
+/// gallop-on-mismatch when an operand is a fused skip-enabled scanner
+/// (Section 4.2).
+pub(crate) fn run_intersect<S: Source, K: Sink>(
+    mut a: IntersectOperand<'_, S>,
+    mut b: IntersectOperand<'_, S>,
     oc: &mut K,
     o0: &mut K,
     o1: &mut K,
     label: &str,
 ) -> Result<(), ExecError> {
-    let mut a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
-    let mut b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+    let mut ta = a.fetch().ok_or_else(|| misaligned(label))?;
+    let mut tb = b.fetch().ok_or_else(|| misaligned(label))?;
     loop {
-        match (a.0, b.0) {
+        match (ta.0, tb.0) {
             (Token::Val(pa), Token::Val(pb)) => {
                 let ca = pa.expect_crd();
                 let cb = pb.expect_crd();
                 if ca == cb {
                     oc.push(tok::crd(ca));
-                    o0.push(a.1);
-                    o1.push(b.1);
-                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
-                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                    o0.push(ta.1);
+                    o1.push(tb.1);
+                    ta = a.fetch().ok_or_else(|| misaligned(label))?;
+                    tb = b.fetch().ok_or_else(|| misaligned(label))?;
                 } else if ca < cb {
-                    a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                    // The trailing side gallops straight to the coordinate
+                    // the leading side is waiting at (a no-op for plain
+                    // stream operands).
+                    a.skip_to(cb);
+                    ta = a.fetch().ok_or_else(|| misaligned(label))?;
                 } else {
-                    b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                    b.skip_to(ca);
+                    tb = b.fetch().ok_or_else(|| misaligned(label))?;
                 }
             }
             (Token::Val(_), _) | (Token::Empty, _) => {
-                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                ta = a.fetch().ok_or_else(|| misaligned(label))?;
             }
             (_, Token::Val(_)) | (_, Token::Empty) => {
-                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                tb = b.fetch().ok_or_else(|| misaligned(label))?;
             }
             (Token::Stop(na), Token::Stop(nb)) => {
                 let s = tok::stop(na.max(nb));
                 oc.push(s);
                 o0.push(s);
                 o1.push(s);
-                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
-                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                ta = a.fetch().ok_or_else(|| misaligned(label))?;
+                tb = b.fetch().ok_or_else(|| misaligned(label))?;
             }
             (Token::Done, Token::Done) => {
                 oc.push(tok::done());
@@ -356,10 +517,10 @@ fn run_intersect<S: Source, K: Sink>(
                 break;
             }
             (Token::Stop(_), Token::Done) => {
-                a = fetch_pair(c0, r0).ok_or_else(|| misaligned(label))?;
+                ta = a.fetch().ok_or_else(|| misaligned(label))?;
             }
             (Token::Done, Token::Stop(_)) => {
-                b = fetch_pair(c1, r1).ok_or_else(|| misaligned(label))?;
+                tb = b.fetch().ok_or_else(|| misaligned(label))?;
             }
         }
     }

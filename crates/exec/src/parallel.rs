@@ -28,7 +28,10 @@
 
 use crate::bind::Inputs;
 use crate::error::ExecError;
-use crate::node::{eval_node, NodeJob, Sink, Source, WriterOutput};
+use crate::node::{
+    eval_node, run_intersect, scanner_level, GallopScan, IntersectOperand, NodeJob, Sink, Source,
+    WriterOutput,
+};
 use crate::plan::Plan;
 use crate::{assemble_output, Execution};
 use sam_sim::SimToken;
@@ -65,42 +68,74 @@ impl Sink for ChannelSink {
     }
 }
 
-/// The streams one claimed node reads and writes.
+/// The streams one claimed node reads and writes. Entries of `srcs` are
+/// `None` for unwired skip ports and for operand streams rerouted by skip
+/// fusion (see [`run_parallel`]).
 struct NodeStreams {
-    srcs: Vec<ChunkReceiver<SimToken>>,
+    srcs: Vec<Option<ChunkReceiver<SimToken>>>,
     sinks: Vec<ChannelSink>,
 }
 
 /// Pipelined evaluation of `plan` on `threads` worker threads.
+///
+/// Skip lanes change the materialized topology: a skip-target scanner is
+/// *fused* into its intersecter, so the scanner's output channels and the
+/// skip feedback channels are never created. Instead the channel that fed
+/// the scanner is rerouted to the intersecter's work unit, which runs a
+/// [`GallopScan`] over it — the skip "feedback" becomes a synchronous
+/// cursor jump inside one work unit, which is both faster and immune to
+/// feedback-cycle deadlocks.
 pub(crate) fn run_parallel(
     backend: &'static str,
     plan: &Plan,
     inputs: &Inputs,
     threads: usize,
+    config: ChunkConfig,
 ) -> Result<Execution, ExecError> {
     let start = Instant::now();
     let nodes = plan.graph().nodes();
     let n = nodes.len();
     let threads = threads.max(1).min(n.max(1));
-    let config = ChunkConfig::default();
+
+    // Skip fusion bookkeeping: scanner -> (intersecter, operand).
+    let fused_of: HashMap<usize, (usize, usize)> =
+        plan.skip_specs().iter().map(|s| (s.scanner.0, (s.intersecter.0, s.operand))).collect();
 
     // Materialize the planned channel topology.
     let mut srcs: Vec<Vec<Option<ChunkReceiver<SimToken>>>> =
         nodes.iter().map(|k| (0..k.input_ports().len()).map(|_| None).collect()).collect();
     let mut senders: Vec<Vec<Vec<ChunkSender<SimToken>>>> =
         nodes.iter().map(|k| (0..k.output_ports().len()).map(|_| Vec::new()).collect()).collect();
+    // Fused scan inputs: (intersecter, operand) -> the channel that fed the
+    // elided scanner.
+    let mut fused_rx: HashMap<(usize, usize), ChunkReceiver<SimToken>> = HashMap::new();
     let channel_count = plan.channels().len();
     for spec in plan.channels() {
+        // Skip feedback lanes live inside the fused work unit; no channel.
+        if matches!(nodes[spec.from.node.0], sam_core::graph::NodeKind::Intersecter { .. })
+            && spec.from.port >= 3
+        {
+            continue;
+        }
+        // A fused scanner's own outputs are never materialized...
+        if fused_of.contains_key(&spec.from.node.0) {
+            continue;
+        }
         let (tx, rx) = channel::<SimToken>(config);
         senders[spec.from.node.0][spec.from.port].push(tx);
-        srcs[spec.to.0][spec.to_port] = Some(rx);
+        // ...and the channel feeding it is rerouted to the intersecter.
+        if let Some(&key) = fused_of.get(&spec.to.0) {
+            fused_rx.insert(key, rx);
+        } else {
+            srcs[spec.to.0][spec.to_port] = Some(rx);
+        }
     }
     let works: Vec<Option<NodeStreams>> = srcs
         .into_iter()
         .zip(senders)
         .map(|(node_srcs, node_senders)| {
             Some(NodeStreams {
-                srcs: node_srcs.into_iter().map(|s| s.expect("planner bound every input port")).collect(),
+                srcs: node_srcs,
                 sinks: node_senders.into_iter().map(|txs| ChannelSink { senders: txs, tokens: 0 }).collect(),
             })
         })
@@ -108,6 +143,7 @@ pub(crate) fn run_parallel(
 
     type NodeResult = (Result<Option<WriterOutput>, ExecError>, u64);
     let works = Mutex::new(works);
+    let fused_rx = Mutex::new(fused_rx);
     let results: Mutex<Vec<Option<NodeResult>>> = Mutex::new((0..n).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
 
@@ -117,13 +153,24 @@ pub(crate) fn run_parallel(
                 let idx = cursor.fetch_add(1, Ordering::SeqCst);
                 let Some(&id) = plan.order().get(idx) else { break };
                 let mut work = works.lock().expect("work list")[id.0].take().expect("each node claimed once");
+                if plan.is_skip_target(id) {
+                    // Fused into the downstream intersecter; nothing to run.
+                    results.lock().expect("results")[id.0] = Some((Ok(None), 0));
+                    continue;
+                }
                 // From here on the producers of this node may block on us
                 // instead of spilling: we are actively draining.
-                for src in &work.srcs {
+                for src in work.srcs.iter().flatten() {
                     src.attach();
                 }
-                let job = NodeJob::build(plan, inputs, id);
-                let res = eval_node(&job, &mut work.srcs, &mut work.sinks);
+                let lanes = plan.skip_scanners(id);
+                let res = if lanes.iter().any(Option::is_some) {
+                    run_fused_intersect(plan, inputs, id, lanes, &mut work, &fused_rx)
+                } else {
+                    let job = NodeJob::build(plan, inputs, id);
+                    let mut bound: Vec<ChunkReceiver<SimToken>> = work.srcs.drain(..).flatten().collect();
+                    eval_node(&job, &mut bound, &mut work.sinks)
+                };
                 let tokens = work.sinks.iter().map(|s| s.tokens).sum();
                 // Dropping the streams finishes this node's outputs (flush +
                 // end-of-stream) and detaches its inputs.
@@ -179,4 +226,50 @@ pub(crate) fn run_parallel(
         tokens,
         elapsed: start.elapsed(),
     })
+}
+
+/// Runs a skip-fused intersecter work unit: each skip-wired operand is a
+/// [`GallopScan`] over the channel that fed its (elided) scanner, while
+/// skip-free operands read the scanner streams as usual.
+fn run_fused_intersect(
+    plan: &Plan,
+    inputs: &Inputs,
+    id: sam_core::graph::NodeId,
+    lanes: [Option<sam_core::graph::NodeId>; 2],
+    work: &mut NodeStreams,
+    fused_rx: &Mutex<HashMap<(usize, usize), ChunkReceiver<SimToken>>>,
+) -> Result<Option<WriterOutput>, ExecError> {
+    #[allow(clippy::too_many_arguments)]
+    fn mk_operand<'a>(
+        plan: &Plan,
+        inputs: &'a Inputs,
+        id: usize,
+        o: usize,
+        lane: Option<sam_core::graph::NodeId>,
+        slots: &mut [Option<ChunkReceiver<SimToken>>],
+        fused_rx: &Mutex<HashMap<(usize, usize), ChunkReceiver<SimToken>>>,
+        label: &str,
+    ) -> Result<IntersectOperand<'a, ChunkReceiver<SimToken>>, ExecError> {
+        let lost = || ExecError::Misaligned { label: label.to_string() };
+        match lane {
+            Some(scanner) => {
+                let rx = fused_rx.lock().expect("fused inputs").remove(&(id, o)).ok_or_else(lost)?;
+                rx.attach();
+                Ok(IntersectOperand::Scan(GallopScan::new(scanner_level(plan, inputs, scanner), rx)))
+            }
+            None => {
+                let crd = slots[o].take().ok_or_else(lost)?;
+                let rf = slots[2 + o].take().ok_or_else(lost)?;
+                Ok(IntersectOperand::Streams { crd, rf })
+            }
+        }
+    }
+
+    let label = plan.graph().nodes()[id.0].label();
+    let mut slots: Vec<Option<ChunkReceiver<SimToken>>> = work.srcs.drain(..).collect();
+    let a = mk_operand(plan, inputs, id.0, 0, lanes[0], &mut slots, fused_rx, &label)?;
+    let b = mk_operand(plan, inputs, id.0, 1, lanes[1], &mut slots, fused_rx, &label)?;
+    let [oc, o0, o1, ..] = &mut work.sinks[..] else { unreachable!("intersecter has five outputs") };
+    run_intersect(a, b, oc, o0, o1, &label)?;
+    Ok(None)
 }

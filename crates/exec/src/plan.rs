@@ -20,7 +20,7 @@
 
 use crate::bind::Inputs;
 use crate::error::PlanError;
-use sam_core::graph::{NodeId, NodeKind, SamGraph};
+use sam_core::graph::{Edge, NodeId, NodeKind, PortKind, SamGraph, StreamKind};
 use sam_primitives::AluOp;
 use std::collections::HashMap;
 
@@ -31,6 +31,24 @@ pub struct PortRef {
     pub node: NodeId,
     /// The output-port index.
     pub port: usize,
+}
+
+/// One validated coordinate-skip feedback lane (paper Section 4.2): the
+/// intersecter sends the coordinate it is waiting for on `operand` back to
+/// `scanner`, which gallops past everything smaller.
+///
+/// Validation guarantees the scanner feeds exactly that operand's crd/ref
+/// inputs and nothing else, so the fast backend may fuse the pair into one
+/// galloping work unit while the cycle backend lowers the lane onto the
+/// `sam-primitives` skip channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipSpec {
+    /// The intersecter emitting skip targets.
+    pub intersecter: NodeId,
+    /// Which operand (0 or 1) of the intersecter the lane serves.
+    pub operand: usize,
+    /// The level scanner that receives the skip targets.
+    pub scanner: NodeId,
 }
 
 /// One planned point-to-point stream channel.
@@ -62,12 +80,15 @@ pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 pub struct Plan {
     graph: SamGraph,
     order: Vec<NodeId>,
-    /// Per node: the producer endpoint feeding each input port.
-    node_inputs: Vec<Vec<PortRef>>,
+    /// Per node: the producer endpoint feeding each input port. Optional
+    /// skip ports may stay `None`; every other port is guaranteed bound.
+    node_inputs: Vec<Vec<Option<PortRef>>>,
     /// Per node and output port: `(consumer node, consumer input port)`.
     consumers: Vec<Vec<Vec<(NodeId, usize)>>>,
     /// The flattened channel topology (one entry per consumer port).
     channels: Vec<ChannelSpec>,
+    /// Validated coordinate-skip feedback lanes.
+    skip_specs: Vec<SkipSpec>,
     /// Per node: storage level read by scanners and locators.
     scan_levels: Vec<usize>,
     /// Per node: output dimension of level writers.
@@ -92,18 +113,30 @@ impl Plan {
         let nodes = graph.nodes();
 
         // Phase 1: support check.
-        for kind in nodes {
-            if matches!(kind, NodeKind::Parallelizer | NodeKind::Serializer | NodeKind::BitvectorConverter) {
-                return Err(PlanError::UnsupportedNode { label: kind.label() });
+        for (node, kind) in nodes.iter().enumerate() {
+            let unsupported = match kind {
+                NodeKind::Parallelizer => Some("Parallelizer"),
+                NodeKind::Serializer => Some("Serializer"),
+                NodeKind::BitvectorConverter => Some("BitvectorConverter"),
+                _ => None,
+            };
+            if let Some(name) = unsupported {
+                return Err(PlanError::UnsupportedNode { node, label: kind.label(), kind: name.to_string() });
             }
         }
 
-        // Phase 2a: attribute each edge to a producer output port.
-        let mut src_ports: Vec<usize> = Vec::with_capacity(graph.edges().len());
+        // Skip edges are feedback wiring, not dataflow: they are excluded
+        // from port binding, topological ordering (the whitelisted cycle)
+        // and fan-out planning, then validated separately in phase 4b.
+        let data_edges: Vec<&Edge> = graph.edges().iter().filter(|e| e.kind != StreamKind::Skip).collect();
+        let skip_edges: Vec<&Edge> = graph.edges().iter().filter(|e| e.kind == StreamKind::Skip).collect();
+
+        // Phase 2a: attribute each data edge to a producer output port.
+        let mut src_ports: Vec<usize> = Vec::with_capacity(data_edges.len());
         {
             // Track, per producer, which inferred ports were already handed out.
             let mut next_inferred: HashMap<(usize, usize), usize> = HashMap::new();
-            for e in graph.edges() {
+            for e in &data_edges {
                 let outs = nodes[e.from.0].output_ports();
                 let port = match e.src_port {
                     Some(p) => {
@@ -143,11 +176,11 @@ impl Plan {
             }
         }
 
-        // Phase 2b: bind each edge to a consumer input port.
+        // Phase 2b: bind each data edge to a consumer input port.
         let mut node_inputs: Vec<Vec<Option<PortRef>>> =
             nodes.iter().map(|k| vec![None; k.input_ports().len()]).collect();
-        let mut dst_slots: Vec<usize> = Vec::with_capacity(graph.edges().len());
-        for (idx, e) in graph.edges().iter().enumerate() {
+        let mut dst_slots: Vec<usize> = Vec::with_capacity(data_edges.len());
+        for (idx, e) in data_edges.iter().enumerate() {
             let ins = nodes[e.to.0].input_ports();
             let label = nodes[e.to.0].label();
             let slot = match e.dst_port {
@@ -167,21 +200,21 @@ impl Plan {
             node_inputs[e.to.0][slot] = Some(PortRef { node: e.from, port: src_ports[idx] });
             dst_slots.push(slot);
         }
-        let node_inputs: Vec<Vec<PortRef>> = node_inputs
-            .into_iter()
-            .enumerate()
-            .map(|(i, slots)| {
-                slots
-                    .into_iter()
-                    .enumerate()
-                    .map(|(p, s)| s.ok_or(PlanError::UnboundInput { label: nodes[i].label(), port: p }))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        // Unbound inputs are an error everywhere except the optional skip
+        // ports, which stay `None` when no skip edge targets them.
+        for (i, slots) in node_inputs.iter().enumerate() {
+            let ins = nodes[i].input_ports();
+            for (p, s) in slots.iter().enumerate() {
+                if s.is_none() && ins[p] != PortKind::Skip {
+                    return Err(PlanError::UnboundInput { label: nodes[i].label(), port: p });
+                }
+            }
+        }
 
-        // Phase 3: topological order (Kahn).
+        // Phase 3: topological order (Kahn) over the data edges; the skip
+        // feedback edges are the one legal kind of cycle.
         let mut indegree = vec![0usize; n];
-        for e in graph.edges() {
+        for e in &data_edges {
             indegree[e.to.0] += 1;
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
@@ -191,7 +224,7 @@ impl Plan {
             let u = queue[head];
             head += 1;
             order.push(NodeId(u));
-            for e in graph.edges().iter().filter(|e| e.from.0 == u) {
+            for e in data_edges.iter().filter(|e| e.from.0 == u) {
                 indegree[e.to.0] -= 1;
                 if indegree[e.to.0] == 0 {
                     queue.push(e.to.0);
@@ -207,9 +240,60 @@ impl Plan {
         // backends materialize (forks become one channel per consumer).
         let mut consumers: Vec<Vec<Vec<(NodeId, usize)>>> =
             nodes.iter().map(|k| vec![Vec::new(); k.output_ports().len()]).collect();
-        for (idx, e) in graph.edges().iter().enumerate() {
+        for (idx, e) in data_edges.iter().enumerate() {
             consumers[e.from.0][src_ports[idx]].push((e.to, dst_slots[idx]));
         }
+
+        // Phase 4b: validate the coordinate-skip feedback lanes. A lane must
+        // run from an intersecter back to the level scanner that feeds one
+        // of its coordinate operands, and that scanner's outputs must feed
+        // only the intersecter — which is what lets the fast backend fuse
+        // the pair into one galloping work unit (and keeps the cycle
+        // backend's skip channels free of fork ambiguity).
+        let mut skip_specs: Vec<SkipSpec> = Vec::new();
+        for e in &skip_edges {
+            let bad =
+                |reason: &str| PlanError::BadSkipEdge { edge: e.label.clone(), reason: reason.to_string() };
+            if !matches!(nodes[e.from.0], NodeKind::Intersecter { .. }) {
+                return Err(bad("source must be an intersecter"));
+            }
+            if !matches!(nodes[e.to.0], NodeKind::LevelScanner { .. }) {
+                return Err(bad("target must be a level scanner"));
+            }
+            if e.dst_port.is_some_and(|p| p != 1) {
+                return Err(bad("target port must be the scanner's skip input (port 1)"));
+            }
+            let scanner = e.to;
+            let feeds = |slot: usize| node_inputs[e.from.0][slot].map(|p| (p.node, p.port));
+            let operand = match e.src_port {
+                Some(3) => 0,
+                Some(4) => 1,
+                Some(_) => return Err(bad("source port must be a skip lane (port 3 or 4)")),
+                None => match (feeds(0), feeds(1)) {
+                    (Some((s, 0)), _) if s == scanner => 0,
+                    (_, Some((s, 0))) if s == scanner => 1,
+                    _ => return Err(bad("target scanner feeds neither coordinate operand")),
+                },
+            };
+            if feeds(operand) != Some((scanner, 0)) {
+                return Err(bad("lane must target the scanner feeding that operand's coordinates"));
+            }
+            if feeds(2 + operand) != Some((scanner, 1)) {
+                return Err(bad("the operand's reference stream must come from the same scanner"));
+            }
+            if consumers[scanner.0][0].len() != 1 || consumers[scanner.0][1].len() != 1 {
+                return Err(bad("a skip-target scanner's outputs must feed only the intersecter"));
+            }
+            if skip_specs
+                .iter()
+                .any(|s| (s.intersecter == e.from && s.operand == operand) || s.scanner == scanner)
+            {
+                return Err(bad("duplicate skip lane"));
+            }
+            consumers[e.from.0][3 + operand].push((scanner, 1));
+            skip_specs.push(SkipSpec { intersecter: e.from, operand, scanner });
+        }
+
         let channels: Vec<ChannelSpec> = consumers
             .iter()
             .enumerate()
@@ -259,7 +343,7 @@ impl Plan {
                     ref_ann.insert((id.0, 0), (tensor.clone(), 0));
                 }
                 NodeKind::LevelScanner { tensor, index, compressed } => {
-                    let src = &node_inputs[id.0][0];
+                    let src = &node_inputs[id.0][0].expect("bound data port");
                     let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
                     if &t != tensor {
                         return Err(PlanError::TensorMismatch {
@@ -282,7 +366,7 @@ impl Plan {
                     ref_ann.insert((id.0, 1), (tensor.clone(), depth + 1));
                 }
                 NodeKind::Locator { tensor, index } => {
-                    let src = &node_inputs[id.0][1];
+                    let src = &node_inputs[id.0][1].expect("bound data port");
                     let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
                     if &t != tensor {
                         return Err(PlanError::TensorMismatch {
@@ -302,14 +386,14 @@ impl Plan {
                     ref_ann.insert((id.0, 2), (tensor.clone(), depth + 1));
                 }
                 NodeKind::Repeater { .. } => {
-                    let src = &node_inputs[id.0][1];
+                    let src = &node_inputs[id.0][1].expect("bound data port");
                     if let Some(ann) = ref_ann.get(&(src.node.0, src.port)).cloned() {
                         ref_ann.insert((id.0, 0), ann);
                     }
                 }
                 NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => {
                     for (slot, port) in [(2usize, 1usize), (3, 2)] {
-                        let src = &node_inputs[id.0][slot];
+                        let src = &node_inputs[id.0][slot].expect("bound data port");
                         if let Some(ann) = ref_ann.get(&(src.node.0, src.port)).cloned() {
                             ref_ann.insert((id.0, port), ann);
                         }
@@ -328,7 +412,7 @@ impl Plan {
                     // would silently read wrong positions. Untracked
                     // streams (e.g. routed through a coordinate dropper)
                     // stay permissive and fail at execution if wrong.
-                    let src = &node_inputs[id.0][0];
+                    let src = &node_inputs[id.0][0].expect("bound data port");
                     if let Some((t, depth)) = ref_ann.get(&(src.node.0, src.port)) {
                         if t != tensor {
                             return Err(PlanError::TensorMismatch {
@@ -385,6 +469,7 @@ impl Plan {
             node_inputs,
             consumers,
             channels,
+            skip_specs,
             scan_levels,
             writer_dims,
             alu_ops,
@@ -405,8 +490,9 @@ impl Plan {
         &self.order
     }
 
-    /// The producer endpoints feeding each input port of `node`.
-    pub fn inputs_of(&self, node: NodeId) -> &[PortRef] {
+    /// The producer endpoints feeding each input port of `node`. Every
+    /// entry is `Some` except optional skip ports left unwired.
+    pub fn inputs_of(&self, node: NodeId) -> &[Option<PortRef>] {
         &self.node_inputs[node.0]
     }
 
@@ -421,9 +507,34 @@ impl Plan {
     }
 
     /// The planned channel topology: one [`ChannelSpec`] per (producer
-    /// port, consumer port) pair, forks already expanded.
+    /// port, consumer port) pair, forks already expanded. Skip feedback
+    /// lanes appear here too (from the intersecter's skip output port back
+    /// to the scanner's skip input port).
     pub fn channels(&self) -> &[ChannelSpec] {
         &self.channels
+    }
+
+    /// The validated coordinate-skip feedback lanes (paper Section 4.2).
+    pub fn skip_specs(&self) -> &[SkipSpec] {
+        &self.skip_specs
+    }
+
+    /// For an intersecter: the skip-target scanner of each operand, when a
+    /// skip lane is wired. `[None, None]` for any other node.
+    pub fn skip_scanners(&self, node: NodeId) -> [Option<NodeId>; 2] {
+        let mut lanes = [None, None];
+        for s in &self.skip_specs {
+            if s.intersecter == node {
+                lanes[s.operand] = Some(s.scanner);
+            }
+        }
+        lanes
+    }
+
+    /// Whether `node` is a skip-target scanner — one the fast backend fuses
+    /// into its downstream intersecter instead of evaluating standalone.
+    pub fn is_skip_target(&self, node: NodeId) -> bool {
+        self.skip_specs.iter().any(|s| s.scanner == node)
     }
 
     /// The storage level a scanner or locator reads.

@@ -38,6 +38,14 @@ fn catalog() -> Vec<(SamGraph, Inputs, Assignment)> {
             Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::dense_vec()),
             table1::spmv(),
         ),
+        // The co-iteration SpMV dataflow (the skip twins' base graph) must
+        // itself match the dense reference, so the skip acceptance test
+        // compares against validated ground truth.
+        (
+            graphs::spmv_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+            table1::spmv(),
+        ),
         (
             graphs::spmm(SpmmDataflow::LinearCombination),
             Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
@@ -167,4 +175,133 @@ fn parallel_errors_match_serial_errors() {
     };
     assert_eq!(serial_label, parallel_label);
     assert!(serial_label.contains("reduce"), "error should name the reducer, was `{serial_label}`");
+}
+
+/// The skip-enabled twins of the catalog kernels: `(skip-free graph,
+/// skip graph, inputs)` triples over operands skewed enough that skipping
+/// has something to do.
+fn skip_twins() -> Vec<(SamGraph, SamGraph, Inputs)> {
+    // One dense-ish vector against a hypersparse one: the Section 4.2 case.
+    let vb = synth::random_vector(4000, 3600, 401);
+    let vc = synth::random_vector(4000, 25, 402);
+    let m = synth::random_matrix_sparsity(24, 18, 0.55, 403);
+    let n = synth::random_matrix_sparsity(18, 21, 0.92, 404);
+    let sv = synth::random_vector(18, 3, 405);
+    let dense_c = synth::dense_matrix(24, 6, 406);
+    let dense_d = synth::dense_matrix(18, 6, 407);
+
+    vec![
+        (
+            graphs::vec_elem_mul(true),
+            graphs::vec_elem_mul_with_skip(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmv_coiteration(),
+            graphs::spmv_with_skip(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            graphs::spmm_with_skip(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            graphs::spmm_with_skip(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsc()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            graphs::spmm_with_skip(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsc()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            graphs::sddmm_with_skip(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+        ),
+    ]
+}
+
+/// The acceptance gate for coordinate skipping: every skip graph computes
+/// exactly what its skip-free twin computes, on the cycle backend, the
+/// serial fast backend and the parallel fast backend.
+#[test]
+fn skip_graphs_match_their_skip_free_twins_on_every_backend() {
+    for (plain, with_skip, inputs) in skip_twins() {
+        let reference = execute(&plain, &inputs, &FastBackend::serial())
+            .unwrap_or_else(|e| panic!("{}: skip-free serial run failed: {e}", plain.name));
+        let expect = reference.output.expect("tensor output");
+
+        for (what, run) in [
+            ("fast-serial", execute(&with_skip, &inputs, &FastBackend::serial())),
+            ("fast-Threads(4)", execute(&with_skip, &inputs, &FastBackend::threads(4))),
+            ("cycle", execute(&with_skip, &inputs, &CycleBackend::default())),
+        ] {
+            let run = run.unwrap_or_else(|e| panic!("{}: {what} skip run failed: {e}", with_skip.name));
+            assert_eq!(
+                run.output.expect("tensor output"),
+                expect,
+                "{}: {what} skip run diverged from the skip-free twin",
+                with_skip.name
+            );
+        }
+    }
+}
+
+/// Fusion must actually pay: on skewed vectors, the fast serial backend
+/// materializes far fewer tokens for the skip graph than for its twin,
+/// because the fused scanners never emit the galloped-over coordinates.
+#[test]
+fn skip_fusion_reduces_materialized_tokens_on_skewed_inputs() {
+    let vb = synth::random_vector(20_000, 18_000, 411);
+    let vc = synth::random_vector(20_000, 40, 412);
+    let inputs =
+        Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec());
+    let plain = execute(&graphs::vec_elem_mul(true), &inputs, &FastBackend::serial()).unwrap();
+    let skip = execute(&graphs::vec_elem_mul_with_skip(true), &inputs, &FastBackend::serial()).unwrap();
+    assert_eq!(plain.output.unwrap(), skip.output.unwrap());
+    assert!(
+        skip.tokens * 4 < plain.tokens,
+        "skip fusion should cut token traffic by far more than 4x on skewed vectors: \
+         {} (skip) vs {} (plain)",
+        skip.tokens,
+        plain.tokens
+    );
+}
+
+/// The chunked-channel spill path: depth 1 with tiny chunks forces the
+/// bounded channels to spill constantly; results must not change.
+#[test]
+fn depth_one_chunk_config_forces_spills_without_changing_results() {
+    use sam_streams::chunked::ChunkConfig;
+
+    let m = synth::random_matrix_sparsity(40, 30, 0.8, 421);
+    let n = synth::random_matrix_sparsity(30, 35, 0.8, 422);
+    let inputs = Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr());
+    let graph = graphs::spmm(SpmmDataflow::LinearCombination);
+
+    let mut env = Environment::new();
+    for (name, tensor) in inputs.iter() {
+        env.insert(name, tensor.to_dense());
+    }
+    env.bind_dims(&table1::spmm(), &[]);
+    let expect = env.evaluate(&table1::spmm()).unwrap();
+
+    let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+    let spilly = ChunkConfig { chunk_len: 4, depth: 1 };
+    for threads in [2, 4, 8] {
+        let backend = FastBackend::threads(threads).with_chunk_config(spilly);
+        let run = execute(&graph, &inputs, &backend)
+            .unwrap_or_else(|e| panic!("Threads({threads}) depth-1 run failed: {e}"));
+        let out = run.output.expect("tensor output");
+        assert!(out.to_dense().approx_eq(&expect), "Threads({threads}) depth-1 diverged from reference");
+        assert_eq!(out, serial.output.clone().expect("tensor output"));
+        assert_eq!(run.vals, serial.vals);
+    }
 }

@@ -2,7 +2,7 @@
 //! and binding errors.
 
 use sam_core::build::GraphBuilder;
-use sam_core::graph::{NodeKind, SamGraph, StreamKind};
+use sam_core::graph::{NodeKind, PortKind, SamGraph, StreamKind};
 use sam_core::graphs;
 use sam_exec::{execute, CycleBackend, FastBackend, Inputs, Plan, PlanError};
 use sam_tensor::{synth, TensorFormat};
@@ -59,7 +59,8 @@ fn plan_emits_full_channel_topology() {
     let plan = Plan::build(&graph, &inputs).unwrap();
     // One channel per edge (forks expanded to one channel per consumer)...
     assert_eq!(plan.channels().len(), graph.edges().len());
-    // ...and together they cover every input port of every node exactly once.
+    // ...and together they cover every input port of every node exactly
+    // once — except skip ports, which are optional and unwired here.
     let mut covered: Vec<Vec<bool>> =
         graph.nodes().iter().map(|k| vec![false; k.input_ports().len()]).collect();
     for spec in plan.channels() {
@@ -67,7 +68,12 @@ fn plan_emits_full_channel_topology() {
         assert!(!covered[spec.to.0][spec.to_port], "input port driven twice");
         covered[spec.to.0][spec.to_port] = true;
     }
-    assert!(covered.iter().flatten().all(|&c| c), "every input port has a channel");
+    for (i, ports) in covered.iter().enumerate() {
+        for (p, &c) in ports.iter().enumerate() {
+            let optional = graph.nodes()[i].input_ports()[p] == PortKind::Skip;
+            assert!(c || optional, "input port {p} of node {i} has no channel");
+        }
+    }
 }
 
 #[test]
@@ -191,12 +197,102 @@ fn missing_vals_writer_is_reported() {
 }
 
 #[test]
-fn unsupported_node_is_reported() {
+fn unsupported_node_is_reported_with_node_and_kind() {
     let mut graph = SamGraph::new("unsupported");
-    graph.add_node(NodeKind::Parallelizer);
+    graph.add_node(NodeKind::Root { tensor: "b".into() });
+    graph.add_node(NodeKind::Serializer);
     match Plan::build(&graph, &Inputs::new()) {
-        Err(PlanError::UnsupportedNode { .. }) => {}
+        Err(ref err @ PlanError::UnsupportedNode { node, ref kind, .. }) => {
+            assert_eq!(node, 1, "must name the offending node, not just the kind");
+            assert_eq!(kind, "Serializer");
+            let msg = err.to_string();
+            assert!(msg.contains("n1") && msg.contains("Serializer"), "unhelpful message: {msg}");
+        }
         other => panic!("expected unsupported-node error, got {other:?}"),
+    }
+}
+
+#[test]
+fn skip_lanes_are_planned_for_skip_graphs() {
+    let graph = graphs::vec_elem_mul_with_skip(true);
+    let inputs = vec_inputs(64);
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    assert_eq!(plan.skip_specs().len(), 2);
+    for spec in plan.skip_specs() {
+        assert!(plan.is_skip_target(spec.scanner));
+        assert_eq!(plan.skip_scanners(spec.intersecter)[spec.operand], Some(spec.scanner));
+    }
+    // The skip lanes ride in the channel topology (one channel per edge,
+    // feedback included).
+    assert_eq!(plan.channels().len(), graph.edges().len());
+}
+
+#[test]
+fn skip_edge_to_the_wrong_scanner_is_rejected() {
+    // Wire the intersecter's skip lane for operand 0 back to operand 1's
+    // scanner: the planner must refuse the crossed feedback.
+    let mut g = GraphBuilder::new("crossed skip");
+    let rb = g.root("b");
+    let rc = g.root("c");
+    let (b_crd, b_ref) = g.scan("b", 'i', true, rb);
+    let (c_crd, c_ref) = g.scan("c", 'i', true, rc);
+    let (i_crd, i_refs) = g.intersect('i', [b_crd, c_crd], [b_ref, c_ref]);
+    let bv = g.array("b", i_refs[0]);
+    let cv = g.array("c", i_refs[1]);
+    let prod = g.alu("mul", bv, cv);
+    g.write_level("x", 'i', i_crd);
+    g.write_vals("x", prod);
+    let mut graph = g.finish();
+    graph.add_edge_on(i_crd.node, 3, c_crd.node, 1, StreamKind::Skip, "crossed");
+    match Plan::build(&graph, &vec_inputs(16)) {
+        Err(PlanError::BadSkipEdge { reason, .. }) => {
+            assert!(reason.contains("scanner feeding"), "reason was: {reason}");
+        }
+        other => panic!("expected bad-skip-edge error, got {other:?}"),
+    }
+}
+
+#[test]
+fn skip_edge_from_a_non_intersecter_is_rejected() {
+    let mut g = GraphBuilder::new("skip from repeat");
+    let rb = g.root("b");
+    let (crd, rf) = g.scan("b", 'i', true, rb);
+    let v = g.array("b", rf);
+    g.write_level("x", 'i', crd);
+    g.write_vals("x", v);
+    let mut graph = g.finish();
+    // Root -> scanner skip port: roots are not intersecters.
+    graph.add_edge_on(sam_core::graph::NodeId(0), 0, crd.node, 1, StreamKind::Skip, "bogus");
+    match Plan::build(&graph, &vec_inputs(16)) {
+        Err(PlanError::BadSkipEdge { reason, .. }) => {
+            assert!(reason.contains("intersecter"), "reason was: {reason}");
+        }
+        other => panic!("expected bad-skip-edge error, got {other:?}"),
+    }
+}
+
+#[test]
+fn skip_target_with_extra_consumers_is_rejected() {
+    // vec_elem_mul with skip, plus an extra writer tapping b's coordinate
+    // stream: the scanner no longer feeds only the intersecter, so fusion
+    // (and therefore the skip lane) is invalid.
+    let mut g = GraphBuilder::new("tapped skip target");
+    let rb = g.root("b");
+    let rc = g.root("c");
+    let (b_crd, b_ref) = g.scan("b", 'i', true, rb);
+    let (c_crd, c_ref) = g.scan("c", 'i', true, rc);
+    let (i_crd, i_refs) = g.intersect_with_skip('i', [b_crd, c_crd], [b_ref, c_ref]);
+    let bv = g.array("b", i_refs[0]);
+    let cv = g.array("c", i_refs[1]);
+    let prod = g.alu("mul", bv, cv);
+    g.write_level("x", 'i', i_crd);
+    g.write_level("y", 'i', b_crd);
+    g.write_vals("x", prod);
+    match Plan::build(&g.finish(), &vec_inputs(16)) {
+        Err(PlanError::BadSkipEdge { reason, .. }) => {
+            assert!(reason.contains("only the intersecter"), "reason was: {reason}");
+        }
+        other => panic!("expected bad-skip-edge error, got {other:?}"),
     }
 }
 

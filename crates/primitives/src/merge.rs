@@ -15,7 +15,12 @@ use sam_streams::Token;
 ///
 /// With skip channels connected (Section 4.2), a mismatch sends the larger
 /// coordinate back to the trailing operand's level scanner so it can gallop
-/// forward.
+/// forward. Skip requests are *epoch-tagged*: each is the token pair
+/// `Ref(epoch), Crd(target)` where the epoch counts the stop tokens this
+/// block has consumed from that operand — i.e. which fiber the request is
+/// about. The scanner drops requests whose fiber already closed, which is
+/// what keeps skipping sound on multi-fiber streams (see
+/// [`crate::LevelScanner`]).
 pub struct Intersecter {
     name: String,
     in_crd: [ChannelId; 2],
@@ -23,6 +28,8 @@ pub struct Intersecter {
     out_crd: ChannelId,
     out_ref: [ChannelId; 2],
     skip_out: [Option<ChannelId>; 2],
+    /// Stop tokens consumed per operand — the skip epoch.
+    stops: [u32; 2],
     done: bool,
 }
 
@@ -42,14 +49,22 @@ impl Intersecter {
             out_crd,
             out_ref,
             skip_out: [None, None],
+            stops: [0, 0],
             done: false,
         }
     }
 
     /// Connects coordinate-skip feedback channels towards the two operands'
     /// level scanners.
-    pub fn with_skip(mut self, skip_out: [ChannelId; 2]) -> Self {
-        self.skip_out = [Some(skip_out[0]), Some(skip_out[1])];
+    pub fn with_skip(self, skip_out: [ChannelId; 2]) -> Self {
+        self.with_skip_lanes([Some(skip_out[0]), Some(skip_out[1])])
+    }
+
+    /// Connects coordinate-skip feedback lanes individually; `None` leaves
+    /// that operand without skip feedback. Used by the `sam-exec` cycle
+    /// backend, which lowers whatever subset of skip edges the graph wires.
+    pub fn with_skip_lanes(mut self, skip_out: [Option<ChannelId>; 2]) -> Self {
+        self.skip_out = skip_out;
         self
     }
 
@@ -92,12 +107,15 @@ impl Block for Intersecter {
                     ctx.pop(self.in_crd[0]);
                     ctx.pop(self.in_ref[0]);
                     if let Some(skip) = self.skip_out[0] {
+                        // Epoch-tagged request: both tokens in one tick.
+                        ctx.push(skip, tok::rf(self.stops[0]));
                         ctx.push(skip, tok::crd(cb));
                     }
                 } else {
                     ctx.pop(self.in_crd[1]);
                     ctx.pop(self.in_ref[1]);
                     if let Some(skip) = self.skip_out[1] {
+                        ctx.push(skip, tok::rf(self.stops[1]));
                         ctx.push(skip, tok::crd(ca));
                     }
                 }
@@ -120,6 +138,8 @@ impl Block for Intersecter {
                 ctx.pop(self.in_crd[1]);
                 ctx.pop(self.in_ref[0]);
                 ctx.pop(self.in_ref[1]);
+                self.stops[0] = self.stops[0].wrapping_add(1);
+                self.stops[1] = self.stops[1].wrapping_add(1);
                 self.emit_all(ctx, tok::stop(na.max(nb)));
                 BlockStatus::Busy
             }
@@ -136,11 +156,13 @@ impl Block for Intersecter {
                 // Structurally mismatched inputs; drain the stop side.
                 ctx.pop(self.in_crd[0]);
                 ctx.pop(self.in_ref[0]);
+                self.stops[0] = self.stops[0].wrapping_add(1);
                 BlockStatus::Busy
             }
             (Token::Done, Token::Stop(_)) => {
                 ctx.pop(self.in_crd[1]);
                 ctx.pop(self.in_ref[1]);
+                self.stops[1] = self.stops[1].wrapping_add(1);
                 BlockStatus::Busy
             }
         }
@@ -506,7 +528,8 @@ mod tests {
     }
 
     #[test]
-    fn intersect_with_skip_emits_skip_tokens() {
+    fn intersect_with_skip_emits_epoch_tagged_skip_tokens() {
+        use sam_sim::payload::Payload;
         let (mut sim, in_crd, in_ref, oc, or) = setup_merge();
         let sk0 = sim.add_channel("skip0");
         let sk1 = sim.add_channel("skip1");
@@ -517,8 +540,11 @@ mod tests {
         sim.preload(in_crd[1], crd_stream(&[1, 50]));
         sim.preload(in_ref[1], ref_stream(&[0, 1]));
         sim.run(1000).unwrap();
-        // Operand 1 trails at coordinate 1 < 50, so a skip to 50 is sent to it.
-        assert_eq!(data_crds(sim.history(sk1)), vec![50]);
+        // Operand 1 trails at coordinate 1 < 50, so a skip to 50 is sent to
+        // it, tagged with the current fiber epoch (no stops consumed yet).
+        let skip_tokens: Vec<Payload> =
+            sim.history(sk1).iter().filter_map(|t| t.value_ref().copied()).collect();
+        assert_eq!(skip_tokens, vec![Payload::Ref(0), Payload::Crd(50)]);
         assert_eq!(data_crds(sim.history(oc)), vec![50]);
     }
 

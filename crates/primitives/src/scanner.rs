@@ -34,6 +34,17 @@ enum ScanState {
 /// With a `skip_in` channel connected, the scanner implements coordinate
 /// skipping (Section 4.2): skip tokens carry a target coordinate and the
 /// scanner fast-forwards past smaller coordinates it has not yet emitted.
+/// Two skip-token forms are understood:
+///
+/// * a bare coordinate token — applied to whatever fiber is in flight
+///   (adequate for single-fiber streams, e.g. vector intersections);
+/// * an *epoch-tagged pair* `Ref(epoch), Crd(target)` as emitted by
+///   [`crate::Intersecter`] — the epoch counts fiber-closing stop tokens,
+///   and the pair is applied only while the scanner is still emitting that
+///   same fiber. A request that arrives after the fiber closed is stale and
+///   dropped; without the tag it could gallop a *later* fiber past
+///   coordinates that match (multi-fiber streams lag arbitrarily far behind
+///   their consumers in the dataflow).
 pub struct LevelScanner {
     name: String,
     level: Arc<Level>,
@@ -42,6 +53,8 @@ pub struct LevelScanner {
     out_ref: ChannelId,
     skip_in: Option<ChannelId>,
     state: ScanState,
+    /// Fiber-closing stop tokens emitted so far — the skip epoch.
+    stops_emitted: u32,
     done: bool,
 }
 
@@ -62,6 +75,7 @@ impl LevelScanner {
             out_ref,
             skip_in: None,
             state: ScanState::Idle,
+            stops_emitted: 0,
             done: false,
         }
     }
@@ -72,35 +86,71 @@ impl LevelScanner {
         self
     }
 
-    fn emit_both(&self, ctx: &mut Context, crd_tok: sam_sim::SimToken, ref_tok: sam_sim::SimToken) {
+    fn emit_both(&mut self, ctx: &mut Context, crd_tok: sam_sim::SimToken, ref_tok: sam_sim::SimToken) {
+        if matches!(crd_tok, Token::Stop(_)) {
+            self.stops_emitted = self.stops_emitted.wrapping_add(1);
+        }
         ctx.push(self.out_crd, crd_tok);
         ctx.push(self.out_ref, ref_tok);
     }
 
+    /// Gallops the in-flight fiber cursor past coordinates below `target`.
+    fn gallop(&mut self, target: u32) {
+        if let ScanState::Emitting { entries, pos } = &mut self.state {
+            while *pos < entries.len() && entries[*pos].coord < target {
+                *pos += 1;
+            }
+        }
+    }
+
     /// Applies any pending skip tokens to the in-flight fiber position.
     fn apply_skips(&mut self, ctx: &mut Context) {
+        use sam_sim::payload::Payload;
         let Some(skip) = self.skip_in else { return };
-        if matches!(self.state, ScanState::NeedStop) {
-            // Skip requests for the fiber that just ended are stale.
-            while ctx.pop(skip).is_some() {}
-            return;
-        }
-        let ScanState::Emitting { entries, pos } = &mut self.state else {
-            // Keep queued skip tokens; they apply to the fiber about to start.
-            return;
-        };
-        while let Some(t) = ctx.peek(skip) {
-            match t {
-                Token::Val(p) => {
-                    let target = p.expect_crd();
-                    ctx.pop(skip);
-                    while *pos < entries.len() && entries[*pos].coord < target {
-                        *pos += 1;
+        loop {
+            match ctx.peek(skip).cloned() {
+                Some(Token::Val(Payload::Ref(epoch))) => {
+                    // An epoch-tagged (epoch, target) pair; both tokens are
+                    // pushed in one producer tick, so the pair is complete.
+                    let Some(&Token::Val(p2)) = ctx.peek_nth(skip, 1) else { break };
+                    if epoch != self.stops_emitted {
+                        // Stale: that fiber already closed, and galloping
+                        // would drop a later fiber's data.
+                        ctx.pop(skip);
+                        ctx.pop(skip);
+                        continue;
+                    }
+                    match self.state {
+                        ScanState::Emitting { .. } => {
+                            ctx.pop(skip);
+                            ctx.pop(skip);
+                            self.gallop(p2.expect_crd());
+                        }
+                        // The fiber just ended; nothing left to skip.
+                        ScanState::NeedStop => {
+                            ctx.pop(skip);
+                            ctx.pop(skip);
+                        }
+                        // Keep it; it applies to the fiber about to start.
+                        ScanState::Idle => break,
                     }
                 }
-                _ => {
+                Some(Token::Val(Payload::Crd(target))) => match self.state {
+                    ScanState::Emitting { .. } => {
+                        ctx.pop(skip);
+                        self.gallop(target);
+                    }
+                    // Requests for the fiber that just ended are stale.
+                    ScanState::NeedStop => {
+                        ctx.pop(skip);
+                    }
+                    // Keep it; it applies to the fiber about to start.
+                    ScanState::Idle => break,
+                },
+                Some(_) => {
                     ctx.pop(skip);
                 }
+                None => break,
             }
         }
     }
@@ -331,6 +381,48 @@ mod tests {
         let data: Vec<u32> =
             sim.history(crd).iter().filter_map(|t| t.value_ref().map(|p| p.expect_crd())).collect();
         assert!(data.len() <= 7, "expected a handful of coordinates, got {data:?}");
+        assert!(data.contains(&45));
+    }
+
+    #[test]
+    fn stale_epoch_tagged_skip_is_dropped() {
+        // Two fibers of three coordinates each. A tagged request for fiber 0
+        // (epoch 0) that is only seen while fiber 1 is in flight must NOT
+        // gallop fiber 1 — its coordinates could match the other operand.
+        let level =
+            Arc::new(Level::Compressed(CompressedLevel::new(10, vec![0, 3, 6], vec![1, 2, 3, 1, 2, 3])));
+        let mut sim = Simulator::new();
+        let in_ref = sim.add_channel("in_ref");
+        let crd = sim.add_channel("crd");
+        let rf = sim.add_channel("ref");
+        let skip = sim.add_channel("skip");
+        sim.record(crd);
+        sim.add_block(Box::new(LevelScanner::new("b", level, in_ref, crd, rf).with_skip(skip)));
+        sim.preload(in_ref, vec![tok::rf(0), tok::rf(1), tok::stop(0), tok::done()]);
+        // Epoch 5 never matches: the whole level emits only two stops.
+        sim.preload(skip, vec![tok::rf(5), tok::crd(9)]);
+        sim.run(1000).unwrap();
+        let data: Vec<u32> =
+            sim.history(crd).iter().filter_map(|t| t.value_ref().map(|p| p.expect_crd())).collect();
+        assert_eq!(data, vec![1, 2, 3, 1, 2, 3], "stale skip must not drop coordinates");
+    }
+
+    #[test]
+    fn matching_epoch_tagged_skip_gallops_current_fiber() {
+        let level = Arc::new(Level::Compressed(CompressedLevel::new(100, vec![0, 50], (0..50).collect())));
+        let mut sim = Simulator::new();
+        let in_ref = sim.add_channel("in_ref");
+        let crd = sim.add_channel("crd");
+        let rf = sim.add_channel("ref");
+        let skip = sim.add_channel("skip");
+        sim.record(crd);
+        sim.add_block(Box::new(LevelScanner::new("b", level, in_ref, crd, rf).with_skip(skip)));
+        sim.preload(in_ref, vec![tok::rf(0), tok::stop(0), tok::done()]);
+        sim.preload(skip, vec![tok::rf(0), tok::crd(45)]);
+        sim.run(1000).unwrap();
+        let data: Vec<u32> =
+            sim.history(crd).iter().filter_map(|t| t.value_ref().map(|p| p.expect_crd())).collect();
+        assert!(data.len() <= 7, "expected a galloped scan, got {data:?}");
         assert!(data.contains(&45));
     }
 

@@ -9,9 +9,92 @@
 //! `sample_size` samples; the mean, minimum and maximum per-iteration times
 //! are printed. Statistical analysis, plots and HTML reports are out of
 //! scope — swap in the real crate when a registry is available.
+//!
+//! # JSON trajectory output
+//!
+//! Passing `--save-json [path]` to a bench binary (i.e.
+//! `cargo bench -- --save-json`) additionally writes every benchmark's mean
+//! time as nested JSON — `{"group": {"bench": ns_per_iter, ...}, ...}` — to
+//! `path`, defaulting to `BENCH_exec.json` next to the workspace
+//! `Cargo.lock`. CI uploads the file as a per-push artifact and gates on it
+//! (see `sam-bench`'s `bench_gate` binary).
 
 use std::hint;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Mean per-iteration times recorded by every benchmark of this process:
+/// `(group, bench, nanoseconds)`.
+fn results() -> &'static Mutex<Vec<(String, String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Where `--save-json` wants the trajectory written, if requested.
+fn save_json_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--save-json" {
+            if let Some(p) = args.next() {
+                if !p.starts_with('-') {
+                    return Some(PathBuf::from(p));
+                }
+            }
+            return Some(workspace_root().join("BENCH_exec.json"));
+        }
+    }
+    None
+}
+
+/// Walks up from the current directory to the first ancestor holding a
+/// `Cargo.lock` — the workspace root, regardless of which package cargo
+/// launched the bench binary from.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Writes the recorded means as nested JSON when `--save-json` was passed.
+/// Invoked by `criterion_main!` after all groups have run.
+pub fn finish() {
+    let Some(path) = save_json_path() else { return };
+    let recorded = results().lock().expect("bench results");
+    let mut out = String::from("{\n");
+    // Order-preserving unique group names (Vec::dedup only merges
+    // neighbours, and a group name may recur non-adjacently).
+    let mut groups: Vec<&str> = Vec::new();
+    for (g, _, _) in recorded.iter() {
+        if !groups.contains(&g.as_str()) {
+            groups.push(g);
+        }
+    }
+    for (gi, group) in groups.iter().enumerate() {
+        out.push_str(&format!("  {:?}: {{\n", group));
+        let members: Vec<&(String, String, f64)> = recorded.iter().filter(|(g, _, _)| g == group).collect();
+        for (bi, (_, bench, ns)) in members.iter().enumerate() {
+            let sep = if bi + 1 == members.len() { "" } else { "," };
+            out.push_str(&format!("    {:?}: {:.1}{}\n", bench, ns, sep));
+        }
+        let sep = if gi + 1 == groups.len() { "" } else { "," };
+        out.push_str(&format!("  }}{}\n", sep));
+    }
+    out.push_str("}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote benchmark trajectory to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
 
 /// Prevents the optimizer from discarding a benchmarked value.
 pub fn black_box<T>(value: T) -> T {
@@ -42,7 +125,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, self.sample_size, &mut f);
+        run_benchmark("", name, self.sample_size, &mut f);
         self
     }
 }
@@ -66,8 +149,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let full = format!("{}/{}", self.name, name);
-        run_benchmark(&full, self.sample_size, &mut f);
+        run_benchmark(&self.name, &name.to_string(), self.sample_size, &mut f);
         self
     }
 
@@ -97,10 +179,11 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F>(name: &str, sample_size: usize, f: &mut F)
+fn run_benchmark<F>(group: &str, bench: &str, sample_size: usize, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    let name = if group.is_empty() { bench.to_string() } else { format!("{group}/{bench}") };
     let mut bencher = Bencher { samples: Vec::new(), sample_size };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -109,6 +192,11 @@ where
     }
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
+    results().lock().expect("bench results").push((
+        group.to_string(),
+        bench.to_string(),
+        mean.as_nanos() as f64,
+    ));
     let min = bencher.samples.iter().min().expect("nonempty");
     let max = bencher.samples.iter().max().expect("nonempty");
     println!(
@@ -146,12 +234,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares `main` from group-runner functions, mirroring
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`. After all groups run, the recorded means
+/// are written as JSON when `--save-json` was passed (see the crate docs).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finish();
         }
     };
 }
