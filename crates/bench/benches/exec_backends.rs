@@ -45,6 +45,10 @@ fn bench_parallelism(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &
         });
     }
     group.finish();
+    // Surface the bounded-channel spill counter next to the timings: one
+    // representative parallel run per group rides into the JSON trajectory.
+    let spills = FastBackend::threads(4).run(plan, inputs).expect("fast run").spills;
+    criterion::record_metric(group_name, "threads4_spills", spills as f64);
 }
 
 fn bench_spmv(c: &mut Criterion) {

@@ -1,16 +1,24 @@
 //! The benchmark regression gate for CI's `bench-smoke` job.
 //!
 //! Reads the freshly measured `BENCH_exec.json` (written by
-//! `cargo bench -p sam-bench --bench exec_backends -- --save-json`) and the
-//! checked-in `BENCH_baseline.json`, and fails (exit code 1) when any
-//! fast-backend serial benchmark (`fast` or `fast-skip`) regresses more
-//! than [`THRESHOLD`]× against its baseline. Cycle-backend and thread-pool
+//! `cargo bench -p sam-bench --bench exec_backends -- --save-json`, plus
+//! the memory-counter group `fig15 --smoke` merges in) and the checked-in
+//! `BENCH_baseline.json`, and fails (exit code 1) when any fast-backend
+//! serial benchmark (`fast` or `fast-skip`) regresses more than
+//! [`THRESHOLD`]× against its baseline. Cycle-backend and thread-pool
 //! numbers are reported but not gated: the former measures the simulator's
 //! model, the latter is too noisy on shared CI runners.
+//!
+//! Kernels (or individual entries) present in the current run but absent
+//! from the baseline are reported as `new` and ignored — a freshly added
+//! benchmark or counter must not fail the gate before its baseline lands.
+//! A *gated* benchmark that exists in the baseline but vanished from the
+//! current run still fails: that is a lost measurement, not a new one.
 //!
 //! Usage: `bench_gate [current.json] [baseline.json]` (defaults to
 //! `BENCH_exec.json` and `BENCH_baseline.json` at the workspace root).
 
+use sam_bench::workspace_root;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,20 +29,6 @@ const THRESHOLD: f64 = 2.0;
 /// The gated backends: serial fast-mode rows, where wall-clock noise on a
 /// dedicated step is smallest and the skip fusion must keep paying.
 const GATED: &[&str] = &["fast", "fast-skip"];
-
-/// Walks up from the current directory to the workspace root (the first
-/// ancestor with a `Cargo.lock`).
-fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("Cargo.lock").is_file() {
-            return dir;
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
-    }
-}
 
 /// Parses the two-level `{"group": {"bench": number, ...}, ...}` JSON the
 /// bench harness emits. A hand-rolled scanner: the vendored serde stub has
@@ -137,26 +131,47 @@ fn main() -> ExitCode {
 
     let mut regressions = 0u32;
     let mut gated = 0u32;
+    // Walk the union of kernels (baseline order first, then kernels only
+    // the current run knows) so new benchmarks and counters are visible
+    // but never gated.
+    let mut kernels: Vec<&String> = baseline.keys().collect();
+    kernels.extend(current.keys().filter(|k| !baseline.contains_key(*k)));
     println!("{:<28} {:<16} {:>14} {:>14} {:>8}", "kernel", "backend", "baseline", "current", "ratio");
-    for (kernel, benches) in &baseline {
-        for (backend, &base_ns) in benches {
-            let Some(&cur_ns) = current.get(kernel).and_then(|b| b.get(backend)) else {
-                println!("{kernel:<28} {backend:<16} {base_ns:>12.0}ns {:>14} {:>8}", "missing", "-");
-                if GATED.contains(&backend.as_str()) {
-                    eprintln!("bench_gate: gated benchmark {kernel}/{backend} missing from current run");
-                    regressions += 1;
+    for kernel in kernels {
+        let empty = BTreeMap::new();
+        let base_benches = baseline.get(kernel).unwrap_or(&empty);
+        let cur_benches = current.get(kernel).unwrap_or(&empty);
+        let mut backends: Vec<&String> = base_benches.keys().collect();
+        backends.extend(cur_benches.keys().filter(|b| !base_benches.contains_key(*b)));
+        for backend in backends {
+            match (base_benches.get(backend), cur_benches.get(backend)) {
+                (Some(&base_ns), Some(&cur_ns)) => {
+                    let ratio = cur_ns / base_ns;
+                    let is_gated = GATED.contains(&backend.as_str());
+                    let verdict = if is_gated && ratio > THRESHOLD { " REGRESSED" } else { "" };
+                    println!(
+                        "{kernel:<28} {backend:<16} {base_ns:>12.0}ns {cur_ns:>12.0}ns {ratio:>7.2}x{verdict}"
+                    );
+                    if is_gated {
+                        gated += 1;
+                        if ratio > THRESHOLD {
+                            regressions += 1;
+                        }
+                    }
                 }
-                continue;
-            };
-            let ratio = cur_ns / base_ns;
-            let is_gated = GATED.contains(&backend.as_str());
-            let verdict = if is_gated && ratio > THRESHOLD { " REGRESSED" } else { "" };
-            println!("{kernel:<28} {backend:<16} {base_ns:>12.0}ns {cur_ns:>12.0}ns {ratio:>7.2}x{verdict}");
-            if is_gated {
-                gated += 1;
-                if ratio > THRESHOLD {
-                    regressions += 1;
+                (Some(&base_ns), None) => {
+                    println!("{kernel:<28} {backend:<16} {base_ns:>12.0}ns {:>14} {:>8}", "missing", "-");
+                    if GATED.contains(&backend.as_str()) {
+                        eprintln!("bench_gate: gated benchmark {kernel}/{backend} missing from current run");
+                        regressions += 1;
+                    }
                 }
+                (None, Some(&cur_ns)) => {
+                    // No baseline yet (new benchmark or counter): report,
+                    // never gate. Values may be counters, so no unit.
+                    println!("{kernel:<28} {backend:<16} {:>14} {cur_ns:>14.0} {:>8}", "new", "-");
+                }
+                (None, None) => unreachable!("backend came from one of the maps"),
             }
         }
     }

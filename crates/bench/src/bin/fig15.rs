@@ -1,4 +1,128 @@
-//! Regenerates Figure 15 (finite-memory ExTensor study).
+//! Regenerates Figure 15 (finite-memory ExTensor study): the closed-form
+//! model of `sam-memory` next to a *measured* sweep on the tiled executor
+//! backend, plus the sparse-tile-skipping ablation.
+//!
+//! Modes:
+//!
+//! * default — the full analytic sweep, a measured sweep over the paper's
+//!   dimension axis at two nonzero counts, and the skipping study;
+//! * `--full` — the measured sweep at all four of the paper's nonzero
+//!   counts (slow: millions of tile executions at the large dimensions);
+//! * `--smoke` — a scaled-down measured sweep for CI; also merges the
+//!   measured memory counters into `BENCH_exec.json` (next to the
+//!   workspace `Cargo.lock`) so the benchmark artifact carries them.
+
+use sam_bench::workspace_root;
+use sam_memory::{MemoryConfig, MemoryCounters};
+use std::path::PathBuf;
+
+/// Removes an existing `"group": { ... }` object (group objects in the
+/// trajectory schema never nest) so re-merging replaces rather than
+/// duplicates it.
+fn strip_group(text: &str, group: &str) -> String {
+    let needle = format!("{group:?}:");
+    let Some(start) = text.find(&needle) else { return text.to_string() };
+    let line_start = text[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let Some(close) = text[start..].find('}') else { return text.to_string() };
+    let mut end = start + close + 1;
+    for pat in [",", "\n"] {
+        if text[end..].starts_with(pat) {
+            end += pat.len();
+        }
+    }
+    format!("{}{}", &text[..line_start], &text[end..])
+}
+
+/// Merges one `"group": { name: value, ... }` object into the two-level
+/// JSON trajectory at `path`, creating the file if needed and replacing
+/// any previous copy of the group. The format is the vendored criterion's
+/// `--save-json` schema, so `bench_gate` parses (and, lacking a baseline,
+/// ignores) the counters.
+fn merge_json_group(path: &PathBuf, group: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {
+    let mut body = format!("  {group:?}: {{\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        body.push_str(&format!("    {name:?}: {value:.1}{sep}\n"));
+    }
+    body.push_str("  }\n");
+    let text = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let existing = strip_group(&existing, group);
+            match existing.rfind('}') {
+                // Splice the group in before the final brace, after the
+                // last existing group's closing brace.
+                Some(end) => {
+                    let head = existing[..end].trim_end();
+                    // Stripping the previously-last group can leave the
+                    // prior group's trailing comma behind.
+                    let glue = if head.ends_with('{') || head.ends_with(',') { "\n" } else { ",\n" };
+                    format!("{head}{glue}{body}}}\n")
+                }
+                None => format!("{{\n{body}}}\n"),
+            }
+        }
+        Err(_) => format!("{{\n{body}}}\n"),
+    };
+    std::fs::write(path, text)
+}
+
+fn counter_metrics(prefix: &str, m: &MemoryCounters, out: &mut Vec<(String, f64)>) {
+    out.push((format!("{prefix}_dram_bytes"), m.dram_bytes as f64));
+    out.push((format!("{prefix}_llb_peak_bytes"), m.llb_peak_bytes as f64));
+    out.push((format!("{prefix}_tiles_skipped"), m.tiles_skipped as f64));
+    out.push((format!("{prefix}_tiles_executed"), m.tiles_executed as f64));
+    out.push((format!("{prefix}_spill_events"), m.spill_events as f64));
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "--full");
+
+    if smoke {
+        // CI-sized: small dimensions, a tile and LLB scaled to match, and
+        // an LLB smaller than the working set for the skipping study.
+        let config = MemoryConfig { tile: 32, llb_bytes: 16 * 1024, ..MemoryConfig::default() };
+        print!("{}", sam_bench::figure15_measured_report(&[256, 512, 768], &[2000], &config));
+        // Sparse enough that ~20% of tiles are empty, with an LLB smaller
+        // than the operand working set so skipped fetches are real savings.
+        let study_config = MemoryConfig { tile: 32, llb_bytes: 4096, ..MemoryConfig::default() };
+        let (study, skip, noskip) = sam_bench::figure15_skipping_study(512, 400, &study_config);
+        println!();
+        print!("{study}");
+
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+        counter_metrics("skip", &skip, &mut metrics);
+        counter_metrics("noskip", &noskip, &mut metrics);
+        let path = workspace_root().join("BENCH_exec.json");
+        let refs: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        match merge_json_group(&path, "fig15_memory", &refs) {
+            Ok(()) => println!("\nmerged fig15 memory counters into {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to update {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // The analytic sweep, exactly as the model produces it.
     print!("{}", sam_bench::figure15_report());
+    println!();
+
+    // The measured sweep on the paper's dimension axis. All four nonzero
+    // counts take minutes (millions of effectual tile pairs at the top
+    // dimensions); the default trims to two curves, `--full` runs all.
+    let config = MemoryConfig::default();
+    let dims: Vec<usize> = (0..12).map(|s| 1024 + 1336 * s).collect();
+    let nnz: &[usize] = if full { &[5000, 10000, 25000, 50000] } else { &[5000, 25000] };
+    print!("{}", sam_bench::figure15_measured_report(&dims, nnz, &config));
+    println!();
+
+    // Skipping ablation in the paper's falling regime (tiles emptying
+    // out), under an LLB well below the operand working set so needless
+    // tile fetches thrash it (≈28% DRAM saved at this configuration).
+    let study_config = MemoryConfig { llb_bytes: 16 * 1024, ..MemoryConfig::default() };
+    let (study, _, _) = sam_bench::figure15_skipping_study(8032, 5000, &study_config);
+    print!("{study}");
 }

@@ -2,6 +2,7 @@
 
 use sam_tensor::{CooTensor, Tensor, TensorFormat};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The named tensors a graph executes over.
 ///
@@ -20,7 +21,10 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Inputs {
-    tensors: BTreeMap<String, Tensor>,
+    // Shared storage so cheap rebinds (the tiled backend binds the same
+    // immutable tile into many per-tuple input sets) are refcount bumps,
+    // not deep copies.
+    tensors: BTreeMap<String, Arc<Tensor>>,
 }
 
 impl Inputs {
@@ -30,7 +34,13 @@ impl Inputs {
     }
 
     /// Binds a fibertree tensor under its own name.
-    pub fn tensor(mut self, tensor: Tensor) -> Self {
+    pub fn tensor(self, tensor: Tensor) -> Self {
+        self.shared(Arc::new(tensor))
+    }
+
+    /// Binds an already-shared fibertree tensor under its own name,
+    /// without copying its storage.
+    pub fn shared(mut self, tensor: Arc<Tensor>) -> Self {
         self.tensors.insert(tensor.name().to_string(), tensor);
         self
     }
@@ -42,12 +52,12 @@ impl Inputs {
 
     /// The tensor bound to `name`, if any.
     pub fn get(&self, name: &str) -> Option<&Tensor> {
-        self.tensors.get(name)
+        self.tensors.get(name).map(|t| t.as_ref())
     }
 
     /// Iterates the bound `(name, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
-        self.tensors.iter().map(|(n, t)| (n.as_str(), t))
+        self.tensors.iter().map(|(n, t)| (n.as_str(), t.as_ref()))
     }
 
     /// Number of bound tensors.

@@ -57,6 +57,11 @@ type Stream = Vec<SimToken>;
 pub struct FastBackend {
     parallelism: Parallelism,
     chunk: ChunkConfig,
+    /// When true (the default), `Threads(n)` sizes every channel's depth
+    /// from the planner's stream-size estimates
+    /// ([`Plan::channel_depth`]); [`FastBackend::with_chunk_config`]
+    /// switches to the given fixed config instead.
+    planned_depths: bool,
 }
 
 impl Default for FastBackend {
@@ -69,13 +74,19 @@ impl FastBackend {
     /// The single-threaded backend (also [`Default`]): whole streams per
     /// node, no synchronization.
     pub fn serial() -> Self {
-        FastBackend { parallelism: Parallelism::Serial, chunk: ChunkConfig::default() }
+        FastBackend { parallelism: Parallelism::Serial, chunk: ChunkConfig::default(), planned_depths: true }
     }
 
     /// A pipelined backend running nodes on `threads` worker threads over
-    /// chunked streams. `threads` is clamped to at least 1.
+    /// chunked streams. `threads` is clamped to at least 1. Channel depths
+    /// come from the planner's per-stream size estimates; use
+    /// [`FastBackend::with_chunk_config`] for a fixed sizing.
     pub fn threads(threads: usize) -> Self {
-        FastBackend { parallelism: Parallelism::Threads(threads.max(1)), chunk: ChunkConfig::default() }
+        FastBackend {
+            parallelism: Parallelism::Threads(threads.max(1)),
+            chunk: ChunkConfig::default(),
+            planned_depths: true,
+        }
     }
 
     /// A backend with an explicit [`Parallelism`] setting.
@@ -88,10 +99,13 @@ impl FastBackend {
     }
 
     /// Overrides the chunked-channel sizing used by `Threads(n)` execution
-    /// (serial mode ignores it). Small depths force the spill escape path;
-    /// the equivalence suite uses this to prove results are unaffected.
+    /// (serial mode ignores it), disabling the planner-derived per-channel
+    /// depths. Small depths force the spill escape path; the equivalence
+    /// suite uses this to prove results are unaffected, and
+    /// `Execution::spills` makes the escapes observable.
     pub fn with_chunk_config(mut self, chunk: ChunkConfig) -> Self {
         self.chunk = chunk;
+        self.planned_depths = false;
         self
     }
 }
@@ -112,7 +126,7 @@ impl Executor for FastBackend {
         match self.parallelism {
             Parallelism::Serial => run_serial(self.name(), plan, inputs),
             Parallelism::Threads(n) => {
-                crate::parallel::run_parallel(self.name(), plan, inputs, n, self.chunk)
+                crate::parallel::run_parallel(self.name(), plan, inputs, n, self.chunk, self.planned_depths)
             }
         }
     }
@@ -196,6 +210,8 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
         blocks: nodes.len(),
         channels,
         tokens,
+        spills: 0,
+        memory: None,
         elapsed: start.elapsed(),
     })
 }

@@ -11,13 +11,15 @@
 //!   every edge to producer/consumer ports, plans the stream forks that
 //!   hand-wired kernels insert manually, binds tensor inputs by name and
 //!   validates the whole configuration up front, and
-//! * two **backends** behind one [`Executor`] trait:
+//! * three **backends** behind one [`Executor`] trait:
 //!   [`CycleBackend`] instantiates `sam-primitives` blocks into the
-//!   `sam-sim` simulator for cycle-approximate runs, while [`FastBackend`]
+//!   `sam-sim` simulator for cycle-approximate runs, [`FastBackend`]
 //!   evaluates the same plan functionally — serially over whole streams,
 //!   or pipelined across worker threads over chunked streams when given a
 //!   [`Parallelism::Threads`] setting (the "fast concrete executor next to
-//!   the instrumented machine" pattern).
+//!   the instrumented machine" pattern) — and [`TiledBackend`] runs the
+//!   plan tile by tile under a finite-memory budget, recording measured
+//!   DRAM/LLB counters (the paper's Section 6.4 machine).
 //!
 //! # Running a kernel on both backends
 //!
@@ -98,12 +100,17 @@ pub mod fast;
 mod node;
 mod parallel;
 pub mod plan;
+pub mod tiled;
 
 pub use bind::Inputs;
 pub use cycle::CycleBackend;
 pub use error::{ExecError, PlanError};
 pub use fast::FastBackend;
-pub use plan::{ChannelSpec, Plan, PortRef, SkipSpec, DEFAULT_MAX_CYCLES};
+pub use plan::{
+    ChannelSpec, Plan, PortRef, SkipSpec, DEFAULT_MAX_CYCLES, MAX_CHANNEL_DEPTH, MIN_CHANNEL_DEPTH,
+};
+pub use sam_memory::MemoryCounters;
+pub use tiled::TiledBackend;
 
 use sam_core::graph::SamGraph;
 use sam_primitives::EmptyFiberPolicy;
@@ -132,6 +139,15 @@ pub struct Execution {
     pub channels: usize,
     /// Total tokens that flowed through the graph.
     pub tokens: u64,
+    /// Spill-past-depth escapes taken by the bounded chunked channels
+    /// (parallel fast backend only; zero elsewhere). Each count is one chunk
+    /// pushed past a channel's configured depth — the observable cost of the
+    /// bounded-Kahn deadlock escape.
+    pub spills: u64,
+    /// Measured finite-memory counters ([`TiledBackend`] only): DRAM bytes
+    /// moved, LLB occupancy high-water mark, tiles skipped/executed and LLB
+    /// capacity spills.
+    pub memory: Option<MemoryCounters>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }

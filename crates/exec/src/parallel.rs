@@ -35,10 +35,10 @@ use crate::node::{
 use crate::plan::Plan;
 use crate::{assemble_output, Execution};
 use sam_sim::SimToken;
-use sam_streams::chunked::{channel, ChunkConfig, ChunkReceiver, ChunkSender};
+use sam_streams::chunked::{channel_counted, ChunkConfig, ChunkReceiver, ChunkSender};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -91,11 +91,15 @@ pub(crate) fn run_parallel(
     inputs: &Inputs,
     threads: usize,
     config: ChunkConfig,
+    planned_depths: bool,
 ) -> Result<Execution, ExecError> {
     let start = Instant::now();
     let nodes = plan.graph().nodes();
     let n = nodes.len();
     let threads = threads.max(1).min(n.max(1));
+    // One shared counter aggregates the spill-past-depth escapes of every
+    // channel in the topology (reported as `Execution::spills`).
+    let spill_counter = Arc::new(AtomicU64::new(0));
 
     // Skip fusion bookkeeping: scanner -> (intersecter, operand).
     let fused_of: HashMap<usize, (usize, usize)> =
@@ -121,7 +125,14 @@ pub(crate) fn run_parallel(
         if fused_of.contains_key(&spec.from.node.0) {
             continue;
         }
-        let (tx, rx) = channel::<SimToken>(config);
+        // Per-channel depth from the planner's stream-size estimate, unless
+        // the caller pinned a fixed config (`with_chunk_config`).
+        let spec_config = if planned_depths {
+            ChunkConfig { chunk_len: config.chunk_len, depth: plan.channel_depth(spec, config.chunk_len) }
+        } else {
+            config
+        };
+        let (tx, rx) = channel_counted::<SimToken>(spec_config, Arc::clone(&spill_counter));
         senders[spec.from.node.0][spec.from.port].push(tx);
         // ...and the channel feeding it is rerouted to the intersecter.
         if let Some(&key) = fused_of.get(&spec.to.0) {
@@ -224,6 +235,8 @@ pub(crate) fn run_parallel(
         blocks: n,
         channels: channel_count,
         tokens,
+        spills: spill_counter.load(Ordering::Relaxed),
+        memory: None,
         elapsed: start.elapsed(),
     })
 }

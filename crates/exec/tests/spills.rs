@@ -1,0 +1,70 @@
+//! Observability of the bounded-channel spill escape (`Execution::spills`)
+//! and the win from planner-derived per-channel depths.
+
+use sam_core::graphs;
+use sam_exec::{execute, Executor, FastBackend, Inputs, Plan, PortRef};
+use sam_streams::chunked::ChunkConfig;
+use sam_tensor::{synth, TensorFormat};
+
+/// Two-thread execution of a nine-node graph over long streams: with a
+/// tiny fixed chunk config the producers run far ahead of unclaimed
+/// consumers and must spill; with the default planner-derived depths every
+/// channel is deep enough for its estimated stream and nothing spills. The
+/// results are identical either way.
+#[test]
+fn planned_channel_depths_eliminate_the_fixed_config_spills() {
+    let b = synth::random_vector(16_000, 15_000, 601);
+    let c = synth::random_vector(16_000, 14_500, 602);
+    let inputs =
+        Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
+    let graph = graphs::vec_elem_mul(true);
+
+    let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+    assert_eq!(serial.spills, 0, "serial mode has no channels to spill");
+
+    let spilly = FastBackend::threads(2).with_chunk_config(ChunkConfig { chunk_len: 64, depth: 1 });
+    let fixed = execute(&graph, &inputs, &spilly).unwrap();
+    assert!(fixed.spills > 0, "depth-1 channels under 15k-token streams must take the spill escape");
+    assert_eq!(fixed.output, serial.output);
+
+    let planned = execute(&graph, &inputs, &FastBackend::threads(2)).unwrap();
+    assert_eq!(planned.spills, 0, "planner-derived depths should hold the whole estimated stream in flight");
+    assert!(planned.spills < fixed.spills, "the spill-counter delta is the point of the knob");
+    assert_eq!(planned.output, serial.output);
+}
+
+/// The planner's stream-size estimates behave sanely: scanner outputs scale
+/// with the level they read, and the derived channel depths are clamped.
+#[test]
+fn stream_estimates_drive_channel_depths() {
+    let b = synth::random_vector(16_000, 15_000, 603);
+    let c = synth::random_vector(16_000, 20, 604);
+    let inputs =
+        Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
+    let plan = Plan::build(&graphs::vec_elem_mul(true), &inputs).unwrap();
+
+    // Find the scanners' crd ports through the channel topology.
+    let mut depths = Vec::new();
+    let mut estimates = Vec::new();
+    for spec in plan.channels() {
+        estimates.push(plan.stream_size_estimate(spec.from));
+        depths.push(plan.channel_depth(spec, 1024));
+    }
+    assert!(estimates.iter().any(|&e| e >= 15_000), "the dense side's streams are long");
+    assert!(estimates.iter().any(|&e| e <= 64), "the sparse side's streams are short");
+    assert!(depths.iter().all(|&d| (sam_exec::MIN_CHANNEL_DEPTH..=sam_exec::MAX_CHANNEL_DEPTH).contains(&d)));
+    assert!(depths.iter().any(|&d| d > sam_exec::MIN_CHANNEL_DEPTH), "long streams get deeper channels");
+
+    // The estimate for an out-of-range port is zero, not a panic.
+    let bogus = PortRef { node: plan.order()[0], port: 99 };
+    assert_eq!(plan.stream_size_estimate(bogus), 0);
+
+    // Both sizings execute identically.
+    let a = FastBackend::threads(3).run(&plan, &inputs).unwrap();
+    let f = FastBackend::threads(3)
+        .with_chunk_config(ChunkConfig { chunk_len: 32, depth: 2 })
+        .run(&plan, &inputs)
+        .unwrap();
+    assert_eq!(a.output, f.output);
+    assert_eq!(a.vals, f.vals);
+}

@@ -1,0 +1,206 @@
+//! Tiled-vs-untiled equivalence: every catalog kernel the `TiledBackend`
+//! supports is executed untiled (serial fast backend) and tiled at tile
+//! sizes {4, 16, 128}, and the results must be **bit-identical** — same
+//! levels, same explicit zeros, same value order.
+//!
+//! Bit-identity across tilings requires exact partial sums, so the inputs
+//! are integer-valued (every synth value is scaled and rounded to a small
+//! integer; all sums stay far below 2^53). The untiled result itself is
+//! checked against the dense reference evaluator first, so the suite
+//! compares against validated ground truth.
+
+use sam_core::graph::SamGraph;
+use sam_core::graphs;
+use sam_core::kernels::spmm::SpmmDataflow;
+use sam_exec::{execute, FastBackend, Inputs, TiledBackend};
+use sam_tensor::expr::{table1, Assignment};
+use sam_tensor::reference::Environment;
+use sam_tensor::{synth, CooTensor, LevelFormat, TensorFormat};
+
+/// Rounds a synthetic COO tensor's values to small integers so partial
+/// sums are exact under any tiling.
+fn int_coo(coo: &CooTensor) -> CooTensor {
+    CooTensor::from_entries(
+        coo.shape().to_vec(),
+        coo.entries().iter().map(|(p, v)| (p.clone(), (v * 4.0).round())).collect(),
+    )
+    .unwrap()
+}
+
+fn int_vector(dim: usize, nnz: usize, seed: u64) -> CooTensor {
+    int_coo(&synth::random_vector(dim, nnz, seed))
+}
+
+fn int_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> CooTensor {
+    int_coo(&synth::random_matrix_sparsity(rows, cols, sparsity, seed))
+}
+
+/// The tiled-backend catalog: graph, operands and the reference expression.
+fn catalog() -> Vec<(SamGraph, Inputs, Assignment)> {
+    let vb = int_vector(150, 45, 501);
+    let vc = int_vector(150, 40, 502);
+    let m = int_matrix(24, 18, 0.85, 503);
+    let n = int_matrix(18, 21, 0.85, 504);
+    let dv = int_vector(18, 18, 505);
+    let sv = int_vector(18, 9, 506);
+    let dense_c = int_coo(&synth::dense_matrix(24, 6, 507));
+    let dense_d = int_coo(&synth::dense_matrix(18, 6, 508));
+    let b3 = int_coo(&synth::random_tensor3([14, 8, 9], 160, 509));
+    let fc = int_matrix(10, 8, 0.55, 510);
+    let fd = int_matrix(10, 9, 0.55, 511);
+    let bv_fmt = TensorFormat::new(vec![LevelFormat::bitvector()]);
+
+    vec![
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+            table1::vec_elem_mul(),
+        ),
+        // The same kernel over bitvector storage: tile extraction must
+        // window occupancy words, not just crd arrays.
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, bv_fmt.clone()).coo("c", &vc, bv_fmt),
+            table1::vec_elem_mul(),
+        ),
+        // …and over dense storage (the Figure 13 "Dense" configuration).
+        (
+            graphs::vec_elem_mul(false),
+            Inputs::new().coo("b", &vb, TensorFormat::dense_vec()).coo("c", &vc, TensorFormat::dense_vec()),
+            table1::vec_elem_mul(),
+        ),
+        // A skip twin: per-tile execution must compose with skip fusion.
+        (
+            graphs::vec_elem_mul_with_skip(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+            table1::vec_elem_mul(),
+        ),
+        (graphs::identity(), Inputs::new().coo("B", &m, TensorFormat::dcsr()), table1::identity()),
+        (
+            graphs::spmv(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &dv, TensorFormat::dense_vec()),
+            table1::spmv(),
+        ),
+        (
+            graphs::spmv_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+            table1::spmv(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
+            table1::spmm(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsc()),
+            table1::spmm(),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsc()).coo("C", &n, TensorFormat::dcsr()),
+            table1::spmm(),
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+            table1::sddmm(),
+        ),
+        (
+            graphs::mttkrp(),
+            Inputs::new().coo("B", &b3, TensorFormat::csf(3)).coo("C", &fc, TensorFormat::dcsc()).coo(
+                "D",
+                &fd,
+                TensorFormat::dcsc(),
+            ),
+            table1::mttkrp(),
+        ),
+    ]
+}
+
+#[test]
+fn every_supported_kernel_is_bit_identical_across_tile_sizes() {
+    for (graph, inputs, assignment) in catalog() {
+        // Untiled ground truth, validated against the dense reference.
+        let mut env = Environment::new();
+        for (name, tensor) in inputs.iter() {
+            env.insert(name, tensor.to_dense());
+        }
+        env.bind_dims(&assignment, &[]);
+        let expect = env.evaluate(&assignment).unwrap();
+        let untiled = execute(&graph, &inputs, &FastBackend::serial())
+            .unwrap_or_else(|e| panic!("{}: untiled run failed: {e}", graph.name));
+        let untiled_out = untiled.output.expect("tensor output");
+        assert!(
+            untiled_out.to_dense().approx_eq(&expect),
+            "{}: untiled output diverged from the dense reference",
+            graph.name
+        );
+
+        for tile in [4usize, 16, 128] {
+            let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(tile))
+                .unwrap_or_else(|e| panic!("{}: tile {tile} run failed: {e}", graph.name));
+            assert_eq!(
+                tiled.output.as_ref().expect("tensor output"),
+                &untiled_out,
+                "{}: tile {tile} output is not bit-identical to the untiled run",
+                graph.name
+            );
+            assert_eq!(tiled.vals, untiled.vals, "{}: tile {tile} produced different raw values", graph.name);
+            let mem = tiled.memory.expect("tiled runs report memory counters");
+            assert_eq!(
+                mem.tiles_visited,
+                mem.tiles_skipped + mem.tiles_executed,
+                "{}: tile {tile} counters must account for every tuple",
+                graph.name
+            );
+            assert!(mem.tiles_executed > 0, "{}: tile {tile} executed nothing", graph.name);
+        }
+    }
+}
+
+/// Randomized (proptest-style, on the vendored PRNG) equivalence over
+/// random sparse matrices: random shapes, densities and tile sizes, always
+/// bit-identical to the untiled run and numerically equal to the dense
+/// reference.
+#[test]
+fn random_sparse_matrices_stay_bit_identical_under_random_tilings() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x7115);
+    for case in 0..25 {
+        let i = rng.gen_range(3..28);
+        let k = rng.gen_range(3..24);
+        let j = rng.gen_range(3..26);
+        let sparsity = 0.5 + 0.45 * rng.gen::<f64>();
+        let tile = *[2usize, 3, 5, 8, 13, 32].get(rng.gen_range(0..6)).unwrap();
+        let seed = rng.gen::<u64>();
+        let b = int_matrix(i, k, sparsity, seed);
+        let c = int_matrix(k, j, sparsity, seed.wrapping_add(1));
+        let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
+        let graph = graphs::spmm(SpmmDataflow::LinearCombination);
+
+        let mut env = Environment::new();
+        for (name, tensor) in inputs.iter() {
+            env.insert(name, tensor.to_dense());
+        }
+        env.bind_dims(&table1::spmm(), &[]);
+        let expect = env.evaluate(&table1::spmm()).unwrap();
+
+        let untiled = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+        let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(tile))
+            .unwrap_or_else(|e| panic!("case {case} (i={i} k={k} j={j} tile={tile}): {e}"));
+        let untiled_out = untiled.output.expect("tensor output");
+        assert!(untiled_out.to_dense().approx_eq(&expect), "case {case}: untiled diverged from reference");
+        assert_eq!(
+            tiled.output.expect("tensor output"),
+            untiled_out,
+            "case {case} (i={i} k={k} j={j} tile={tile} sparsity={sparsity:.2}): tiled != untiled"
+        );
+    }
+}

@@ -54,8 +54,65 @@ pub struct TiledSpmmEstimate {
     pub nonempty_tiles: f64,
     /// Expected number of tile pairs that survive sparse tile skipping.
     pub effectual_tile_pairs: f64,
+    /// Modelled DRAM traffic in bytes.
+    pub dram_bytes: f64,
     /// Modelled runtime in cycles.
     pub cycles: f64,
+}
+
+/// *Measured* finite-memory counters recorded by an executor backend that
+/// actually tiles and runs a kernel under a [`MemoryConfig`] budget (the
+/// `TiledBackend` of `sam-exec`). The analytic twin of each field lives in
+/// [`TiledSpmmEstimate`]; [`compare_with_model`] lines the two up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryCounters {
+    /// Bytes fetched from (operand tiles missing the LLB) or written back to
+    /// (the final output) DRAM.
+    pub dram_bytes: u64,
+    /// High-water mark of bytes resident in the last-level buffer.
+    pub llb_peak_bytes: u64,
+    /// Tile tuples enumerated by the schedule.
+    pub tiles_visited: u64,
+    /// Tile tuples skipped because a structurally required operand tile was
+    /// empty (ExTensor-style sparse tile skipping).
+    pub tiles_skipped: u64,
+    /// Tile tuples actually executed.
+    pub tiles_executed: u64,
+    /// Tiles evicted from the LLB to make room (capacity spills).
+    pub spill_events: u64,
+}
+
+/// A measured execution lined up against the closed-form Section 6.4 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelComparison {
+    /// The analytic estimate.
+    pub analytic: TiledSpmmEstimate,
+    /// The measured counters.
+    pub measured: MemoryCounters,
+    /// Measured cycle estimate (from the tiled backend).
+    pub measured_cycles: f64,
+    /// measured / analytic DRAM traffic (1.0 = model exact).
+    pub dram_ratio: f64,
+    /// measured / analytic cycles (1.0 = model exact).
+    pub cycle_ratio: f64,
+}
+
+/// Lines up a measured tiled run against [`model_tiled_spmm`]'s analytic
+/// estimate for the same configuration, the validation step that turns
+/// Figure 15 from a formula into an experiment.
+pub fn compare_with_model(
+    analytic: TiledSpmmEstimate,
+    measured: MemoryCounters,
+    measured_cycles: f64,
+) -> ModelComparison {
+    let ratio = |m: f64, a: f64| if a > 0.0 { m / a } else { f64::INFINITY };
+    ModelComparison {
+        analytic,
+        measured,
+        measured_cycles,
+        dram_ratio: ratio(measured.dram_bytes as f64, analytic.dram_bytes),
+        cycle_ratio: ratio(measured_cycles, analytic.cycles),
+    }
 }
 
 /// Models tiled SpM*SpM between two uniformly random square matrices of
@@ -112,6 +169,7 @@ pub fn model_tiled_spmm(dim: usize, nnz: usize, config: &MemoryConfig) -> TiledS
         grid,
         nonempty_tiles,
         effectual_tile_pairs,
+        dram_bytes,
         cycles: compute_cycles.max(memory_cycles) + sequencing_cycles,
     }
 }
@@ -178,5 +236,24 @@ mod tests {
         let e = model_tiled_spmm(1024, 10000, &config);
         assert_eq!(e.grid, 8);
         assert!(e.effectual_tile_pairs > 0.0);
+        assert!(e.dram_bytes > 0.0);
+    }
+
+    #[test]
+    fn comparison_computes_ratios() {
+        let config = MemoryConfig::default();
+        let analytic = model_tiled_spmm(2048, 10000, &config);
+        let measured = MemoryCounters {
+            dram_bytes: analytic.dram_bytes as u64 * 2,
+            llb_peak_bytes: 1024,
+            tiles_visited: 100,
+            tiles_skipped: 40,
+            tiles_executed: 60,
+            spill_events: 0,
+        };
+        let cmp = compare_with_model(analytic, measured, analytic.cycles * 0.5);
+        assert!((cmp.dram_ratio - 2.0).abs() < 0.01);
+        assert!((cmp.cycle_ratio - 0.5).abs() < 1e-9);
+        assert_eq!(cmp.measured.tiles_executed, 60);
     }
 }

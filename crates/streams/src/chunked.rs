@@ -52,6 +52,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -123,6 +124,9 @@ pub struct ChunkSender<T> {
     /// [`SPILL_TIMEOUT`] wait (one stall per congestion episode, not one
     /// per chunk).
     spilling: bool,
+    /// Optional shared spill counter (see [`channel_counted`]): incremented
+    /// once per chunk pushed past the configured depth.
+    spill_counter: Option<Arc<AtomicU64>>,
 }
 
 impl<T> ChunkSender<T> {
@@ -157,6 +161,7 @@ impl<T> ChunkSender<T> {
                 // The consumer has not started (blocking could stall the
                 // whole schedule) or this congestion episode already paid
                 // its timeout: spill instead of waiting.
+                self.note_spill();
                 state.chunks.push_back(chunk);
                 self.shared.can_recv.notify_one();
                 return;
@@ -167,10 +172,21 @@ impl<T> ChunkSender<T> {
             if timeout.timed_out() {
                 // Deadlock escape: accept unbounded growth over a stall.
                 self.spilling = true;
+                self.note_spill();
                 state.chunks.push_back(chunk);
                 self.shared.can_recv.notify_one();
                 return;
             }
+        }
+    }
+}
+
+impl<T> ChunkSender<T> {
+    /// Records one spill-past-depth escape on the shared counter, if one was
+    /// attached at construction.
+    fn note_spill(&self) {
+        if let Some(counter) = &self.spill_counter {
+            counter.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -256,6 +272,26 @@ impl<T> Drop for ChunkReceiver<T> {
 
 /// Creates a chunked single-producer single-consumer channel.
 pub fn channel<T>(config: ChunkConfig) -> (ChunkSender<T>, ChunkReceiver<T>) {
+    channel_inner(config, None)
+}
+
+/// Like [`channel`], but every chunk pushed past the configured depth (the
+/// spill-past-depth deadlock escape, whether because the consumer has not
+/// attached yet or because an attached consumer stalled past
+/// [`SPILL_TIMEOUT`]) increments `spill_counter`. The counter is shared, so
+/// one counter can aggregate the spill events of a whole channel topology —
+/// the observability hook the executor's `Execution::spills` reports.
+pub fn channel_counted<T>(
+    config: ChunkConfig,
+    spill_counter: Arc<AtomicU64>,
+) -> (ChunkSender<T>, ChunkReceiver<T>) {
+    channel_inner(config, Some(spill_counter))
+}
+
+fn channel_inner<T>(
+    config: ChunkConfig,
+    spill_counter: Option<Arc<AtomicU64>>,
+) -> (ChunkSender<T>, ChunkReceiver<T>) {
     let chunk_len = config.chunk_len.max(1);
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
@@ -273,6 +309,7 @@ pub fn channel<T>(config: ChunkConfig) -> (ChunkSender<T>, ChunkReceiver<T>) {
         chunk_len,
         depth: config.depth.max(1),
         spilling: false,
+        spill_counter,
     };
     let receiver = ChunkReceiver { shared, cur: Vec::new().into_iter(), peeked: None };
     (sender, receiver)
@@ -325,6 +362,37 @@ mod tests {
         }
         drop(tx);
         assert_eq!(rx.by_ref().count(), 100);
+    }
+
+    #[test]
+    fn spill_counter_counts_past_depth_chunks() {
+        let counter = Arc::new(AtomicU64::new(0));
+        // depth 1, chunk 2: the first chunk fills the queue, every further
+        // chunk (including the short tail flushed on drop) spills.
+        let (mut tx, mut rx) =
+            channel_counted::<usize>(ChunkConfig { chunk_len: 2, depth: 1 }, Arc::clone(&counter));
+        for i in 0..9 {
+            tx.push(i);
+        }
+        drop(tx);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(rx.by_ref().count(), 9);
+
+        // A channel deep enough for the whole stream never spills,
+        // regardless of consumer scheduling.
+        let counter = Arc::new(AtomicU64::new(0));
+        let (mut tx, mut rx) =
+            channel_counted::<usize>(ChunkConfig { chunk_len: 2, depth: 512 }, Arc::clone(&counter));
+        rx.attach();
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..1000 {
+                    tx.push(i);
+                }
+            });
+            assert_eq!(rx.by_ref().count(), 1000);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -192,6 +192,24 @@ impl Level {
     pub fn is_dense(&self) -> bool {
         matches!(self, Level::Dense(_))
     }
+
+    /// The positional index range of fiber `fiber`'s entries whose
+    /// coordinates lie in `lo..hi` — the positional-slicing primitive the
+    /// tiling subsystem extracts `tile x tile` sub-tensors with. Two
+    /// [`Level::gallop_from`] probes: O(1) for dense levels, O(log n) for
+    /// compressed, a popcount walk for bitvector levels.
+    pub fn coord_range(&self, fiber: usize, lo: u32, hi: u32) -> std::ops::Range<usize> {
+        let start = self.gallop_from(fiber, 0, lo);
+        let end = self.gallop_from(fiber, start, hi);
+        start..end
+    }
+
+    /// The entries of fiber `fiber` with coordinates in `lo..hi`, without
+    /// materializing the rest of the fiber. Coordinates are returned as
+    /// stored (not rebased); child positions index the full next level.
+    pub fn slice(&self, fiber: usize, lo: u32, hi: u32) -> Vec<FiberEntry> {
+        self.coord_range(fiber, lo, hi).map(|i| self.entry_at(fiber, i)).collect()
+    }
 }
 
 /// An uncompressed (dense) level: stores only the dimension size.
@@ -526,6 +544,26 @@ mod tests {
                 assert_eq!(entries.len(), l.fiber_len(fiber));
                 for (idx, &e) in entries.iter().enumerate() {
                     assert_eq!(l.entry_at(fiber, idx), e, "entry_at mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coord_range_and_slice_window_every_format() {
+        let levels = [
+            Level::Dense(DenseLevel::new(10, 2)),
+            Level::Compressed(CompressedLevel::new(100, vec![0, 5], vec![3, 10, 20, 40, 80])),
+            Level::Bitvector(BitvectorLevel::from_fibers(12, 4, &[vec![1, 3, 6, 9], vec![0, 11]])),
+        ];
+        for l in &levels {
+            for fiber in 0..l.num_fibers() {
+                let all = l.fiber(fiber);
+                for (lo, hi) in [(0u32, 4u32), (2, 9), (5, 5), (0, 200), (90, 200)] {
+                    let expect: Vec<FiberEntry> =
+                        all.iter().copied().filter(|e| e.coord >= lo && e.coord < hi).collect();
+                    assert_eq!(l.slice(fiber, lo, hi), expect, "window {lo}..{hi}");
+                    assert_eq!(l.coord_range(fiber, lo, hi).len(), expect.len());
                 }
             }
         }

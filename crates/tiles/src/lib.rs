@@ -1,0 +1,43 @@
+//! # sam-tiles
+//!
+//! The tiling subsystem of the paper's Section 6.4 study ("Modeling
+//! Hardware with Finite Constraints", Figure 15): everything needed to run
+//! a SAM dataflow graph over tensors far larger than any on-chip buffer by
+//! cutting them into `tile x tile` sub-tensors, scheduling the tile tuples
+//! with ExTensor-style *sparse tile skipping*, and merging the per-tile
+//! partial outputs back into one result.
+//!
+//! The crate is executor-agnostic — it knows fibertrees
+//! ([`sam_tensor::Tensor`]) and graphs ([`sam_core::graph::SamGraph`]) but
+//! not how either is evaluated. The `TiledBackend` of `sam-exec` composes
+//! these pieces with the fast functional executor to produce *measured*
+//! finite-memory counters ([`sam_memory::MemoryCounters`]), the
+//! experimental twin of the closed-form `sam_memory` model:
+//!
+//! * [`extract`] — slices tiles out of any level hierarchy (dense,
+//!   compressed, bitvector) through the positional slicing APIs of
+//!   [`sam_tensor::level::Level`], and catalogs a tensor's nonempty tiles
+//!   in a [`TileGrid`];
+//! * [`schedule`] — derives a [`KernelTiling`] from a graph: which index
+//!   variables are safe to tile, how each bound tensor's storage levels map
+//!   onto them, and which tensors' empty tiles license skipping a whole
+//!   tile tuple;
+//! * [`llb`] — an LRU model of the last-level buffer that turns the tile
+//!   access sequence into measured DRAM traffic, occupancy high-water marks
+//!   and capacity-spill counts;
+//! * [`merge`] — the tile-merge reducer: accumulates per-tile partial
+//!   outputs (offset back into global coordinates) and rebuilds the
+//!   canonical CSF output, bit-identical to an untiled run on exactly
+//!   summed values.
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod llb;
+pub mod merge;
+pub mod schedule;
+
+pub use extract::{for_each_stored, tile_of, TileGrid};
+pub use llb::LlbModel;
+pub use merge::TileMerger;
+pub use schedule::{KernelTiling, TensorTiling, TiledVar, TilingError};

@@ -12,7 +12,9 @@
 //!   wiring helpers and hand-scheduled kernel library,
 //! * [`exec`] — the graph-driven execution engine (planner plus the
 //!   cycle-approximate and fast functional backends),
-//! * [`memory`] — the finite-memory / tiling model,
+//! * [`memory`] — the analytic finite-memory / tiling model,
+//! * [`tiles`] — the tiling subsystem (tile extraction, schedules with
+//!   sparse tile skipping, LLB cache model, tile-merge reduction),
 //! * [`custard`] — the compiler from tensor index notation to SAM graphs.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and
@@ -26,3 +28,4 @@ pub use sam_primitives as primitives;
 pub use sam_sim as sim;
 pub use sam_streams as streams;
 pub use sam_tensor as tensor;
+pub use sam_tiles as tiles;

@@ -101,6 +101,15 @@ pub fn black_box<T>(value: T) -> T {
     hint::black_box(value)
 }
 
+/// Records an arbitrary named metric (a counter, not a timing) under a
+/// group, so it rides along in the `--save-json` trajectory next to the
+/// benchmark means. Not part of the real criterion API — an extension this
+/// offline stand-in provides so benches can surface executor counters
+/// (e.g. chunked-channel spill events) in CI artifacts.
+pub fn record_metric(group: &str, name: &str, value: f64) {
+    results().lock().expect("bench results").push((group.to_string(), name.to_string(), value));
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
