@@ -16,9 +16,10 @@
 //!
 //! Each graph is planned once and re-run per sample.
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use custard::{lower_exec_with, parse, ConcreteIndexNotation, Formats, LowerOptions, Schedule};
 use sam_core::graphs;
 use sam_exec::{CycleBackend, Executor, FastBackend, Inputs, Plan};
-use sam_tensor::{synth, TensorFormat};
+use sam_tensor::{synth, CooTensor, TensorFormat};
 
 fn bench_pair(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &Inputs) {
     let cycle = CycleBackend::default();
@@ -142,6 +143,116 @@ fn bench_skip_skew(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lowers an expression with `custard::lower_exec_with`.
+fn lower(text: &str, formats: Formats, skip_edges: bool) -> custard::ExecutableKernel {
+    let assignment = parse(text).expect("valid expression");
+    let cin = ConcreteIndexNotation::new(assignment, &Schedule::new(), formats);
+    lower_exec_with(&cin, LowerOptions { skip_edges }).expect("executable lowering")
+}
+
+/// Compiles an expression and binds its operands with the formats the
+/// lowering derived (scalars as single-value tensors).
+fn compile(
+    text: &str,
+    formats: Formats,
+    operands: &[(&str, &CooTensor)],
+    scalars: &[(&str, f64)],
+    skip_edges: bool,
+) -> (Plan, Inputs) {
+    let kernel = lower(text, formats, skip_edges);
+    let mut inputs = Inputs::new();
+    for (name, coo) in operands {
+        let fmt = kernel.formats.iter().find(|(n, _)| n == name).expect("operand format").1.clone();
+        inputs = inputs.coo(name, coo, fmt);
+    }
+    for &(name, value) in scalars {
+        inputs = inputs.scalar(name, value);
+    }
+    let plan = Plan::build(&kernel.graph, &inputs).expect("plan");
+    (plan, inputs)
+}
+
+/// The previously Table-1-only mixed and n-ary kernels, now compiled by
+/// `lower_exec` and tracked by the gate (new entries land as `new` until a
+/// baseline refresh picks them up).
+fn bench_compiled_mixed(c: &mut Criterion) {
+    let b = synth::random_vector(600, 260, 61);
+    let cm = synth::random_matrix_sparsity(600, 400, 0.95, 62);
+    let d = synth::random_vector(400, 220, 63);
+    let (plan, inputs) = compile(
+        "x(i) = b(i) - C(i,j) * d(j)",
+        Formats::new(),
+        &[("b", &b), ("C", &cm), ("d", &d)],
+        &[],
+        true,
+    );
+    bench_pair(c, "exec_residual", &plan, &inputs);
+
+    // B is accessed transposed: its logical shape is (j, i).
+    let bt = synth::random_matrix_sparsity(500, 300, 0.95, 64);
+    let cv = synth::random_vector(500, 240, 65);
+    let dv = synth::random_vector(300, 150, 66);
+    let (plan, inputs) = compile(
+        "x(i) = alpha * B(j,i) * c(j) + beta * d(i)",
+        Formats::new(),
+        &[("B", &bt), ("c", &cv), ("d", &dv)],
+        &[("alpha", 2.0), ("beta", -3.0)],
+        true,
+    );
+    bench_pair(c, "exec_mat_trans_mul", &plan, &inputs);
+
+    let mb = synth::random_matrix_sparsity(200, 200, 0.95, 67);
+    let mc = synth::random_matrix_sparsity(200, 200, 0.95, 68);
+    let md = synth::random_matrix_sparsity(200, 200, 0.95, 69);
+    let (plan, inputs) = compile(
+        "X(i,j) = B(i,j) + C(i,j) + D(i,j)",
+        Formats::new(),
+        &[("B", &mb), ("C", &mc), ("D", &md)],
+        &[],
+        true,
+    );
+    bench_pair(c, "exec_plus3", &plan, &inputs);
+}
+
+/// The skip-heuristic ablation: the same compiled sparse-x-dense SpMV with
+/// and without the lowering's emitted Section 4.2 skip edges, timed on the
+/// serial fast backend with the moved-token counts recorded next to the
+/// timings.
+fn bench_compiled_skip_ablation(c: &mut Criterion) {
+    let b = synth::random_matrix_nnz(200, 8000, 900, 70);
+    let v = synth::random_vector(8000, 8000, 71);
+    let formats = || Formats::new().set("c", TensorFormat::dense_vec());
+    let operands: &[(&str, &CooTensor)] = &[("B", &b), ("c", &v)];
+    let (skip_plan, inputs) = compile("x(i) = B(i,j) * c(j)", formats(), operands, &[], true);
+    // The ablated lowering is planned over the SAME bound inputs, so both
+    // plans run against identical operands.
+    let plain_kernel = lower("x(i) = B(i,j) * c(j)", formats(), false);
+    let plain_plan = Plan::build(&plain_kernel.graph, &inputs).expect("plan");
+
+    // The moved-token metrics ride out of the timed iterations themselves —
+    // no extra executor runs after the group closes.
+    let serial = FastBackend::serial();
+    let skip_tokens = std::cell::Cell::new(0u64);
+    let noskip_tokens = std::cell::Cell::new(0u64);
+    let mut group = c.benchmark_group("exec_compiled_spmv_skew");
+    group.sample_size(10);
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            noskip_tokens.set(serial.run(&plain_plan, &inputs).expect("run").tokens);
+            black_box(noskip_tokens.get())
+        })
+    });
+    group.bench_function("fast-skip", |b| {
+        b.iter(|| {
+            skip_tokens.set(serial.run(&skip_plan, &inputs).expect("run").tokens);
+            black_box(skip_tokens.get())
+        })
+    });
+    group.finish();
+    criterion::record_metric("exec_compiled_spmv_skew", "skip_tokens", skip_tokens.get() as f64);
+    criterion::record_metric("exec_compiled_spmv_skew", "noskip_tokens", noskip_tokens.get() as f64);
+}
+
 fn bench_mttkrp(c: &mut Criterion) {
     let graph = graphs::mttkrp();
     let b = synth::random_tensor3([60, 40, 40], 12_000, 53);
@@ -156,5 +267,14 @@ fn bench_mttkrp(c: &mut Criterion) {
     bench_parallelism(c, "exec_mttkrp_parallel", &plan, &inputs);
 }
 
-criterion_group!(benches, bench_spmv, bench_spmm, bench_sddmm, bench_skip_skew, bench_mttkrp);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_spmm,
+    bench_sddmm,
+    bench_skip_skew,
+    bench_compiled_mixed,
+    bench_compiled_skip_ablation,
+    bench_mttkrp
+);
 criterion_main!(benches);

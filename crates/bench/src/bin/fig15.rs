@@ -83,7 +83,23 @@ fn main() {
         // CI-sized: small dimensions, a tile and LLB scaled to match, and
         // an LLB smaller than the working set for the skipping study.
         let config = MemoryConfig { tile: 32, llb_bytes: 16 * 1024, ..MemoryConfig::default() };
-        print!("{}", sam_bench::figure15_measured_report(&[256, 512, 768], &[2000], &config));
+        // One measured sweep serves both the table and the ratio gate.
+        let points = sam_bench::figure15_measured_points(&[256, 512, 768], &[2000], &config);
+        print!("{}", sam_bench::figure15_measured_table(&points, &config));
+        // The gate on the refitted compute-cycle model: the analytic
+        // estimate must track the measured machine within a sane band at
+        // every smoke point (the pre-refit term undercounted ~20x here).
+        for cmp in points {
+            let r = cmp.cycle_ratio;
+            if !(0.25..=4.0).contains(&r) {
+                eprintln!(
+                    "fig15 --smoke: measured/analytic cycle ratio {:.2} at dim={} escapes [0.25, 4]",
+                    r, cmp.analytic.dim
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("\ncycle model check: all smoke points within 4x of measured");
         // Sparse enough that ~20% of tiles are empty, with an LLB smaller
         // than the operand working set so skipped fetches are real savings.
         let study_config = MemoryConfig { tile: 32, llb_bytes: 4096, ..MemoryConfig::default() };

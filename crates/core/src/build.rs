@@ -159,6 +159,24 @@ impl GraphBuilder {
         Port { node, port: 0, kind: StreamKind::Val }
     }
 
+    /// Adds a constant-value source over a compile-time literal: for every
+    /// data token of `shape` (normally the value stream of the operand the
+    /// constant combines with) it emits `value`, mirroring control tokens.
+    pub fn literal(&mut self, value: f64, shape: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::literal(value));
+        self.connect(shape, node, 0, format!("shape for {value}"));
+        Port { node, port: 0, kind: StreamKind::Val }
+    }
+
+    /// Adds a constant-value source over a bound single-value tensor (a
+    /// zero-index access such as `alpha` in MatTransMul); the scalar is
+    /// resolved from the binding at planning time.
+    pub fn scalar_source(&mut self, tensor: &str, shape: Port) -> Port {
+        let node = self.graph.add_node(NodeKind::scalar(tensor));
+        self.connect(shape, node, 0, format!("shape for {tensor}"));
+        Port { node, port: 0, kind: StreamKind::Val }
+    }
+
     /// Adds an ALU applying `op` ("add", "sub" or "mul").
     pub fn alu(&mut self, op: &str, a: Port, b: Port) -> Port {
         let node = self.graph.add_node(NodeKind::Alu { op: op.to_string() });

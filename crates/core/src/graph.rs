@@ -57,6 +57,18 @@ pub enum NodeKind {
         /// Tensor whose values are loaded.
         tensor: String,
     },
+    /// A constant-value source: re-emits one scalar for every data token of
+    /// its shape input stream, mirroring control tokens, so literal operands
+    /// and zero-index tensor accesses (`alpha`, `beta` in MatTransMul)
+    /// align with whatever value stream they combine with.
+    ConstVal {
+        /// Name of the bound order-0 (single-value) tensor supplying the
+        /// scalar; empty for a compile-time literal.
+        tensor: String,
+        /// The literal's `f64` bit pattern (bits rather than the float so
+        /// the node stays `Eq`/`Hash`); ignored when `tensor` is nonempty.
+        bits: u64,
+    },
     /// An ALU (Definition 3.6).
     Alu {
         /// Operation mnemonic ("add", "sub" or "mul").
@@ -90,6 +102,16 @@ pub enum NodeKind {
 }
 
 impl NodeKind {
+    /// A [`NodeKind::ConstVal`] over a compile-time literal.
+    pub fn literal(value: f64) -> NodeKind {
+        NodeKind::ConstVal { tensor: String::new(), bits: value.to_bits() }
+    }
+
+    /// A [`NodeKind::ConstVal`] over a bound single-value tensor.
+    pub fn scalar(tensor: &str) -> NodeKind {
+        NodeKind::ConstVal { tensor: tensor.to_string(), bits: 0 }
+    }
+
     /// Short label used in DOT output and reports.
     pub fn label(&self) -> String {
         match self {
@@ -102,6 +124,13 @@ impl NodeKind {
             NodeKind::Unioner { index } => format!("union {index}"),
             NodeKind::Locator { tensor, index } => format!("locate {tensor}{index}"),
             NodeKind::Array { tensor } => format!("array {tensor} vals"),
+            NodeKind::ConstVal { tensor, bits } => {
+                if tensor.is_empty() {
+                    format!("const {}", f64::from_bits(*bits))
+                } else {
+                    format!("scalar {tensor}")
+                }
+            }
             NodeKind::Alu { op } => format!("alu {op}"),
             NodeKind::Reducer { order } => format!("reduce (order {order})"),
             NodeKind::CoordDropper { index } => format!("crddrop {index}"),
@@ -133,6 +162,9 @@ impl NodeKind {
             }
             NodeKind::Locator { .. } => vec![PortKind::Crd, PortKind::Ref],
             NodeKind::Array { .. } => vec![PortKind::Ref],
+            // The shape stream: the value stream of the sibling operand the
+            // constant combines with (usually a planned fork of it).
+            NodeKind::ConstVal { .. } => vec![PortKind::Val],
             NodeKind::Alu { .. } => vec![PortKind::Val, PortKind::Val],
             NodeKind::Reducer { order } => match order {
                 0 => vec![PortKind::Val],
@@ -165,6 +197,7 @@ impl NodeKind {
             }
             NodeKind::Locator { .. } => vec![PortKind::Crd, PortKind::Ref, PortKind::Ref],
             NodeKind::Array { .. } => vec![PortKind::Val],
+            NodeKind::ConstVal { .. } => vec![PortKind::Val],
             NodeKind::Alu { .. } => vec![PortKind::Val],
             NodeKind::Reducer { order } => match order {
                 0 => vec![PortKind::Val],
@@ -398,6 +431,7 @@ impl SamGraph {
         for n in &self.nodes {
             match n {
                 NodeKind::Root { .. }
+                | NodeKind::ConstVal { .. }
                 | NodeKind::Parallelizer
                 | NodeKind::Serializer
                 | NodeKind::BitvectorConverter => {}

@@ -273,6 +273,107 @@ pub fn mttkrp() -> SamGraph {
     g.finish()
 }
 
+/// Residual `x(i) = b(i) - sum_j C(i,j) * d(j)` (Table 1): the paper's
+/// canonical *mixed* expression — an additive co-iteration at the output
+/// variable (union of `b` and `C`'s rows) around a multiplicative
+/// co-iteration at the reduction variable (intersection of `C`'s columns
+/// with `d`). The scalar reducer closes inside the subtraction, and its
+/// explicit-zero policy keeps the per-row value stream aligned with the
+/// union coordinates for rows where the dot product is empty. `b` and `d`
+/// are sparse vectors, `C` is DCSR.
+pub fn residual() -> SamGraph {
+    let mut g = GraphBuilder::new("x(i) = b(i) - C(i,j) * d(j)");
+    let rb = g.root("b");
+    let rc = g.root("C");
+    let rd = g.root("d");
+    let (bi_crd, bi_ref) = g.scan("b", 'i', true, rb);
+    let (ci_crd, ci_ref) = g.scan("C", 'i', true, rc);
+    let (i_crd, i_refs) = g.union('i', [bi_crd, ci_crd], [bi_ref, ci_ref]);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, i_refs[1]);
+    let d_per_i = g.repeat("d", 'i', i_crd, rd);
+    let (dj_crd, dj_ref) = g.scan("d", 'j', true, d_per_i);
+    let (_j_crd, j_refs) = g.intersect('j', [cj_crd, dj_crd], [cj_ref, dj_ref]);
+    let c_vals = g.array("C", j_refs[0]);
+    let d_vals = g.array("d", j_refs[1]);
+    let prod = g.alu("mul", c_vals, d_vals);
+    let s = g.reduce_scalar(prod);
+    let b_vals = g.array("b", i_refs[0]);
+    let x_vals = g.alu("sub", b_vals, s);
+    g.write_level("x", 'i', i_crd);
+    g.write_vals("x", x_vals);
+    g.finish()
+}
+
+/// MatTransMul `x(i) = sum_j alpha * B(j,i) * c(j) + beta * d(i)` (Table 1):
+/// mixed expression with two zero-index scalar operands lowered as
+/// `ConstVal` sources shaped by the value streams they multiply. `B` is
+/// bound transposed (storage order `i` then `j`, i.e. DCSC of its logical
+/// `(j,i)` shape), `c` and `d` are sparse vectors, and `alpha`/`beta` bind
+/// as single-value tensors.
+pub fn mat_trans_mul() -> SamGraph {
+    let mut g = GraphBuilder::new("x(i) = alpha * B(j,i) * c(j) + beta * d(i)");
+    let rb = g.root("B");
+    let rd = g.root("d");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (di_crd, di_ref) = g.scan("d", 'i', true, rd);
+    let (i_crd, i_refs) = g.union('i', [bi_crd, di_crd], [bi_ref, di_ref]);
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, i_refs[0]);
+    let rc = g.root("c");
+    let c_per_i = g.repeat("c", 'i', i_crd, rc);
+    let (cj_crd, cj_ref) = g.scan("c", 'j', true, c_per_i);
+    let (_j_crd, j_refs) = g.intersect('j', [bj_crd, cj_crd], [bj_ref, cj_ref]);
+    let b_vals = g.array("B", j_refs[0]);
+    let alpha = g.scalar_source("alpha", b_vals);
+    let ab = g.alu("mul", alpha, b_vals);
+    let c_vals = g.array("c", j_refs[1]);
+    let abc = g.alu("mul", ab, c_vals);
+    let s = g.reduce_scalar(abc);
+    let d_vals = g.array("d", i_refs[1]);
+    let beta = g.scalar_source("beta", d_vals);
+    let bd = g.alu("mul", beta, d_vals);
+    let x_vals = g.alu("add", s, bd);
+    g.write_level("x", 'i', i_crd);
+    g.write_vals("x", x_vals);
+    g.finish()
+}
+
+/// Plus3 `X(i,j) = B(i,j) + C(i,j) + D(i,j)` (Table 1): a three-way union
+/// at each level, lowered as a chain of binary unioners plus one
+/// *realignment* unioner per level — a parallel unioner over the same
+/// coordinate pair whose ref lane re-aligns the first merge's second
+/// reference stream to the final coordinate space (a unioner never
+/// inspects reference payloads, so any stream aligned with its coordinate
+/// input threads through faithfully). All operands are DCSR.
+pub fn plus3() -> SamGraph {
+    let mut g = GraphBuilder::new("X(i,j) = B(i,j) + C(i,j) + D(i,j)");
+    let rb = g.root("B");
+    let rc = g.root("C");
+    let rd = g.root("D");
+    let (bi_crd, bi_ref) = g.scan("B", 'i', true, rb);
+    let (ci_crd, ci_ref) = g.scan("C", 'i', true, rc);
+    let (di_crd, di_ref) = g.scan("D", 'i', true, rd);
+    // Chain + realignment at i.
+    let (u1_crd, u1_refs) = g.union('i', [bi_crd, ci_crd], [bi_ref, ci_ref]);
+    let (i_crd, i_bd) = g.union('i', [u1_crd, di_crd], [u1_refs[0], di_ref]);
+    let (_, i_c) = g.union('i', [u1_crd, di_crd], [u1_refs[1], di_ref]);
+    let (bj_crd, bj_ref) = g.scan("B", 'j', true, i_bd[0]);
+    let (cj_crd, cj_ref) = g.scan("C", 'j', true, i_c[0]);
+    let (dj_crd, dj_ref) = g.scan("D", 'j', true, i_bd[1]);
+    // Chain + realignment at j.
+    let (v1_crd, v1_refs) = g.union('j', [bj_crd, cj_crd], [bj_ref, cj_ref]);
+    let (j_crd, j_bd) = g.union('j', [v1_crd, dj_crd], [v1_refs[0], dj_ref]);
+    let (_, j_c) = g.union('j', [v1_crd, dj_crd], [v1_refs[1], dj_ref]);
+    let b_vals = g.array("B", j_bd[0]);
+    let c_vals = g.array("C", j_c[0]);
+    let d_vals = g.array("D", j_bd[1]);
+    let bc = g.alu("add", b_vals, c_vals);
+    let x_vals = g.alu("add", bc, d_vals);
+    g.write_level("X", 'i', i_crd);
+    g.write_level("X", 'j', j_crd);
+    g.write_vals("X", x_vals);
+    g.finish()
+}
+
 /// Fused SDDMM `X(i,j) = sum_k B(i,j) * C(i,k) * D(j,k)` with the dense
 /// factors' outer dimensions co-iterated against `B` (Figure 11's fused
 /// co-iteration variant). `B` is DCSR; `C` and `D` are dense.
@@ -345,6 +446,9 @@ mod tests {
             sddmm_coiteration(),
             sddmm_with_skip(),
             mttkrp(),
+            residual(),
+            mat_trans_mul(),
+            plus3(),
         ] {
             assert!(!graph.is_empty());
             for e in graph.edges() {
@@ -408,6 +512,17 @@ mod tests {
                 assert_eq!(e.dst_port, Some(1));
             }
         }
+    }
+
+    #[test]
+    fn mixed_kernels_merge_both_ways() {
+        for (graph, unions, intersects) in [(residual(), 1, 1), (mat_trans_mul(), 1, 1), (plus3(), 6, 0)] {
+            let c = graph.primitive_counts();
+            assert_eq!(c.union, unions, "{}", graph.name);
+            assert_eq!(c.intersect, intersects, "{}", graph.name);
+        }
+        assert!(mat_trans_mul().has_kind(|n| matches!(n, NodeKind::ConstVal { .. })));
+        assert!(!residual().has_kind(|n| matches!(n, NodeKind::CoordDropper { .. })));
     }
 
     #[test]

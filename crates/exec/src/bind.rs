@@ -50,6 +50,14 @@ impl Inputs {
         self.tensor(Tensor::from_coo(name, coo, format))
     }
 
+    /// Binds a zero-index scalar operand (a `ConstVal` source's tensor) as
+    /// the single-value tensor the planner's scalar validation expects: a
+    /// 1-element dense vector holding `value`.
+    pub fn scalar(self, name: &str, value: f64) -> Self {
+        let coo = CooTensor::from_entries(vec![1], vec![(vec![0], value)]).expect("1-element scalar");
+        self.coo(name, &coo, TensorFormat::dense_vec())
+    }
+
     /// The tensor bound to `name`, if any.
     pub fn get(&self, name: &str) -> Option<&Tensor> {
         self.tensors.get(name).map(|t| t.as_ref())
@@ -58,6 +66,12 @@ impl Inputs {
     /// Iterates the bound `(name, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
         self.tensors.iter().map(|(n, t)| (n.as_str(), t.as_ref()))
+    }
+
+    /// Iterates the bound tensors as shared handles (for rebinding into
+    /// derived input sets without copying storage).
+    pub fn iter_shared(&self) -> impl Iterator<Item = &Arc<Tensor>> {
+        self.tensors.values()
     }
 
     /// Number of bound tensors.

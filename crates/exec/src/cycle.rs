@@ -9,8 +9,8 @@ use sam_core::graph::NodeKind;
 use sam_core::wiring::Fork;
 use sam_primitives::writer::{level_sink, val_sink, LevelWriterSink, ValWriterSink};
 use sam_primitives::{
-    root_stream, Alu, CoordDropper, Intersecter, LevelScanner, LevelWriter, Locator, Reducer, Repeater,
-    Unioner, ValArray, ValWriter,
+    root_stream, Alu, ConstVal, CoordDropper, Intersecter, LevelScanner, LevelWriter, Locator, Reducer,
+    Repeater, Unioner, ValArray, ValWriter,
 };
 use sam_sim::{ChannelId, Simulator};
 use std::collections::HashMap;
@@ -145,6 +145,14 @@ impl Executor for CycleBackend {
                     let t = inputs.get(tensor).expect("validated binding");
                     let vals = Arc::new(t.vals().to_vec());
                     sim.add_block(Box::new(ValArray::new(label, vals, slot(0), out_ch[id.0][0])));
+                }
+                NodeKind::ConstVal { .. } => {
+                    sim.add_block(Box::new(ConstVal::new(
+                        label,
+                        plan.const_val(id),
+                        slot(0),
+                        out_ch[id.0][0],
+                    )));
                 }
                 NodeKind::Alu { .. } => {
                     sim.add_block(Box::new(Alu::new(

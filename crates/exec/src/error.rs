@@ -111,6 +111,16 @@ pub enum PlanError {
         /// The operation mnemonic.
         op: String,
     },
+    /// A `ConstVal` source names a tensor that is not a single-value scalar
+    /// (one stored value, every dimension 1 — see `Inputs::scalar`).
+    NotScalar {
+        /// The tensor name.
+        tensor: String,
+        /// How many values the bound tensor actually holds.
+        vals: usize,
+        /// The bound tensor's per-level dimensions.
+        dims: Vec<usize>,
+    },
     /// The graph has no values writer, so it produces no output.
     MissingValsWriter,
     /// The graph has several values writers.
@@ -164,6 +174,13 @@ impl fmt::Display for PlanError {
                 )
             }
             PlanError::UnknownAluOp { op } => write!(f, "unknown ALU operation `{op}`"),
+            PlanError::NotScalar { tensor, vals, dims } => {
+                write!(
+                    f,
+                    "constant source `{tensor}` must bind a single-value scalar \
+                     (one stored value, every dimension 1); found {vals} value(s) over dimensions {dims:?}"
+                )
+            }
             PlanError::MissingValsWriter => write!(f, "graph has no values writer"),
             PlanError::MultipleValsWriters => write!(f, "graph has more than one values writer"),
             PlanError::UnknownDimension { index } => {

@@ -104,6 +104,7 @@ pub(crate) struct NodeJob<'a> {
     level: Option<&'a Level>,
     vals: Option<&'a [f64]>,
     alu: Option<AluOp>,
+    constant: Option<f64>,
     writer_dim: usize,
 }
 
@@ -123,8 +124,15 @@ impl<'a> NodeJob<'a> {
     /// Resolves the plan- and input-side context of `id` for evaluation.
     pub(crate) fn build(plan: &'a Plan, inputs: &'a Inputs, id: NodeId) -> NodeJob<'a> {
         let kind = &plan.graph().nodes()[id.0];
-        let mut job =
-            NodeJob { kind, label: kind.label(), level: None, vals: None, alu: None, writer_dim: 0 };
+        let mut job = NodeJob {
+            kind,
+            label: kind.label(),
+            level: None,
+            vals: None,
+            alu: None,
+            constant: None,
+            writer_dim: 0,
+        };
         match kind {
             NodeKind::LevelScanner { tensor, .. } | NodeKind::Locator { tensor, .. } => {
                 job.level = Some(inputs.get(tensor).expect("validated binding").level(plan.scan_level(id)));
@@ -133,6 +141,7 @@ impl<'a> NodeJob<'a> {
                 job.vals = Some(inputs.get(tensor).expect("validated binding").vals());
             }
             NodeKind::Alu { .. } => job.alu = Some(plan.alu_op(id)),
+            NodeKind::ConstVal { .. } => job.constant = Some(plan.const_val(id)),
             NodeKind::LevelWriter { vals, .. } if !vals => job.writer_dim = plan.writer_dim(id),
             _ => {}
         }
@@ -189,6 +198,9 @@ pub(crate) fn eval_node<S: Source, K: Sink>(
         }
         NodeKind::Array { .. } => {
             run_array(job.vals.expect("array values"), &mut srcs[0], &mut outs[0], label)?;
+        }
+        NodeKind::ConstVal { .. } => {
+            run_const(job.constant.expect("validated constant"), &mut srcs[0], &mut outs[0]);
         }
         NodeKind::Alu { .. } => {
             let [a, b] = srcs else { unreachable!("ALU has two inputs") };
@@ -687,6 +699,22 @@ fn run_array<S: Source, K: Sink>(
         }
     }
     Ok(())
+}
+
+/// Constant-source transfer function: one scalar per data token of the
+/// shape stream, empty and control tokens mirrored through.
+fn run_const<S: Source, K: Sink>(value: f64, input: &mut S, out: &mut K) {
+    while let Some(t) = input.next() {
+        match t {
+            Token::Val(_) => out.push(tok::val(value)),
+            Token::Empty => out.push(tok::empty()),
+            Token::Stop(n) => out.push(tok::stop(n)),
+            Token::Done => {
+                out.push(tok::done());
+                break;
+            }
+        }
+    }
 }
 
 /// ALU transfer function (Definition 3.6): empty tokens read as zero.

@@ -101,6 +101,9 @@ pub struct Plan {
     writer_dims: Vec<usize>,
     /// Per node: parsed ALU operation.
     alu_ops: Vec<Option<AluOp>>,
+    /// Per node: resolved constant of a `ConstVal` source (the literal, or
+    /// the bound single-value tensor's value).
+    const_vals: Vec<Option<f64>>,
     /// Per node and output port: estimated stream length in tokens (an
     /// upper-bound-flavored heuristic from the bound tensors' level sizes).
     stream_sizes: Vec<Vec<u64>>,
@@ -321,6 +324,7 @@ impl Plan {
         let mut scan_levels = vec![0usize; n];
         let mut writer_dims = vec![0usize; n];
         let mut alu_ops: Vec<Option<AluOp>> = vec![None; n];
+        let mut const_vals: Vec<Option<f64>> = vec![None; n];
         let mut ref_ann: HashMap<(usize, usize), (String, usize)> = HashMap::new();
         let mut dims: HashMap<char, usize> = HashMap::new();
         let mut level_writers = Vec::new();
@@ -447,6 +451,27 @@ impl Plan {
                         other => return Err(PlanError::UnknownAluOp { op: other.to_string() }),
                     });
                 }
+                NodeKind::ConstVal { tensor, bits } => {
+                    const_vals[id.0] = Some(if tensor.is_empty() {
+                        f64::from_bits(*bits)
+                    } else {
+                        // A zero-index access: the bound tensor must be a
+                        // genuine scalar — one stored value AND every
+                        // dimension 1 (see `Inputs::scalar`). A higher-rank
+                        // tensor that happens to hold a single nonzero is a
+                        // misbinding, not a scalar.
+                        let bound =
+                            inputs.get(tensor).ok_or(PlanError::UnknownTensor { name: tensor.clone() })?;
+                        if bound.vals().len() != 1 || bound.levels().iter().any(|l| l.dimension() > 1) {
+                            return Err(PlanError::NotScalar {
+                                tensor: tensor.clone(),
+                                vals: bound.vals().len(),
+                                dims: bound.levels().iter().map(|l| l.dimension()).collect(),
+                            });
+                        }
+                        bound.vals()[0]
+                    });
+                }
                 NodeKind::LevelWriter { tensor, index, vals } => {
                     output_name = tensor.clone();
                     if *vals {
@@ -502,7 +527,7 @@ impl Plan {
                     vec![s; 3]
                 }
                 NodeKind::Locator { .. } => vec![ins[0]; 3],
-                NodeKind::Array { .. } => vec![ins[0]],
+                NodeKind::Array { .. } | NodeKind::ConstVal { .. } => vec![ins[0]],
                 NodeKind::Alu { .. } => vec![ins[0].max(ins[1])],
                 NodeKind::Reducer { order } => match order {
                     0 => vec![ins[0]],
@@ -528,6 +553,7 @@ impl Plan {
             scan_levels,
             writer_dims,
             alu_ops,
+            const_vals,
             stream_sizes,
             level_writers,
             vals_writer,
@@ -625,6 +651,11 @@ impl Plan {
     /// The parsed operation of an ALU node.
     pub fn alu_op(&self, node: NodeId) -> AluOp {
         self.alu_ops[node.0].expect("validated ALU")
+    }
+
+    /// The resolved scalar of a `ConstVal` source node.
+    pub fn const_val(&self, node: NodeId) -> f64 {
+        self.const_vals[node.0].expect("validated constant")
     }
 
     /// The level writers in output-level order (outermost first).

@@ -116,6 +116,16 @@ impl Executor for TiledBackend {
             grids.push(TileGrid::build(tensor, tiling.level_tile_sizes(ti, tensor)));
         }
 
+        // Bindings the schedule does not tile (the single-value scalars
+        // behind `ConstVal` sources) ride into every tile's input set
+        // unchanged; they have no storage levels to window.
+        let mut base_inputs = Inputs::new();
+        for t in inputs.iter_shared() {
+            if !tiling.tensors.iter().any(|tt| tt.name == t.name()) {
+                base_inputs = base_inputs.shared(Arc::clone(t));
+            }
+        }
+
         let bytes_per_entry = self.config.bytes_per_nonzero as u64;
         let mut llb = LlbModel::new(self.config.llb_bytes as u64);
         let mut counters = MemoryCounters::default();
@@ -184,7 +194,7 @@ impl Executor for TiledBackend {
                 // Bind the tile operands (materializing empty tiles for
                 // operands outside the skip set). Tiles are shared into the
                 // input set — a refcount bump per tuple, not a deep copy.
-                let mut tile_inputs = Inputs::new();
+                let mut tile_inputs = base_inputs.clone();
                 let mut shape_key: Vec<Vec<usize>> = Vec::with_capacity(keys.len());
                 for (ti, key) in keys.iter().enumerate() {
                     let tile: Arc<Tensor> = match grids[ti].get_shared(key) {

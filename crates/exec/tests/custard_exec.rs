@@ -84,26 +84,35 @@ fn compiled_elementwise_and_additive_kernels_execute() {
     check("X(i,j) = B(i,j) + C(i,j)", &Schedule::new(), Formats::new(), &[("B", &mb), ("C", &mc)]);
 }
 
-/// Non-left-deep expression trees associate correctly: `B - (c - d)` must
-/// not compile to `(B - c) - d`. The textual parser is left-associative,
+/// Non-left-deep expression trees associate correctly: `B - (C - D)` must
+/// not compile to `(B - C) - D`. The textual parser is left-associative,
 /// so this builds the right-nested tree through the Expr API directly.
+/// All operands share both variables — the older mixed-rank variant
+/// (`B(i,j) - (c(i) - d(j))`) has a broadcast addend whose true output is
+/// denser than the union iteration space, which the lowering now rejects
+/// with `LowerExecError::BroadcastAddend` instead of miscompiling.
 #[test]
 fn right_nested_subtraction_associates_correctly() {
     use sam_tensor::expr::{Assignment, Expr};
-    let rhs = Expr::access("B", "ij").sub(Expr::access("c", "i").sub(Expr::access("d", "j")));
+    {
+        // The rejected mixed-rank shape, pinned down.
+        use custard::LowerExecError;
+        let rhs = Expr::access("B", "ij").sub(Expr::access("c", "i").sub(Expr::access("d", "j")));
+        let cin =
+            ConcreteIndexNotation::new(Assignment::new("X", "ij", rhs), &Schedule::new(), Formats::new());
+        assert_eq!(lower_exec(&cin).unwrap_err(), LowerExecError::BroadcastAddend { index: 'i' });
+    }
+    let rhs = Expr::access("B", "ij").sub(Expr::access("C", "ij").sub(Expr::access("D", "ij")));
     let assignment = Assignment::new("X", "ij", rhs);
     let cin = ConcreteIndexNotation::new(assignment.clone(), &Schedule::new(), Formats::new());
     let kernel = lower_exec(&cin).unwrap();
 
-    // c and d are fully populated: `X = B - c + d` is dense wherever c or d
-    // is nonzero, so sparse operands there would make the expression's true
-    // output denser than the union iteration space can enumerate.
     let b = synth::random_matrix_sparsity(6, 5, 0.5, 50);
-    let c = synth::random_vector(6, 6, 51);
-    let d = synth::random_vector(5, 5, 52);
+    let c = synth::random_matrix_sparsity(6, 5, 0.5, 51);
+    let d = synth::random_matrix_sparsity(6, 5, 0.5, 52);
     let mut inputs = Inputs::new();
     let mut env = Environment::new();
-    for (name, coo) in [("B", &b), ("c", &c), ("d", &d)] {
+    for (name, coo) in [("B", &b), ("C", &c), ("D", &d)] {
         let fmt = kernel.formats.iter().find(|(n, _)| n == name).unwrap().1.clone();
         inputs = inputs.coo(name, coo, fmt);
         env.insert(name, Tensor::from_coo(name, coo, TensorFormat::dense(coo.order())).to_dense());
@@ -117,6 +126,45 @@ fn right_nested_subtraction_associates_correctly() {
             "right-nested subtraction diverged on the {} backend",
             backend.name()
         );
+    }
+}
+
+/// Non-commutative subtraction through a union merge: with fully disjoint
+/// sparsity, every output coordinate sees exactly one present operand, so a
+/// backend that zero-fills the absent operand on the wrong side of the ALU
+/// flips the sign of half the entries. Checked coordinate by coordinate
+/// (not just against approx-eq) on every backend and thread count.
+#[test]
+fn subtraction_through_a_union_zero_fills_the_correct_side() {
+    use sam_tensor::CooTensor;
+
+    let dim = 12usize;
+    // b holds +2 at even coordinates, c holds +3 at odd coordinates.
+    let b = CooTensor::from_entries(vec![dim], (0..dim as u32).step_by(2).map(|i| (vec![i], 2.0)).collect())
+        .unwrap();
+    let c = CooTensor::from_entries(vec![dim], (1..dim as u32).step_by(2).map(|i| (vec![i], 3.0)).collect())
+        .unwrap();
+
+    let assignment = parse("x(i) = b(i) - c(i)").unwrap();
+    let cin = ConcreteIndexNotation::new(assignment, &Schedule::new(), Formats::new());
+    let kernel = lower_exec(&cin).unwrap();
+    let inputs =
+        Inputs::new().coo("b", &b, kernel.formats[0].1.clone()).coo("c", &c, kernel.formats[1].1.clone());
+
+    for backend in
+        [&CycleBackend::default() as &dyn Executor, &FastBackend::serial(), &FastBackend::threads(4)]
+    {
+        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        let dense = run.output.expect("tensor output").to_dense();
+        for i in 0..dim as u32 {
+            let expect = if i % 2 == 0 { 2.0 } else { -3.0 };
+            assert_eq!(
+                dense.at(&[i]),
+                expect,
+                "x({i}) on {}: absent operand zero-filled on the wrong side of the subtraction",
+                backend.name()
+            );
+        }
     }
 }
 

@@ -107,6 +107,65 @@ impl Block for Alu {
     }
 }
 
+/// A constant-value source: re-emits one scalar for every data token of its
+/// shape input stream.
+///
+/// The shape stream is normally a fork of the value stream the constant
+/// combines with in a downstream [`Alu`]; empty (`N`) tokens pass through as
+/// empty (the position is absent either way) and control tokens mirror, so
+/// the constant stream is always structurally aligned with its sibling.
+pub struct ConstVal {
+    name: String,
+    value: f64,
+    input: ChannelId,
+    output: ChannelId,
+    done: bool,
+}
+
+impl ConstVal {
+    /// Creates a constant source emitting `value`.
+    pub fn new(name: impl Into<String>, value: f64, input: ChannelId, output: ChannelId) -> Self {
+        ConstVal { name: name.into(), value, input, output, done: false }
+    }
+}
+
+impl Block for ConstVal {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut Context) -> BlockStatus {
+        if self.done {
+            return BlockStatus::Done;
+        }
+        if !ctx.can_push(self.output) {
+            return BlockStatus::Busy;
+        }
+        let Some(t) = ctx.pop(self.input) else {
+            return BlockStatus::Busy;
+        };
+        match t {
+            Token::Val(_) => {
+                ctx.push(self.output, tok::val(self.value));
+                BlockStatus::Busy
+            }
+            Token::Empty => {
+                ctx.push(self.output, tok::empty());
+                BlockStatus::Busy
+            }
+            Token::Stop(n) => {
+                ctx.push(self.output, tok::stop(n));
+                BlockStatus::Busy
+            }
+            Token::Done => {
+                ctx.push(self.output, tok::done());
+                self.done = true;
+                BlockStatus::Done
+            }
+        }
+    }
+}
+
 /// How a reducer treats reductions over empty fibers (Definition 3.7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EmptyFiberPolicy {

@@ -38,7 +38,7 @@ pub use array::{Locator, ValArray};
 pub use bitvector::{
     BitTreeVecMul, BitvectorConverter, BitvectorIntersecter, BitvectorScanner, BitvectorVecMul,
 };
-pub use compute::{Alu, AluOp, EmptyFiberPolicy, Reducer};
+pub use compute::{Alu, AluOp, ConstVal, EmptyFiberPolicy, Reducer};
 pub use dropper::CoordDropper;
 pub use merge::{Intersecter, Parallelizer, Serializer, Unioner};
 pub use repeat::Repeater;

@@ -178,6 +178,8 @@ impl KernelTiling {
         let mut level_vars: BTreeMap<String, BTreeMap<usize, char>> = BTreeMap::new();
         let mut writers: Vec<(usize, char)> = Vec::new();
         let mut has_scalar_reduce = false;
+        let mut has_reduce = false;
+        let mut has_union = false;
         let mut has_dropper = false;
 
         let in_req = |req: &BTreeMap<(usize, usize), BTreeSet<String>>,
@@ -290,6 +292,7 @@ impl KernelTiling {
                     }
                 }
                 NodeKind::Unioner { .. } => {
+                    has_union = true;
                     for (slot, port) in [(2usize, 1usize), (3, 2)] {
                         if let Some(ann) = node_inputs[id][slot].and_then(|src| ref_ann.get(&src)).cloned() {
                             ref_ann.insert((id, port), ann);
@@ -304,7 +307,10 @@ impl KernelTiling {
                         req.insert((id, p), r.clone());
                     }
                 }
-                NodeKind::Array { .. } => {
+                // A ConstVal mirrors its shape stream token for token, so —
+                // like an array — whatever gates its input gates its output.
+                // The scalar binding itself is untiled (no storage levels).
+                NodeKind::Array { .. } | NodeKind::ConstVal { .. } => {
                     req.insert((id, 0), in_req(&req, &node_inputs, id, 0));
                 }
                 NodeKind::Alu { .. } => {
@@ -315,6 +321,7 @@ impl KernelTiling {
                     req.insert((id, 0), a.intersection(&b).cloned().collect());
                 }
                 NodeKind::Reducer { order } => {
+                    has_reduce = true;
                     has_scalar_reduce |= *order == 0;
                     match order {
                         // A scalar reducer emits explicit zeros on bare fiber
@@ -362,9 +369,14 @@ impl KernelTiling {
         // Contraction variables are tileable with Drop-policy accumulation
         // (vector/matrix reducers); with a scalar reducer only the
         // single-writer, dropper-free shape preserves the explicit-zero
-        // structure (see the module docs).
+        // structure (see the module docs). A union alongside any reducer
+        // means an additive term sits *outside* the contraction (residual,
+        // MatTransMul): tiling the contraction would re-evaluate that term
+        // once per contraction tile and the merger would sum the copies, so
+        // those graphs keep their contraction variables whole.
         let output_vars: Vec<char> = writers.iter().map(|&(_, v)| v).collect();
-        let contraction_tileable = !has_scalar_reduce || (writers.len() == 1 && !has_dropper);
+        let contraction_tileable =
+            !(has_reduce && has_union) && (!has_scalar_reduce || (writers.len() == 1 && !has_dropper));
 
         let vars: Vec<TiledVar> = var_order
             .iter()
