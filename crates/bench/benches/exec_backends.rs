@@ -18,7 +18,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use custard::{lower_exec_with, parse, ConcreteIndexNotation, Formats, LowerOptions, Schedule};
 use sam_core::graphs;
-use sam_exec::{CycleBackend, Executor, FastBackend, Inputs, Plan};
+use sam_exec::{CountersSink, CycleBackend, Executor, FastBackend, Inputs, NullSink, Plan};
 use sam_tensor::{synth, CooTensor, TensorFormat};
 
 fn bench_pair(c: &mut Criterion, group_name: &str, plan: &Plan, inputs: &Inputs) {
@@ -253,6 +253,34 @@ fn bench_compiled_skip_ablation(c: &mut Criterion) {
     criterion::record_metric("exec_compiled_spmv_skew", "noskip_tokens", noskip_tokens.get() as f64);
 }
 
+/// The tracing layer's zero-cost-when-disabled claim, measured: the same
+/// serial plan run through the plain `run` path (which routes through a
+/// `NullSink`), through `run_traced` with an explicit `NullSink`, and with
+/// a live `CountersSink`. `bench_gate` holds the counters-enabled run
+/// within 10% of `fast` and the NullSink run within noise of it, inside
+/// the same benchmark run — no baseline needed.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let graph = graphs::spmm(sam_core::kernels::spmm::SpmmDataflow::LinearCombination);
+    let b = synth::random_matrix_sparsity(300, 250, 0.95, 72);
+    let m = synth::random_matrix_sparsity(250, 300, 0.95, 73);
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &m, TensorFormat::dcsr());
+    let plan = Plan::build(&graph, &inputs).expect("plan");
+    let serial = FastBackend::serial();
+    let mut group = c.benchmark_group("exec_overhead");
+    group.sample_size(10);
+    group.bench_function("fast", |b| b.iter(|| black_box(serial.run(&plan, &inputs).expect("run").tokens)));
+    group.bench_function("fast-null", |b| {
+        b.iter(|| black_box(serial.run_traced(&plan, &inputs, &NullSink).expect("run").tokens))
+    });
+    group.bench_function("fast-counters", |b| {
+        b.iter(|| {
+            let sink = CountersSink::new();
+            black_box(serial.run_traced(&plan, &inputs, &sink).expect("run").tokens)
+        })
+    });
+    group.finish();
+}
+
 fn bench_mttkrp(c: &mut Criterion) {
     let graph = graphs::mttkrp();
     let b = synth::random_tensor3([60, 40, 40], 12_000, 53);
@@ -275,6 +303,7 @@ criterion_group!(
     bench_skip_skew,
     bench_compiled_mixed,
     bench_compiled_skip_ablation,
+    bench_trace_overhead,
     bench_mttkrp
 );
 criterion_main!(benches);

@@ -30,6 +30,15 @@ const THRESHOLD: f64 = 2.0;
 /// dedicated step is smallest and the skip fusion must keep paying.
 const GATED: &[&str] = &["fast", "fast-skip"];
 
+/// Intra-run tracing-overhead bound: a counters-enabled serial run may cost
+/// at most this much relative to the untraced run in the same benchmark
+/// session.
+const OVERHEAD_THRESHOLD: f64 = 1.10;
+
+/// Intra-run bound for the `NullSink` path: tracing disabled must be
+/// indistinguishable from `run` up to measurement noise.
+const NULL_THRESHOLD: f64 = 1.05;
+
 /// Parses the two-level `{"group": {"bench": number, ...}, ...}` JSON the
 /// bench harness emits. A hand-rolled scanner: the vendored serde stub has
 /// no serde_json, and the schema is fixed.
@@ -175,6 +184,38 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The tracing-overhead gate compares within the current run — both
+    // sides measured minutes apart on the same machine — so it needs no
+    // baseline: counters-enabled serial execution must stay within
+    // OVERHEAD_THRESHOLD of the untraced run, and the NullSink path within
+    // NULL_THRESHOLD (the zero-cost-when-disabled claim).
+    if let Some(overhead) = current.get("exec_overhead") {
+        for (variant, bound) in [("fast-null", NULL_THRESHOLD), ("fast-counters", OVERHEAD_THRESHOLD)] {
+            match (overhead.get("fast"), overhead.get(variant)) {
+                (Some(&base_ns), Some(&cur_ns)) if base_ns > 0.0 => {
+                    let ratio = cur_ns / base_ns;
+                    gated += 1;
+                    let verdict = if ratio > bound { " REGRESSED" } else { "" };
+                    println!(
+                        "{:<28} {variant:<16} {base_ns:>12.0}ns {cur_ns:>12.0}ns {ratio:>7.2}x{verdict}",
+                        "exec_overhead (intra-run)"
+                    );
+                    if ratio > bound {
+                        eprintln!(
+                            "bench_gate: tracing overhead: `{variant}` runs at {ratio:.2}x of the \
+                             untraced serial run (bound {bound:.2}x)"
+                        );
+                        regressions += 1;
+                    }
+                }
+                _ => {
+                    eprintln!("bench_gate: exec_overhead group is missing `fast` or `{variant}`");
+                    regressions += 1;
+                }
+            }
+        }
+    }
+
     println!("\n{gated} gated benchmarks (fast-serial), threshold {THRESHOLD}x, {regressions} regression(s)");
     if regressions > 0 {
         eprintln!("bench_gate: fast-serial regressed more than {THRESHOLD}x against the baseline");

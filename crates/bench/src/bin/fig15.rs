@@ -12,59 +12,8 @@
 //!   measured memory counters into `BENCH_exec.json` (next to the
 //!   workspace `Cargo.lock`) so the benchmark artifact carries them.
 
-use sam_bench::workspace_root;
+use sam_bench::{merge_json_group, workspace_root};
 use sam_memory::{MemoryConfig, MemoryCounters};
-use std::path::PathBuf;
-
-/// Removes an existing `"group": { ... }` object (group objects in the
-/// trajectory schema never nest) so re-merging replaces rather than
-/// duplicates it.
-fn strip_group(text: &str, group: &str) -> String {
-    let needle = format!("{group:?}:");
-    let Some(start) = text.find(&needle) else { return text.to_string() };
-    let line_start = text[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
-    let Some(close) = text[start..].find('}') else { return text.to_string() };
-    let mut end = start + close + 1;
-    for pat in [",", "\n"] {
-        if text[end..].starts_with(pat) {
-            end += pat.len();
-        }
-    }
-    format!("{}{}", &text[..line_start], &text[end..])
-}
-
-/// Merges one `"group": { name: value, ... }` object into the two-level
-/// JSON trajectory at `path`, creating the file if needed and replacing
-/// any previous copy of the group. The format is the vendored criterion's
-/// `--save-json` schema, so `bench_gate` parses (and, lacking a baseline,
-/// ignores) the counters.
-fn merge_json_group(path: &PathBuf, group: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {
-    let mut body = format!("  {group:?}: {{\n");
-    for (i, (name, value)) in metrics.iter().enumerate() {
-        let sep = if i + 1 == metrics.len() { "" } else { "," };
-        body.push_str(&format!("    {name:?}: {value:.1}{sep}\n"));
-    }
-    body.push_str("  }\n");
-    let text = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let existing = strip_group(&existing, group);
-            match existing.rfind('}') {
-                // Splice the group in before the final brace, after the
-                // last existing group's closing brace.
-                Some(end) => {
-                    let head = existing[..end].trim_end();
-                    // Stripping the previously-last group can leave the
-                    // prior group's trailing comma behind.
-                    let glue = if head.ends_with('{') || head.ends_with(',') { "\n" } else { ",\n" };
-                    format!("{head}{glue}{body}}}\n")
-                }
-                None => format!("{{\n{body}}}\n"),
-            }
-        }
-        Err(_) => format!("{{\n{body}}}\n"),
-    };
-    std::fs::write(path, text)
-}
 
 fn counter_metrics(prefix: &str, m: &MemoryCounters, out: &mut Vec<(String, f64)>) {
     out.push((format!("{prefix}_dram_bytes"), m.dram_bytes as f64));

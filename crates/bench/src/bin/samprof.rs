@@ -1,0 +1,252 @@
+//! `samprof`: profile one kernel or Table 1 expression on any backend.
+//!
+//! Runs the chosen graph under a [`CountersSink`] (or a [`ChromeTraceSink`]
+//! when `--trace` is given), prints the run's headline numbers and the
+//! ranked per-node stall/token table, and names the node on the critical
+//! path — the serial bottleneck the parallel backend is waiting on.
+//!
+//! ```text
+//! samprof spmv_skew --backend threads4 --trace skew.json
+//! samprof SpM*SpM --backend cycle
+//! samprof --list
+//! ```
+//!
+//! * `--backend cycle|serial|threadsN|tiled` (default `threads4`);
+//! * `--trace <path>` also writes a Chrome `trace_event` JSON timeline
+//!   (load it at `ui.perfetto.dev` or `chrome://tracing`);
+//! * `--save-json` merges `samprof_<name>` headline metrics (`blocked_ns`,
+//!   `spills`, `tokens`) into the workspace `BENCH_exec.json` so the
+//!   benchmark trajectory carries them.
+
+use sam_bench::{merge_json_group, table1_case, table1_case_names, workspace_root};
+use sam_core::graph::SamGraph;
+use sam_core::graphs;
+use sam_core::kernels::spmm::SpmmDataflow;
+use sam_exec::{
+    ChromeTraceSink, CountersSink, CycleBackend, ExecProfile, Execution, Executor, FastBackend, Inputs, Plan,
+    TiledBackend,
+};
+use sam_tensor::{synth, TensorFormat};
+
+/// Catalog kernels with operands big enough that stall attribution is
+/// meaningful but small enough for the cycle backend. The `_skew` variants
+/// pit a dense matrix row against a very sparse vector, so one scanner
+/// dominates the run — the case coordinate skipping (`spmv_skip`) erases.
+const KERNELS: &[&str] =
+    &["vecmul", "vecmul_skew", "identity", "spmv", "spmv_skew", "spmv_skip", "spmm", "sddmm", "mttkrp"];
+
+fn kernel_case(name: &str) -> Option<(SamGraph, Inputs)> {
+    // The skew pair: an 80%-dense 400x2000 matrix co-iterated against a
+    // 12-nonzero vector (the exec_backends `skip_skew` operands).
+    let skew = || {
+        let m = synth::random_matrix_sparsity(400, 2000, 0.2, 58);
+        let sv = synth::random_vector(2000, 12, 59);
+        (m, sv)
+    };
+    Some(match name {
+        "vecmul" => {
+            (
+                graphs::vec_elem_mul(true),
+                Inputs::new()
+                    .coo("b", &synth::random_vector(4000, 1200, 21), TensorFormat::sparse_vec())
+                    .coo("c", &synth::random_vector(4000, 1100, 22), TensorFormat::sparse_vec()),
+            )
+        }
+        "vecmul_skew" => {
+            (
+                graphs::vec_elem_mul(true),
+                Inputs::new()
+                    .coo("b", &synth::random_vector(4000, 3600, 23), TensorFormat::sparse_vec())
+                    .coo("c", &synth::random_vector(4000, 40, 24), TensorFormat::sparse_vec()),
+            )
+        }
+        "identity" => (
+            graphs::identity(),
+            Inputs::new().coo("B", &synth::random_matrix_sparsity(256, 256, 0.9, 25), TensorFormat::dcsr()),
+        ),
+        "spmv" => {
+            let (m, _) = skew();
+            (
+                graphs::spmv(),
+                Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo(
+                    "c",
+                    &synth::random_vector(2000, 900, 20),
+                    TensorFormat::dense_vec(),
+                ),
+            )
+        }
+        "spmv_skew" | "spmv_skip" => {
+            let (m, sv) = skew();
+            let graph =
+                if name == "spmv_skip" { graphs::spmv_with_skip() } else { graphs::spmv_coiteration() };
+            (
+                graph,
+                Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+            )
+        }
+        "spmm" => (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new()
+                .coo("B", &synth::random_matrix_sparsity(128, 128, 0.9, 26), TensorFormat::dcsr())
+                .coo("C", &synth::random_matrix_sparsity(128, 128, 0.9, 27), TensorFormat::dcsr()),
+        ),
+        "sddmm" => (
+            graphs::sddmm_coiteration(),
+            Inputs::new()
+                .coo("B", &synth::random_matrix_sparsity(128, 128, 0.95, 28), TensorFormat::dcsr())
+                .coo("C", &synth::dense_matrix(128, 16, 29), TensorFormat::dense(2))
+                .coo("D", &synth::dense_matrix(128, 16, 30), TensorFormat::dense(2)),
+        ),
+        "mttkrp" => (
+            graphs::mttkrp(),
+            Inputs::new()
+                .coo("B", &synth::random_tensor3([48, 24, 16], 3000, 31), TensorFormat::csf(3))
+                .coo("C", &synth::random_matrix_sparsity(20, 24, 0.5, 32), TensorFormat::dcsc())
+                .coo("D", &synth::random_matrix_sparsity(20, 16, 0.5, 33), TensorFormat::dcsc()),
+        ),
+        _ => return None,
+    })
+}
+
+fn parse_backend(arg: &str) -> Option<Box<dyn Executor>> {
+    if let Some(n) = arg.strip_prefix("threads") {
+        let n: usize = if n.is_empty() { 4 } else { n.parse().ok()? };
+        return Some(Box::new(FastBackend::threads(n)));
+    }
+    match arg {
+        "cycle" => Some(Box::new(CycleBackend::default())),
+        "serial" | "fast-serial" => Some(Box::new(FastBackend::serial())),
+        "fast-threads" => Some(Box::new(FastBackend::threads(4))),
+        "tiled" => Some(Box::new(TiledBackend::with_tile(64))),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: samprof <kernel|expression> [--backend cycle|serial|threadsN|tiled] \
+         [--trace out.json] [--save-json]\n       samprof --list"
+    );
+    std::process::exit(2);
+}
+
+fn report(name: &str, backend: &dyn Executor, run: &Execution, profile: &ExecProfile) {
+    println!("samprof: `{name}` on the `{}` backend", run.backend);
+    let cycles = run.cycles.map_or("-".to_string(), |c| c.to_string());
+    println!(
+        "tokens={} spills={} cycles={} elapsed={:.2?} ({} nodes, {} channels)",
+        run.tokens,
+        run.spills,
+        cycles,
+        run.elapsed,
+        profile.nodes.len(),
+        profile.channels.len(),
+    );
+    println!(
+        "critical path {:.1}us, total blocked {:.1}us\n",
+        profile.critical_path_ns() as f64 / 1e3,
+        profile.total_blocked_ns() as f64 / 1e3,
+    );
+    print!("{}", profile.stall_table());
+    // The critical-path node — the longest-lived, busy or blocked — is the
+    // stage the rest of the pipeline is waiting on.
+    if let Some(top) = profile.nodes.iter().max_by_key(|n| (n.wall_ns(), n.tokens.total())) {
+        println!(
+            "\nbottleneck: n{}:{} ({} tokens, busy {:.1}us, blocked {:.1}us)",
+            top.index,
+            top.label,
+            top.tokens.total(),
+            top.busy_ns as f64 / 1e3,
+            top.blocked_ns as f64 / 1e3,
+        );
+    }
+    let _ = backend;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut backend_arg = "threads4".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut save_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                println!("kernels:     {}", KERNELS.join(", "));
+                println!("expressions: {}", table1_case_names().join(", "));
+                return;
+            }
+            "--backend" => backend_arg = it.next().cloned().unwrap_or_else(|| usage()),
+            "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--save-json" => save_json = true,
+            _ if a.starts_with("--") => usage(),
+            _ if name.is_none() => name = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(name) = name else { usage() };
+
+    let (graph, inputs) = match kernel_case(&name).or_else(|| table1_case(&name, 200)) {
+        Some(case) => case,
+        None => {
+            eprintln!("unknown kernel or expression `{name}`; `samprof --list` shows both sets");
+            std::process::exit(2);
+        }
+    };
+    let Some(backend) = parse_backend(&backend_arg) else {
+        eprintln!("unknown backend `{backend_arg}` (cycle, serial, threadsN or tiled)");
+        std::process::exit(2);
+    };
+
+    let plan = match Plan::build(&graph, &inputs) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("planning `{name}` failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // One traced run; the sink doubles as the timeline recorder when a
+    // trace path was requested.
+    let run = if let Some(path) = &trace_path {
+        let sink = ChromeTraceSink::new();
+        let run = backend.run_traced(&plan, &inputs, &sink);
+        if run.is_ok() {
+            if let Err(e) = sink.write_json(std::path::Path::new(path)) {
+                eprintln!("failed to write trace to `{path}`: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {} spans to {path} (load at ui.perfetto.dev)\n", sink.span_count());
+        }
+        run
+    } else {
+        backend.run_traced(&plan, &inputs, &CountersSink::new())
+    };
+    let run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("running `{name}` on `{}` failed: {e}", backend.name());
+            std::process::exit(1);
+        }
+    };
+    let profile = run.profile.clone().expect("traced runs attach a profile");
+    report(&name, backend.as_ref(), &run, &profile);
+
+    if save_json {
+        let group = format!("samprof_{}", name.replace(|c: char| !c.is_ascii_alphanumeric(), "_"));
+        let metrics: Vec<(&str, f64)> = vec![
+            ("blocked_ns", profile.total_blocked_ns() as f64),
+            ("spills", run.spills as f64),
+            ("tokens", run.tokens as f64),
+        ];
+        let path = workspace_root().join("BENCH_exec.json");
+        match merge_json_group(&path, &group, &metrics) {
+            Ok(()) => println!("\nmerged `{group}` metrics into {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to update {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

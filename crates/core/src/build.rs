@@ -76,6 +76,18 @@ impl GraphBuilder {
         Port { node, port: 0, kind: StreamKind::Ref }
     }
 
+    /// The tensor a merge operand's coordinate stream originates from, for
+    /// labeling: the producing scanner/repeater/locator names its tensor;
+    /// anything else (e.g. another merge's output) is opaque.
+    fn operand_tensor(&self, p: Port) -> String {
+        match &self.graph.nodes()[p.node.0] {
+            NodeKind::LevelScanner { tensor, .. }
+            | NodeKind::Repeater { tensor, .. }
+            | NodeKind::Locator { tensor, .. } => tensor.clone(),
+            _ => "?".to_string(),
+        }
+    }
+
     fn merge(
         &mut self,
         kind: NodeKind,
@@ -83,7 +95,14 @@ impl GraphBuilder {
         in_crd: [Port; 2],
         in_ref: [Port; 2],
     ) -> (Port, [Port; 2]) {
+        let op = match kind {
+            NodeKind::Unioner { .. } => "union",
+            _ => "intersect",
+        };
+        let label =
+            format!("{op}({index}: {},{})", self.operand_tensor(in_crd[0]), self.operand_tensor(in_crd[1]));
         let node = self.graph.add_node(kind);
+        self.graph.set_label(node, label);
         self.connect(in_crd[0], node, 0, format!("{index} crd a"));
         self.connect(in_crd[1], node, 1, format!("{index} crd b"));
         self.connect(in_ref[0], node, 2, "ref a");
@@ -265,6 +284,26 @@ mod tests {
         // The scanner's ref output (port 1) feeds the array's input port 0.
         let e = graph.edges().iter().find(|e| e.kind == StreamKind::Ref && e.src_port == Some(1)).unwrap();
         assert_eq!(e.dst_port, Some(0));
+    }
+
+    #[test]
+    fn merges_carry_operand_tensor_labels() {
+        let mut g = GraphBuilder::new("t");
+        let rb = g.root("B");
+        let rc = g.root("C");
+        let (bc, br) = g.scan("B", 'j', true, rb);
+        let (cc, cr) = g.scan("C", 'j', true, rc);
+        let (crd, _refs) = g.intersect('j', [bc, cc], [br, cr]);
+        let graph = g.graph();
+        assert_eq!(graph.node_label(crd.node), "intersect(j: B,C)");
+
+        let mut g = GraphBuilder::new("t");
+        let rb = g.root("b");
+        let rc = g.root("c");
+        let (bc, br) = g.scan("b", 'i', true, rb);
+        let (cc, cr) = g.scan("c", 'i', true, rc);
+        let (crd, _refs) = g.union('i', [bc, cc], [br, cr]);
+        assert_eq!(g.graph().node_label(crd.node), "union(i: b,c)");
     }
 
     #[test]

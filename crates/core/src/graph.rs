@@ -359,18 +359,52 @@ pub struct SamGraph {
     pub name: String,
     nodes: Vec<NodeKind>,
     edges: Vec<Edge>,
+    /// Optional per-node display labels overriding [`NodeKind::label`],
+    /// kept index-aligned with `nodes` (e.g. `intersect(j: B,C)` instead of
+    /// `intersect j`). Builders that know operand provenance set these so
+    /// planner errors and execution traces name nodes meaningfully.
+    labels: Vec<Option<String>>,
 }
 
 impl SamGraph {
     /// Creates an empty graph.
     pub fn new(name: impl Into<String>) -> Self {
-        SamGraph { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+        SamGraph { name: name.into(), nodes: Vec::new(), edges: Vec::new(), labels: Vec::new() }
     }
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         self.nodes.push(kind);
+        self.labels.push(None);
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Overrides the display label of a node (see [`SamGraph::node_label`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn set_label(&mut self, id: NodeId, label: impl Into<String>) {
+        self.labels[id.0] = Some(label.into());
+    }
+
+    /// The display label of a node: the override set via
+    /// [`SamGraph::set_label`] when present, otherwise the node kind's
+    /// generic [`NodeKind::label`].
+    ///
+    /// ```
+    /// use sam_core::graph::{NodeKind, SamGraph};
+    /// let mut g = SamGraph::new("demo");
+    /// let n = g.add_node(NodeKind::Intersecter { index: 'j' });
+    /// assert_eq!(g.node_label(n), "intersect j");
+    /// g.set_label(n, "intersect(j: B,C)");
+    /// assert_eq!(g.node_label(n), "intersect(j: B,C)");
+    /// ```
+    pub fn node_label(&self, id: NodeId) -> String {
+        match self.labels.get(id.0).and_then(|l| l.as_deref()) {
+            Some(label) => label.to_string(),
+            None => self.nodes[id.0].label(),
+        }
     }
 
     /// Adds an edge without port annotations (schematic graphs).
@@ -455,8 +489,8 @@ impl SamGraph {
         let mut out = String::new();
         out.push_str(&format!("digraph \"{}\" {{\n", self.name));
         out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n");
-        for (i, n) in self.nodes.iter().enumerate() {
-            out.push_str(&format!("  n{} [label=\"{}\"];\n", i, n.label()));
+        for i in 0..self.nodes.len() {
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", i, self.node_label(NodeId(i))));
         }
         for e in &self.edges {
             let style = match e.kind {

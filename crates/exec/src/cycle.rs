@@ -13,6 +13,7 @@ use sam_primitives::{
     Repeater, Unioner, ValArray, ValWriter,
 };
 use sam_sim::{ChannelId, Simulator};
+use sam_trace::{NullSink, TokenCounts, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,7 +43,17 @@ impl Executor for CycleBackend {
     }
 
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+        self.run_traced(plan, inputs, &NullSink)
+    }
+
+    fn run_traced(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+        trace: &dyn TraceSink,
+    ) -> Result<Execution, ExecError> {
         let start = Instant::now();
+        let tracing = trace.enabled();
         let nodes = plan.graph().nodes();
         let mut sim = Simulator::new();
         // Base channel per (node, output port), plus the channel each
@@ -52,15 +63,34 @@ impl Executor for CycleBackend {
         let mut out_ch: Vec<Vec<ChannelId>> = vec![Vec::new(); nodes.len()];
         let mut level_sinks: HashMap<usize, LevelWriterSink> = HashMap::new();
         let mut vals_sink: Option<ValWriterSink> = None;
+        // (channel, producing node, is-skip-lane) for every simulator channel
+        // incl. fork lanes, so per-node token sums equal the report total.
+        let mut chan_owner: Vec<(ChannelId, usize, bool)> = Vec::new();
+
+        if tracing {
+            for &id in plan.order() {
+                trace.define_node(id.0, &plan.node_label(id));
+            }
+        }
 
         // Pass 1: allocate every node's output channels and forks up front.
         // Skip feedback lanes make this necessary: the scanner's skip input
         // is fed by the *downstream* intersecter, so its channel must exist
         // before the scanner block is constructed.
         for &id in plan.order() {
-            let label = format!("n{}:{}", id.0, nodes[id.0].label());
+            let label = format!("n{}:{}", id.0, plan.node_label(id));
             for (port, consumers) in plan.consumers_of(id).iter().enumerate() {
+                // Intersecter output ports 3 and 4 feed operand scanners'
+                // skip inputs; their tokens land in the `skip` bucket.
+                let is_skip = matches!(nodes[id.0], NodeKind::Intersecter { .. }) && port >= 3;
+                let mut track = |sim: &mut Simulator, ch: ChannelId| {
+                    if tracing {
+                        sim.record(ch);
+                        chan_owner.push((ch, id.0, is_skip));
+                    }
+                };
                 let base = sim.add_channel(format!("{label}.out{port}"));
+                track(&mut sim, base);
                 out_ch[id.0].push(base);
                 if consumers.len() == 1 {
                     let (to, slot) = consumers[0];
@@ -69,6 +99,7 @@ impl Executor for CycleBackend {
                     let mut lanes = Vec::with_capacity(consumers.len());
                     for (lane, &(to, slot)) in consumers.iter().enumerate() {
                         let ch = sim.add_channel(format!("{label}.out{port}.fork{lane}"));
+                        track(&mut sim, ch);
                         input_ch.insert((to.0, slot), ch);
                         lanes.push(ch);
                     }
@@ -80,7 +111,7 @@ impl Executor for CycleBackend {
         // Pass 2: instantiate one block per node over the allocated channels.
         for &id in plan.order() {
             let kind = &nodes[id.0];
-            let label = format!("n{}:{}", id.0, kind.label());
+            let label = format!("n{}:{}", id.0, plan.node_label(id));
             let slot = |s: usize| input_ch[&(id.0, s)];
             match kind {
                 NodeKind::Root { .. } => {
@@ -213,6 +244,29 @@ impl Executor for CycleBackend {
 
         let report = sim.run(self.max_cycles)?;
 
+        if tracing {
+            // Classify every recorded channel's full history back to the node
+            // that produced it. All simulator channels (fork lanes included)
+            // are recorded, so the per-node sums equal `report.total_tokens`.
+            let mut counts: Vec<TokenCounts> = vec![TokenCounts::default(); nodes.len()];
+            for &(ch, node, is_skip) in &chan_owner {
+                for token in sim.history(ch) {
+                    if is_skip {
+                        counts[node].record_skip(token);
+                    } else {
+                        counts[node].record(token);
+                    }
+                }
+            }
+            for &id in plan.order() {
+                trace.record_tokens(id.0, counts[id.0]);
+                trace.record_invocations(id.0, 1);
+                // The simulator ticks every block each cycle; spans are
+                // coarse (one per block spanning the run, 1 cycle = 1 ns).
+                trace.record_span("cycle", &plan.node_label(id), 0, report.cycles);
+            }
+        }
+
         let levels: Vec<_> = plan
             .level_writers()
             .iter()
@@ -221,7 +275,7 @@ impl Executor for CycleBackend {
                     .lock()
                     .expect("level sink")
                     .clone()
-                    .ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() })
+                    .ok_or(ExecError::IncompleteOutput { label: plan.node_label(*w) })
             })
             .collect::<Result<_, _>>()?;
         let vals = vals_sink
@@ -229,7 +283,7 @@ impl Executor for CycleBackend {
             .lock()
             .expect("vals sink")
             .clone()
-            .ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+            .ok_or(ExecError::IncompleteOutput { label: plan.node_label(plan.vals_writer()) })?;
         let output = assemble_output(plan, levels, &vals)?;
 
         Ok(Execution {
@@ -243,6 +297,7 @@ impl Executor for CycleBackend {
             spills: 0,
             memory: None,
             elapsed: start.elapsed(),
+            profile: trace.snapshot(),
         })
     }
 }

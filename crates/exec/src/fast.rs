@@ -46,6 +46,7 @@ use crate::plan::Plan;
 use crate::{assemble_output, Execution, Executor, Parallelism};
 use sam_sim::SimToken;
 use sam_streams::chunked::ChunkConfig;
+use sam_trace::{NullSink, TokenCounts, TraceSink};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -113,8 +114,8 @@ impl FastBackend {
 impl Executor for FastBackend {
     fn name(&self) -> &'static str {
         match self.parallelism {
-            Parallelism::Serial => "fast",
-            Parallelism::Threads(_) => "fast-mt",
+            Parallelism::Serial => "fast-serial",
+            Parallelism::Threads(_) => "fast-threads",
         }
     }
 
@@ -123,11 +124,26 @@ impl Executor for FastBackend {
     }
 
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+        self.run_traced(plan, inputs, &NullSink)
+    }
+
+    fn run_traced(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+        trace: &dyn TraceSink,
+    ) -> Result<Execution, ExecError> {
         match self.parallelism {
-            Parallelism::Serial => run_serial(self.name(), plan, inputs),
-            Parallelism::Threads(n) => {
-                crate::parallel::run_parallel(self.name(), plan, inputs, n, self.chunk, self.planned_depths)
-            }
+            Parallelism::Serial => run_serial(self.name(), plan, inputs, trace),
+            Parallelism::Threads(n) => crate::parallel::run_parallel(
+                self.name(),
+                plan,
+                inputs,
+                n,
+                self.chunk,
+                self.planned_depths,
+                trace,
+            ),
         }
     }
 }
@@ -136,12 +152,24 @@ impl Executor for FastBackend {
 /// streams per node. Skip-target scanners are not evaluated standalone:
 /// each is fused into its intersecter as a [`GallopScan`], so skipped
 /// coordinates are never materialized at all.
-fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+fn run_serial(
+    backend: &'static str,
+    plan: &Plan,
+    inputs: &Inputs,
+    trace: &dyn TraceSink,
+) -> Result<Execution, ExecError> {
     let start = Instant::now();
+    let tracing = trace.enabled();
     let nodes = plan.graph().nodes();
     let mut streams: Vec<Vec<Stream>> = nodes.iter().map(|_| Vec::new()).collect();
     let mut level_results: HashMap<usize, sam_tensor::level::CompressedLevel> = HashMap::new();
     let mut vals_result: Option<Vec<f64>> = None;
+
+    if tracing {
+        for &id in plan.order() {
+            trace.define_node(id.0, &plan.node_label(id));
+        }
+    }
 
     for &id in plan.order() {
         let mut outs: Vec<Stream> = vec![Stream::new(); nodes[id.0].output_ports().len()];
@@ -151,6 +179,7 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
             streams[id.0] = outs;
             continue;
         }
+        let node_start = if tracing { Some(Instant::now()) } else { None };
         let lanes = plan.skip_scanners(id);
         if lanes.iter().any(Option::is_some) {
             let operand = |o: usize| -> IntersectOperand<'_, SliceSource<'_>> {
@@ -168,23 +197,29 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
             };
             let (a, b) = (operand(0), operand(1));
             let [oc, o0, o1, ..] = &mut outs[..] else { unreachable!("intersecter has five outputs") };
-            run_intersect(a, b, oc, o0, o1, &nodes[id.0].label())?;
-            streams[id.0] = outs;
-            continue;
-        }
-        let job = NodeJob::build(plan, inputs, id);
-        let mut srcs: Vec<SliceSource<'_>> = plan
-            .inputs_of(id)
-            .iter()
-            .flatten()
-            .map(|p| SliceSource::new(&streams[p.node.0][p.port]))
-            .collect();
-        match eval_node(&job, &mut srcs, &mut outs)? {
-            Some(WriterOutput::Level(level)) => {
-                level_results.insert(id.0, level);
+            run_intersect(a, b, oc, o0, o1, &plan.node_label(id))?;
+        } else {
+            let job = NodeJob::build(plan, inputs, id);
+            let mut srcs: Vec<SliceSource<'_>> = plan
+                .inputs_of(id)
+                .iter()
+                .flatten()
+                .map(|p| SliceSource::new(&streams[p.node.0][p.port]))
+                .collect();
+            match eval_node(&job, &mut srcs, &mut outs)? {
+                Some(WriterOutput::Level(level)) => {
+                    level_results.insert(id.0, level);
+                }
+                Some(WriterOutput::Vals(vals)) => vals_result = Some(vals),
+                None => {}
             }
-            Some(WriterOutput::Vals(vals)) => vals_result = Some(vals),
-            None => {}
+        }
+        if let Some(node_start) = node_start {
+            let elapsed_ns = node_start.elapsed().as_nanos() as u64;
+            let start_ns = (node_start - start).as_nanos() as u64;
+            trace.record_invocations(id.0, 1);
+            trace.record_node_wall(id.0, elapsed_ns);
+            trace.record_span("serial", &plan.node_label(id), start_ns, elapsed_ns);
         }
         streams[id.0] = outs;
     }
@@ -192,11 +227,25 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
     let levels: Vec<_> = plan
         .level_writers()
         .iter()
-        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() }))
+        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: plan.node_label(*w) }))
         .collect::<Result<_, _>>()?;
     let vals =
-        vals_result.ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+        vals_result.ok_or(ExecError::IncompleteOutput { label: plan.node_label(plan.vals_writer()) })?;
     let tokens: u64 = streams.iter().flatten().map(|s| s.len() as u64).sum();
+    if tracing {
+        // Classify every node's materialized output streams — the same
+        // tokens the aggregate count above sums, so per-node totals add up
+        // to `Execution::tokens` exactly.
+        for (node, outs) in streams.iter().enumerate() {
+            let mut counts = TokenCounts::default();
+            for stream in outs {
+                for token in stream {
+                    counts.record(token);
+                }
+            }
+            trace.record_tokens(node, counts);
+        }
+    }
     // Report the planned channel count, like the parallel mode, so the
     // metric is comparable across Parallelism settings.
     let channels = plan.channels().len();
@@ -213,5 +262,6 @@ fn run_serial(backend: &'static str, plan: &Plan, inputs: &Inputs) -> Result<Exe
         spills: 0,
         memory: None,
         elapsed: start.elapsed(),
+        profile: trace.snapshot(),
     })
 }

@@ -87,8 +87,33 @@
 //! let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
 //! let parallel = execute(&graph, &inputs, &FastBackend::threads(4)).unwrap();
 //! assert_eq!(serial.output.unwrap(), parallel.output.unwrap());
-//! assert_eq!(parallel.backend, "fast-mt");
+//! assert_eq!(parallel.backend, "fast-threads");
 //! assert!(matches!(FastBackend::threads(4).parallelism(), Parallelism::Threads(4)));
+//! ```
+//!
+//! # Tracing a run
+//!
+//! Every backend also exposes [`Executor::run_traced`], which drives a
+//! [`TraceSink`] (from `sam-trace`) with per-node token counts, wall and
+//! blocked time, per-channel stall stats and timeline spans, and surfaces
+//! the rollup as [`Execution::profile`]:
+//!
+//! ```
+//! use sam_core::graphs;
+//! use sam_exec::{CountersSink, Executor, FastBackend, Inputs, Plan};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! let graph = graphs::spmv();
+//! let b = synth::random_matrix_sparsity(30, 20, 0.9, 5);
+//! let c = synth::random_vector(20, 20, 6);
+//! let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec());
+//! let plan = Plan::build(&graph, &inputs).unwrap();
+//! let sink = CountersSink::new();
+//! let run = FastBackend::serial().run_traced(&plan, &inputs, &sink).unwrap();
+//! let profile = run.profile.unwrap();
+//! // Every token the run counted is attributed to exactly one node.
+//! assert_eq!(profile.total_tokens(), run.tokens);
+//! assert!(profile.nodes.iter().any(|n| n.label.starts_with("scan")));
 //! ```
 
 #![warn(missing_docs)]
@@ -110,6 +135,9 @@ pub use plan::{
     ChannelSpec, Plan, PortRef, SkipSpec, DEFAULT_MAX_CYCLES, MAX_CHANNEL_DEPTH, MIN_CHANNEL_DEPTH,
 };
 pub use sam_memory::MemoryCounters;
+pub use sam_trace::{
+    ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, NodeProfile, NullSink, TokenCounts, TraceSink,
+};
 pub use tiled::TiledBackend;
 
 use sam_core::graph::SamGraph;
@@ -121,7 +149,8 @@ use std::time::Duration;
 /// The outcome of executing a planned graph on one backend.
 #[derive(Debug, Clone)]
 pub struct Execution {
-    /// Which backend ran ("cycle" or "fast").
+    /// Which backend ran: `"cycle"`, `"fast-serial"`, `"fast-threads"` or
+    /// `"tiled"`.
     pub backend: &'static str,
     /// The assembled output tensor (absent for graphs with no level
     /// writers, e.g. full reductions to a scalar).
@@ -150,6 +179,10 @@ pub struct Execution {
     pub memory: Option<MemoryCounters>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Per-node and per-channel observability rollup. Populated only by
+    /// [`Executor::run_traced`] with a sink that accumulates one (e.g.
+    /// [`CountersSink`] or [`ChromeTraceSink`]); `None` on untraced runs.
+    pub profile: Option<ExecProfile>,
 }
 
 /// How a backend schedules the planned nodes.
@@ -186,6 +219,26 @@ pub trait Executor {
     /// cycle limit, misaligned streams, out-of-bounds references, or an
     /// incomplete output).
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError>;
+
+    /// Executes the plan while driving `trace` with per-node and
+    /// per-channel instrumentation (see the `sam-trace` crate). Sinks whose
+    /// [`TraceSink::enabled`] returns `false` (the [`NullSink`]) skip all
+    /// instrumentation work, making this exactly [`Executor::run`]. The
+    /// default implementation ignores the sink entirely; every shipped
+    /// backend overrides it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Executor::run`].
+    fn run_traced(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+        trace: &dyn TraceSink,
+    ) -> Result<Execution, ExecError> {
+        let _ = trace;
+        self.run(plan, inputs)
+    }
 }
 
 /// Plans `graph` over `inputs` and runs it on `backend` in one call.

@@ -34,8 +34,12 @@ use crate::node::{
 };
 use crate::plan::Plan;
 use crate::{assemble_output, Execution};
+use sam_core::graph::NodeId;
 use sam_sim::SimToken;
-use sam_streams::chunked::{channel_counted, ChunkConfig, ChunkReceiver, ChunkSender};
+use sam_streams::chunked::{
+    channel_counted, channel_instrumented, ChannelStats, ChunkConfig, ChunkReceiver, ChunkSender,
+};
+use sam_trace::{ChannelProfile, TokenCounts, TraceSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -57,11 +61,19 @@ impl Source for ChunkReceiver<SimToken> {
 struct ChannelSink {
     senders: Vec<ChunkSender<SimToken>>,
     tokens: u64,
+    /// Per-type token classification, accumulated only on traced runs.
+    /// Counting happens here — before fan-out duplicates the token — so a
+    /// node's counts are independent of its consumer count and identical to
+    /// what serial mode classifies from its materialized streams.
+    counts: Option<TokenCounts>,
 }
 
 impl Sink for ChannelSink {
     fn push(&mut self, t: SimToken) {
         self.tokens += 1;
+        if let Some(counts) = &mut self.counts {
+            counts.record(&t);
+        }
         for tx in &mut self.senders {
             tx.push(t);
         }
@@ -92,11 +104,18 @@ pub(crate) fn run_parallel(
     threads: usize,
     config: ChunkConfig,
     planned_depths: bool,
+    trace: &dyn TraceSink,
 ) -> Result<Execution, ExecError> {
     let start = Instant::now();
+    let tracing = trace.enabled();
     let nodes = plan.graph().nodes();
     let n = nodes.len();
     let threads = threads.max(1).min(n.max(1));
+    if tracing {
+        for &id in plan.order() {
+            trace.define_node(id.0, &plan.node_label(id));
+        }
+    }
     // One shared counter aggregates the spill-past-depth escapes of every
     // channel in the topology (reported as `Execution::spills`).
     let spill_counter = Arc::new(AtomicU64::new(0));
@@ -113,6 +132,11 @@ pub(crate) fn run_parallel(
     // Fused scan inputs: (intersecter, operand) -> the channel that fed the
     // elided scanner.
     let mut fused_rx: HashMap<(usize, usize), ChunkReceiver<SimToken>> = HashMap::new();
+    // On traced runs, per-channel stall stats plus the attribution needed to
+    // roll them up: (stats, label, producer node, consumer node). Blocked
+    // sends charge the producer; blocked receives charge the consumer (for
+    // fused scanner inputs, the intersecter that actually drains them).
+    let mut chan_meta: Vec<(Arc<ChannelStats>, String, usize, usize)> = Vec::new();
     let channel_count = plan.channels().len();
     for spec in plan.channels() {
         // Skip feedback lanes live inside the fused work unit; no channel.
@@ -132,7 +156,21 @@ pub(crate) fn run_parallel(
         } else {
             config
         };
-        let (tx, rx) = channel_counted::<SimToken>(spec_config, Arc::clone(&spill_counter));
+        let (tx, rx) = if tracing {
+            let consumer = fused_of.get(&spec.to.0).map_or(spec.to.0, |&(i, _)| i);
+            let stats = Arc::new(ChannelStats::default());
+            let label = format!(
+                "n{}:{}.out{} -> n{}",
+                spec.from.node.0,
+                plan.node_label(spec.from.node),
+                spec.from.port,
+                consumer,
+            );
+            chan_meta.push((Arc::clone(&stats), label, spec.from.node.0, consumer));
+            channel_instrumented::<SimToken>(spec_config, Arc::clone(&spill_counter), stats)
+        } else {
+            channel_counted::<SimToken>(spec_config, Arc::clone(&spill_counter))
+        };
         senders[spec.from.node.0][spec.from.port].push(tx);
         // ...and the channel feeding it is rerouted to the intersecter.
         if let Some(&key) = fused_of.get(&spec.to.0) {
@@ -147,7 +185,14 @@ pub(crate) fn run_parallel(
         .map(|(node_srcs, node_senders)| {
             Some(NodeStreams {
                 srcs: node_srcs,
-                sinks: node_senders.into_iter().map(|txs| ChannelSink { senders: txs, tokens: 0 }).collect(),
+                sinks: node_senders
+                    .into_iter()
+                    .map(|txs| ChannelSink {
+                        senders: txs,
+                        tokens: 0,
+                        counts: tracing.then(TokenCounts::default),
+                    })
+                    .collect(),
             })
         })
         .collect();
@@ -159,8 +204,12 @@ pub(crate) fn run_parallel(
     let cursor = AtomicUsize::new(0);
 
     thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        let works = &works;
+        let results = &results;
+        let fused_rx = &fused_rx;
+        let cursor = &cursor;
+        for worker in 0..threads {
+            scope.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::SeqCst);
                 let Some(&id) = plan.order().get(idx) else { break };
                 let mut work = works.lock().expect("work list")[id.0].take().expect("each node claimed once");
@@ -169,6 +218,7 @@ pub(crate) fn run_parallel(
                     results.lock().expect("results")[id.0] = Some((Ok(None), 0));
                     continue;
                 }
+                let node_start = tracing.then(Instant::now);
                 // From here on the producers of this node may block on us
                 // instead of spilling: we are actively draining.
                 for src in work.srcs.iter().flatten() {
@@ -176,20 +226,57 @@ pub(crate) fn run_parallel(
                 }
                 let lanes = plan.skip_scanners(id);
                 let res = if lanes.iter().any(Option::is_some) {
-                    run_fused_intersect(plan, inputs, id, lanes, &mut work, &fused_rx)
+                    run_fused_intersect(plan, inputs, id, lanes, &mut work, fused_rx)
                 } else {
                     let job = NodeJob::build(plan, inputs, id);
                     let mut bound: Vec<ChunkReceiver<SimToken>> = work.srcs.drain(..).flatten().collect();
                     eval_node(&job, &mut bound, &mut work.sinks)
                 };
                 let tokens = work.sinks.iter().map(|s| s.tokens).sum();
+                if tracing {
+                    let counts = work.sinks.iter().fold(TokenCounts::default(), |acc, s| match &s.counts {
+                        Some(c) => acc + *c,
+                        None => acc,
+                    });
+                    trace.record_tokens(id.0, counts);
+                }
                 // Dropping the streams finishes this node's outputs (flush +
                 // end-of-stream) and detaches its inputs.
                 drop(work);
+                if let Some(node_start) = node_start {
+                    let elapsed_ns = node_start.elapsed().as_nanos() as u64;
+                    let start_ns = (node_start - start).as_nanos() as u64;
+                    trace.record_invocations(id.0, 1);
+                    trace.record_node_wall(id.0, elapsed_ns);
+                    trace.record_span(
+                        &format!("worker-{worker}"),
+                        &plan.node_label(id),
+                        start_ns,
+                        elapsed_ns,
+                    );
+                }
                 results.lock().expect("results")[id.0] = Some((res, tokens));
             });
         }
     });
+
+    if tracing {
+        // Channel stats are final once every worker has exited: attribute
+        // blocked sends to the producer, blocked receives to the consumer.
+        for (stats, label, producer, consumer) in &chan_meta {
+            let blocked_send = stats.blocked_send_ns.load(Ordering::Relaxed);
+            let blocked_recv = stats.blocked_recv_ns.load(Ordering::Relaxed);
+            trace.record_node_blocked(*producer, blocked_send);
+            trace.record_node_blocked(*consumer, blocked_recv);
+            trace.record_channel(ChannelProfile {
+                label: label.clone(),
+                blocked_send_ns: blocked_send,
+                blocked_recv_ns: blocked_recv,
+                occupancy_peak: stats.occupancy_peak.load(Ordering::Relaxed),
+                spills: stats.spills.load(Ordering::Relaxed),
+            });
+        }
+    }
 
     let mut results = results.into_inner().expect("results");
     // Report the earliest failure in topological order: downstream nodes
@@ -206,7 +293,7 @@ pub(crate) fn run_parallel(
     let mut tokens = 0u64;
     for (i, slot) in results.iter_mut().enumerate() {
         let Some((res, node_tokens)) = slot.take() else {
-            return Err(ExecError::IncompleteOutput { label: nodes[i].label() });
+            return Err(ExecError::IncompleteOutput { label: plan.node_label(NodeId(i)) });
         };
         tokens += node_tokens;
         match res.expect("errors handled above") {
@@ -221,10 +308,10 @@ pub(crate) fn run_parallel(
     let levels: Vec<_> = plan
         .level_writers()
         .iter()
-        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: nodes[w.0].label() }))
+        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: plan.node_label(*w) }))
         .collect::<Result<_, _>>()?;
     let vals =
-        vals_result.ok_or(ExecError::IncompleteOutput { label: nodes[plan.vals_writer().0].label() })?;
+        vals_result.ok_or(ExecError::IncompleteOutput { label: plan.node_label(plan.vals_writer()) })?;
     let output = assemble_output(plan, levels, &vals)?;
 
     Ok(Execution {
@@ -238,6 +325,7 @@ pub(crate) fn run_parallel(
         spills: spill_counter.load(Ordering::Relaxed),
         memory: None,
         elapsed: start.elapsed(),
+        profile: trace.snapshot(),
     })
 }
 
@@ -278,7 +366,7 @@ fn run_fused_intersect(
         }
     }
 
-    let label = plan.graph().nodes()[id.0].label();
+    let label = plan.node_label(id);
     let mut slots: Vec<Option<ChunkReceiver<SimToken>>> = work.srcs.drain(..).collect();
     let a = mk_operand(plan, inputs, id.0, 0, lanes[0], &mut slots, fused_rx, &label)?;
     let b = mk_operand(plan, inputs, id.0, 1, lanes[1], &mut slots, fused_rx, &label)?;

@@ -133,7 +133,11 @@ impl Plan {
                 _ => None,
             };
             if let Some(name) = unsupported {
-                return Err(PlanError::UnsupportedNode { node, label: kind.label(), kind: name.to_string() });
+                return Err(PlanError::UnsupportedNode {
+                    node,
+                    label: graph.node_label(NodeId(node)),
+                    kind: name.to_string(),
+                });
             }
         }
 
@@ -173,7 +177,7 @@ impl Plan {
                                     .filter(|o| o.from == e.from && o.kind == e.kind && o.src_port.is_none())
                                     .count();
                                 if unported > candidates.len() {
-                                    return Err(PlanError::AmbiguousPort { label: nodes[e.from.0].label() });
+                                    return Err(PlanError::AmbiguousPort { label: graph.node_label(e.from) });
                                 }
                                 let key = (e.from.0, candidates[0]);
                                 let idx = next_inferred.entry(key).or_insert(0);
@@ -194,7 +198,7 @@ impl Plan {
         let mut dst_slots: Vec<usize> = Vec::with_capacity(data_edges.len());
         for (idx, e) in data_edges.iter().enumerate() {
             let ins = nodes[e.to.0].input_ports();
-            let label = nodes[e.to.0].label();
+            let label = graph.node_label(e.to);
             let slot = match e.dst_port {
                 Some(p) => {
                     if p >= ins.len() || !ins[p].accepts(e.kind) {
@@ -218,7 +222,7 @@ impl Plan {
             let ins = nodes[i].input_ports();
             for (p, s) in slots.iter().enumerate() {
                 if s.is_none() && ins[p] != PortKind::Skip {
-                    return Err(PlanError::UnboundInput { label: nodes[i].label(), port: p });
+                    return Err(PlanError::UnboundInput { label: graph.node_label(NodeId(i)), port: p });
                 }
             }
         }
@@ -244,7 +248,7 @@ impl Plan {
             }
         }
         if order.len() != n {
-            let stuck = (0..n).filter(|&i| indegree[i] > 0).map(|i| nodes[i].label()).collect();
+            let stuck = (0..n).filter(|&i| indegree[i] > 0).map(|i| graph.node_label(NodeId(i))).collect();
             return Err(PlanError::Cycle { stuck });
         }
 
@@ -357,10 +361,10 @@ impl Plan {
                 }
                 NodeKind::LevelScanner { tensor, index, compressed } => {
                     let src = &node_inputs[id.0][0].expect("bound data port");
-                    let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
+                    let (t, depth) = lookup_ref(&ref_ann, src, graph.node_label(id), tensor)?;
                     if &t != tensor {
                         return Err(PlanError::TensorMismatch {
-                            label: kind.label(),
+                            label: graph.node_label(id),
                             expected: tensor.clone(),
                             found: t,
                         });
@@ -380,10 +384,10 @@ impl Plan {
                 }
                 NodeKind::Locator { tensor, index } => {
                     let src = &node_inputs[id.0][1].expect("bound data port");
-                    let (t, depth) = lookup_ref(&ref_ann, src, kind.label(), tensor)?;
+                    let (t, depth) = lookup_ref(&ref_ann, src, graph.node_label(id), tensor)?;
                     if &t != tensor {
                         return Err(PlanError::TensorMismatch {
-                            label: kind.label(),
+                            label: graph.node_label(id),
                             expected: tensor.clone(),
                             found: t,
                         });
@@ -429,7 +433,7 @@ impl Plan {
                     if let Some((t, depth)) = ref_ann.get(&(src.node.0, src.port)) {
                         if t != tensor {
                             return Err(PlanError::TensorMismatch {
-                                label: kind.label(),
+                                label: graph.node_label(id),
                                 expected: tensor.clone(),
                                 found: t.clone(),
                             });
@@ -565,6 +569,13 @@ impl Plan {
     /// The planned graph.
     pub fn graph(&self) -> &SamGraph {
         &self.graph
+    }
+
+    /// The display label of a planned node: the builder/compiler override
+    /// when one was attached (e.g. `intersect(j: B,C)`), otherwise the node
+    /// kind's generic label. Error messages and execution traces use this.
+    pub fn node_label(&self, node: NodeId) -> String {
+        self.graph.node_label(node)
     }
 
     /// Nodes in topological order.

@@ -50,6 +50,7 @@ use crate::{Execution, Executor, FastBackend};
 use sam_memory::{MemoryConfig, MemoryCounters};
 use sam_tensor::{CooTensor, Tensor};
 use sam_tiles::{KernelTiling, LlbModel, TileGrid, TileMerger};
+use sam_trace::{ChannelProfile, ExecProfile, NullSink, TokenCounts, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,7 +103,20 @@ impl Executor for TiledBackend {
     }
 
     fn run(&self, plan: &Plan, inputs: &Inputs) -> Result<Execution, ExecError> {
+        self.run_traced(plan, inputs, &NullSink)
+    }
+
+    fn run_traced(
+        &self,
+        plan: &Plan,
+        inputs: &Inputs,
+        trace: &dyn TraceSink,
+    ) -> Result<Execution, ExecError> {
         let start = Instant::now();
+        let tracing = trace.enabled();
+        // Inner tile runs share the outer sink (per-node counters accumulate
+        // across tuples) but their spans are replaced by one per tile tuple.
+        let tile_sink = TileSink { inner: trace };
         let graph = plan.graph();
         let tiling = KernelTiling::from_graph(graph, |n| inputs.get(n), self.config.tile)
             .map_err(|e| ExecError::TilingUnsupported { reason: e.to_string() })?;
@@ -219,7 +233,16 @@ impl Executor for TiledBackend {
                         plan_cache.entry(shape_key).or_insert(p)
                     }
                 };
-                let run = inner.run(tile_plan, &tile_inputs)?;
+                let tuple_start = if tracing { Some(Instant::now()) } else { None };
+                let run = inner.run_traced(tile_plan, &tile_inputs, &tile_sink)?;
+                if let Some(t0) = tuple_start {
+                    trace.record_span(
+                        "tiles",
+                        &format!("tile{tuple:?}"),
+                        (t0 - start).as_nanos() as u64,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
                 tokens += run.tokens;
                 match run.output {
                     Some(out) => {
@@ -277,7 +300,44 @@ impl Executor for TiledBackend {
             spills: 0,
             memory: Some(counters),
             elapsed: start.elapsed(),
+            profile: trace.snapshot(),
         })
+    }
+}
+
+/// Forwards per-node counters from inner tile runs to the outer sink while
+/// suppressing the inner per-node spans — their timestamps are relative to
+/// each tuple's own start, so they would overlap meaninglessly on a shared
+/// timeline. The backend emits one span per executed tile tuple instead.
+struct TileSink<'a> {
+    inner: &'a dyn TraceSink,
+}
+
+impl TraceSink for TileSink<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+    fn define_node(&self, node: usize, label: &str) {
+        self.inner.define_node(node, label);
+    }
+    fn record_tokens(&self, node: usize, counts: TokenCounts) {
+        self.inner.record_tokens(node, counts);
+    }
+    fn record_invocations(&self, node: usize, n: u64) {
+        self.inner.record_invocations(node, n);
+    }
+    fn record_node_wall(&self, node: usize, ns: u64) {
+        self.inner.record_node_wall(node, ns);
+    }
+    fn record_node_blocked(&self, node: usize, ns: u64) {
+        self.inner.record_node_blocked(node, ns);
+    }
+    fn record_channel(&self, channel: ChannelProfile) {
+        self.inner.record_channel(channel);
+    }
+    fn record_span(&self, _track: &str, _name: &str, _start_ns: u64, _dur_ns: u64) {}
+    fn snapshot(&self) -> Option<ExecProfile> {
+        None
     }
 }
 

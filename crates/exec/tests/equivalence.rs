@@ -97,6 +97,7 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
 
         let serial = execute(&graph, &inputs, &FastBackend::serial())
             .unwrap_or_else(|e| panic!("{}: serial fast run failed: {e}", graph.name));
+        assert_eq!(serial.backend, "fast-serial");
         let serial_out = serial.output.expect("tensor output");
         assert!(
             serial_out.to_dense().approx_eq(&expect),
@@ -106,6 +107,7 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
 
         let cycle = execute(&graph, &inputs, &CycleBackend::default())
             .unwrap_or_else(|e| panic!("{}: cycle run failed: {e}", graph.name));
+        assert_eq!(cycle.backend, "cycle");
         assert_eq!(
             cycle.output.expect("tensor output"),
             serial_out,
@@ -117,7 +119,7 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
             let backend = FastBackend::threads(threads);
             let parallel = execute(&graph, &inputs, &backend)
                 .unwrap_or_else(|e| panic!("{}: Threads({threads}) run failed: {e}", graph.name));
-            assert_eq!(parallel.backend, "fast-mt");
+            assert_eq!(parallel.backend, "fast-threads");
             assert_eq!(
                 parallel.output.expect("tensor output"),
                 serial_out,

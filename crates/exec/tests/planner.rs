@@ -304,7 +304,7 @@ fn execute_convenience_runs_both_backends() {
     let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
     assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
     assert_eq!(cycle.backend, "cycle");
-    assert_eq!(fast.backend, "fast");
+    assert_eq!(fast.backend, "fast-serial");
 }
 
 #[test]

@@ -1,0 +1,192 @@
+//! Observability invariants: per-node token counts from [`CountersSink`]
+//! are bit-identical between the serial and threaded fast backends for
+//! every kernel in the catalog, per-node totals add up to
+//! [`Execution::tokens`] on all four backends, and traces carry the
+//! human-readable node labels the builder attached.
+
+use sam_core::graph::SamGraph;
+use sam_core::graphs;
+use sam_core::kernels::spmm::SpmmDataflow;
+use sam_exec::{CountersSink, CycleBackend, ExecProfile, Executor, FastBackend, Inputs, Plan, TiledBackend};
+use sam_tensor::{synth, CooTensor, TensorFormat};
+
+/// The kernel catalog from the equivalence suite, sized down slightly: each
+/// entry is profiled under four backend configurations.
+fn catalog() -> Vec<(SamGraph, Inputs)> {
+    let vb = synth::random_vector(150, 45, 301);
+    let vc = synth::random_vector(150, 40, 302);
+    let m = synth::random_matrix_sparsity(24, 18, 0.85, 303);
+    let n = synth::random_matrix_sparsity(18, 21, 0.85, 304);
+    let sv = synth::random_vector(18, 18, 305);
+    let dense_c = synth::dense_matrix(24, 6, 306);
+    let dense_d = synth::dense_matrix(18, 6, 307);
+    let b3 = synth::random_tensor3([14, 8, 9], 160, 308);
+    let fc = synth::random_matrix_sparsity(10, 8, 0.55, 309);
+    let fd = synth::random_matrix_sparsity(10, 9, 0.55, 310);
+
+    vec![
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+        ),
+        (graphs::identity(), Inputs::new().coo("B", &m, TensorFormat::dcsr())),
+        (
+            graphs::spmv(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::dense_vec()),
+        ),
+        (
+            graphs::spmv_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmv_with_skip(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsc()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsc()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+        ),
+        (
+            graphs::mttkrp(),
+            Inputs::new().coo("B", &b3, TensorFormat::csf(3)).coo("C", &fc, TensorFormat::dcsc()).coo(
+                "D",
+                &fd,
+                TensorFormat::dcsc(),
+            ),
+        ),
+    ]
+}
+
+fn profiled(backend: &dyn Executor, plan: &Plan, inputs: &Inputs) -> (u64, ExecProfile) {
+    let sink = CountersSink::new();
+    let run = backend.run_traced(plan, inputs, &sink).unwrap_or_else(|e| panic!("traced run failed: {e}"));
+    let profile = run.profile.expect("traced runs attach a profile");
+    (run.tokens, profile)
+}
+
+/// Per-node token counts and invocation counts must not depend on how the
+/// fast backend is scheduled: serial and Threads(4) classify the same
+/// streams and must agree node for node, bit for bit.
+#[test]
+fn per_node_counts_identical_between_serial_and_threads() {
+    for (graph, inputs) in catalog() {
+        let plan = Plan::build(&graph, &inputs).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        let (_, serial) = profiled(&FastBackend::serial(), &plan, &inputs);
+        let (_, threads) = profiled(&FastBackend::threads(4), &plan, &inputs);
+        assert_eq!(serial.nodes.len(), threads.nodes.len(), "{}", graph.name);
+        for (s, t) in serial.nodes.iter().zip(&threads.nodes) {
+            assert_eq!(s.label, t.label, "{}: node {} label differs", graph.name, s.index);
+            assert_eq!(
+                s.tokens, t.tokens,
+                "{}: node {} ({}) token counts differ between fast-serial and fast-threads",
+                graph.name, s.index, s.label
+            );
+            assert_eq!(
+                s.invocations, t.invocations,
+                "{}: node {} ({}) invocation counts differ",
+                graph.name, s.index, s.label
+            );
+        }
+    }
+}
+
+/// The per-node classification is exhaustive: summed over nodes it equals
+/// the aggregate `Execution::tokens` the backend reports — on the fast
+/// serial, fast threaded and cycle backends, for every catalog kernel.
+#[test]
+fn profile_totals_match_execution_tokens() {
+    let backends: [&dyn Executor; 3] =
+        [&FastBackend::serial(), &FastBackend::threads(4), &CycleBackend::default()];
+    for (graph, inputs) in catalog() {
+        let plan = Plan::build(&graph, &inputs).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        for backend in backends {
+            let (tokens, profile) = profiled(backend, &plan, &inputs);
+            assert_eq!(
+                profile.total_tokens(),
+                tokens,
+                "{}: profile total diverges from Execution::tokens on `{}`",
+                graph.name,
+                backend.name()
+            );
+        }
+    }
+}
+
+/// The tiled backend accumulates per-node counts across tile tuples; the
+/// grand total still equals its aggregate token count.
+#[test]
+fn tiled_profile_totals_match_execution_tokens() {
+    let int = |coo: &CooTensor| {
+        CooTensor::from_entries(
+            coo.shape().to_vec(),
+            coo.entries().iter().map(|(p, v)| (p.clone(), (v * 4.0).round())).collect(),
+        )
+        .unwrap()
+    };
+    let b = int(&synth::random_matrix_sparsity(40, 32, 0.6, 311));
+    let c = int(&synth::random_matrix_sparsity(32, 40, 0.6, 312));
+    let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
+    let graph = graphs::spmm(SpmmDataflow::LinearCombination);
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    let (tokens, profile) = profiled(&TiledBackend::with_tile(8), &plan, &inputs);
+    assert!(tokens > 0);
+    assert_eq!(profile.total_tokens(), tokens);
+    // Every tile tuple re-runs the graph, so nodes fire more than once.
+    assert!(profile.nodes.iter().any(|n| n.invocations > 1), "tiled runs accumulate invocations");
+}
+
+/// Traces carry the builder's human-readable labels: a merge shows up as
+/// `intersect(j: B,c)`, not a bare `intersect(j)` — on every backend.
+#[test]
+fn traces_carry_enriched_node_labels() {
+    let m = synth::random_matrix_sparsity(24, 18, 0.85, 303);
+    let sv = synth::random_vector(18, 18, 305);
+    let inputs = Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec());
+    let graph = graphs::spmv_coiteration();
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    let backends: [&dyn Executor; 3] =
+        [&FastBackend::serial(), &FastBackend::threads(2), &CycleBackend::default()];
+    for backend in backends {
+        let (_, profile) = profiled(backend, &plan, &inputs);
+        assert!(
+            profile.nodes.iter().any(|n| n.label == "intersect(j: B,c)"),
+            "`{}` trace is missing the enriched intersect label: {:?}",
+            backend.name(),
+            profile.nodes.iter().map(|n| n.label.clone()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The threaded backend attributes channel stalls: profiles include
+/// per-channel records and the skew kernel's serial bottleneck shows up as
+/// blocked time somewhere in the graph.
+#[test]
+fn threaded_profiles_report_channels() {
+    let m = synth::random_matrix_sparsity(60, 80, 0.4, 313);
+    let sv = synth::random_vector(80, 20, 314);
+    let inputs = Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec());
+    let graph = graphs::spmv_coiteration();
+    let plan = Plan::build(&graph, &inputs).unwrap();
+    let (_, profile) = profiled(&FastBackend::threads(4), &plan, &inputs);
+    assert!(!profile.channels.is_empty(), "threaded runs record every chunked channel");
+    assert!(profile.channels.iter().all(|c| c.label.contains("->")), "channel labels name both ends");
+    // Serial runs have no channels at all.
+    let (_, serial) = profiled(&FastBackend::serial(), &plan, &inputs);
+    assert!(serial.channels.is_empty());
+}

@@ -144,6 +144,7 @@ fn every_supported_kernel_is_bit_identical_across_tile_sizes() {
         for tile in [4usize, 16, 128] {
             let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(tile))
                 .unwrap_or_else(|e| panic!("{}: tile {tile} run failed: {e}", graph.name));
+            assert_eq!(tiled.backend, "tiled");
             assert_eq!(
                 tiled.output.as_ref().expect("tensor output"),
                 &untiled_out,

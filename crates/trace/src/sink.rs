@@ -1,0 +1,232 @@
+//! The trace sink trait and its counter-accumulating implementations.
+
+use crate::counts::TokenCounts;
+use crate::profile::{ChannelProfile, ExecProfile, NodeProfile};
+use std::sync::Mutex;
+
+/// The hook surface the execution backends drive while running a plan.
+///
+/// Implementations must be [`Sync`]: the parallel fast backend shares one
+/// sink across all of its worker threads. Every hook takes `&self`, so
+/// accumulating sinks use interior mutability.
+///
+/// Backends are expected to consult [`TraceSink::enabled`] once up front and
+/// skip *all* instrumentation work — timestamping, token classification,
+/// channel stats — when it returns `false`, which is what makes tracing
+/// zero-cost for the [`NullSink`].
+pub trait TraceSink: Sync {
+    /// Whether the sink wants data at all. The default is `true`; only
+    /// no-op sinks should override this.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Registers a planned node and its human-readable label. Called once
+    /// per node before execution starts.
+    fn define_node(&self, _node: usize, _label: &str) {}
+
+    /// Accumulates classified output tokens for a node.
+    fn record_tokens(&self, _node: usize, _counts: TokenCounts) {}
+
+    /// Accumulates node executions (e.g. one per tile tuple on the tiled
+    /// backend).
+    fn record_invocations(&self, _node: usize, _n: u64) {}
+
+    /// Accumulates wall time a node spent executing, nanoseconds. Backends
+    /// report *total live* time here; blocked time reported through
+    /// [`TraceSink::record_node_blocked`] is subtracted to obtain busy time.
+    fn record_node_wall(&self, _node: usize, _ns: u64) {}
+
+    /// Accumulates wall time a node spent blocked on channels, nanoseconds.
+    fn record_node_blocked(&self, _node: usize, _ns: u64) {}
+
+    /// Records the final stall stats of one channel.
+    fn record_channel(&self, _channel: ChannelProfile) {}
+
+    /// Records one timeline span on a named track (a worker thread, a
+    /// simulated block, a tile tuple). Timestamps are nanoseconds relative
+    /// to the start of the run.
+    fn record_span(&self, _track: &str, _name: &str, _start_ns: u64, _dur_ns: u64) {}
+
+    /// The rollup accumulated so far, for sinks that keep one. Backends
+    /// call this once at the end of a traced run to populate
+    /// `Execution::profile`.
+    fn snapshot(&self) -> Option<ExecProfile> {
+        None
+    }
+}
+
+/// The disabled sink: reports [`TraceSink::enabled`]` == false` and drops
+/// everything. `Executor::run` is equivalent to `run_traced` with this sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Default)]
+struct NodeAcc {
+    label: String,
+    tokens: TokenCounts,
+    invocations: u64,
+    wall_ns: u64,
+    blocked_ns: u64,
+}
+
+#[derive(Default)]
+struct Acc {
+    nodes: Vec<NodeAcc>,
+    channels: Vec<ChannelProfile>,
+}
+
+impl Acc {
+    fn node(&mut self, node: usize) -> &mut NodeAcc {
+        if self.nodes.len() <= node {
+            self.nodes.resize_with(node + 1, NodeAcc::default);
+        }
+        &mut self.nodes[node]
+    }
+
+    fn profile(&self) -> ExecProfile {
+        ExecProfile {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(index, n)| NodeProfile {
+                    index,
+                    label: n.label.clone(),
+                    tokens: n.tokens,
+                    invocations: n.invocations,
+                    busy_ns: n.wall_ns.saturating_sub(n.blocked_ns),
+                    blocked_ns: n.blocked_ns,
+                })
+                .collect(),
+            channels: self.channels.clone(),
+        }
+    }
+}
+
+/// Accumulates per-node token counts, invocations, wall/blocked time and
+/// per-channel stall stats behind a mutex, and rolls them up into an
+/// [`ExecProfile`].
+///
+/// ```
+/// use sam_trace::{CountersSink, TokenCounts, TraceSink};
+///
+/// let sink = CountersSink::default();
+/// sink.define_node(0, "scan B0");
+/// sink.record_tokens(0, TokenCounts { crd: 5, stop: 1, ..Default::default() });
+/// sink.record_invocations(0, 1);
+/// let profile = sink.profile();
+/// assert_eq!(profile.nodes[0].label, "scan B0");
+/// assert_eq!(profile.nodes[0].tokens.total(), 6);
+/// ```
+#[derive(Default)]
+pub struct CountersSink {
+    acc: Mutex<Acc>,
+}
+
+impl CountersSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rollup accumulated so far.
+    pub fn profile(&self) -> ExecProfile {
+        self.acc.lock().expect("trace accumulator").profile()
+    }
+}
+
+impl TraceSink for CountersSink {
+    fn define_node(&self, node: usize, label: &str) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.node(node).label = label.to_string();
+    }
+
+    fn record_tokens(&self, node: usize, counts: TokenCounts) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.node(node).tokens += counts;
+    }
+
+    fn record_invocations(&self, node: usize, n: u64) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.node(node).invocations += n;
+    }
+
+    fn record_node_wall(&self, node: usize, ns: u64) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.node(node).wall_ns += ns;
+    }
+
+    fn record_node_blocked(&self, node: usize, ns: u64) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.node(node).blocked_ns += ns;
+    }
+
+    fn record_channel(&self, channel: ChannelProfile) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.channels.push(channel);
+    }
+
+    fn snapshot(&self) -> Option<ExecProfile> {
+        Some(self.profile())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(NullSink.snapshot().is_none());
+        // The no-op hooks must be callable without effect.
+        NullSink.record_tokens(3, TokenCounts::default());
+        NullSink.record_span("t", "n", 0, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_across_calls() {
+        let sink = CountersSink::new();
+        sink.define_node(1, "reduce");
+        sink.record_tokens(1, TokenCounts { val: 2, ..Default::default() });
+        sink.record_tokens(1, TokenCounts { val: 3, stop: 1, ..Default::default() });
+        sink.record_invocations(1, 2);
+        sink.record_node_wall(1, 100);
+        sink.record_node_blocked(1, 30);
+        let p = sink.profile();
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.nodes[1].tokens.val, 5);
+        assert_eq!(p.nodes[1].tokens.stop, 1);
+        assert_eq!(p.nodes[1].invocations, 2);
+        assert_eq!(p.nodes[1].busy_ns, 70);
+        assert_eq!(p.nodes[1].blocked_ns, 30);
+        // Node 0 was never defined but still appears, unlabeled.
+        assert_eq!(p.nodes[0].label, "");
+    }
+
+    #[test]
+    fn blocked_never_exceeds_wall() {
+        let sink = CountersSink::new();
+        sink.record_node_wall(0, 10);
+        sink.record_node_blocked(0, 25);
+        let p = sink.profile();
+        assert_eq!(p.nodes[0].busy_ns, 0);
+        assert_eq!(p.nodes[0].blocked_ns, 25);
+    }
+
+    #[test]
+    fn channels_pass_through() {
+        let sink = CountersSink::new();
+        sink.record_channel(ChannelProfile { label: "a -> b".into(), spills: 3, ..Default::default() });
+        let p = sink.snapshot().unwrap();
+        assert_eq!(p.channels.len(), 1);
+        assert_eq!(p.total_spills(), 3);
+    }
+}

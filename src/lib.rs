@@ -10,6 +10,8 @@
 //! * [`sim`] — the cycle-approximate simulator,
 //! * [`core`] — the SAM graph IR, graph builder, kernel graph catalog,
 //!   wiring helpers and hand-scheduled kernel library,
+//! * [`trace`] — the observability layer (trace sinks, per-node/per-channel
+//!   profiles, Chrome trace export),
 //! * [`exec`] — the graph-driven execution engine (planner plus the
 //!   cycle-approximate and fast functional backends),
 //! * [`memory`] — the analytic finite-memory / tiling model,
@@ -29,3 +31,4 @@ pub use sam_sim as sim;
 pub use sam_streams as streams;
 pub use sam_tensor as tensor;
 pub use sam_tiles as tiles;
+pub use sam_trace as trace;
