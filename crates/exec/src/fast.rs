@@ -10,14 +10,23 @@
 //!   order, each consuming its producers' finished `Vec`s and materializing
 //!   its own. No scheduler, no channels, no synchronization: peak
 //!   single-thread throughput.
-//! * [`Parallelism::Threads`]`(n)` — every planned node becomes a work unit
-//!   on a pool of `n` scoped worker threads, communicating over the bounded
-//!   chunked channels of [`sam_streams::chunked`]. Producers and consumers
-//!   pipeline chunk by chunk, so per-operand scan chains and the two sides
-//!   of every merge evaluate concurrently — the paper's picture of a
-//!   dataflow machine, with threads for pipeline stages.
+//! * [`Parallelism::Threads`]`(n)` — the *work-stealing* engine: the same
+//!   topological node-at-a-time walk, but a node with long input streams is
+//!   split at fiber boundaries into independent segments that run as
+//!   stealable tasks on up to `n` workers (see the `parallel` module). The
+//!   unit of parallelism is data, not graph structure, so the speedup
+//!   scales with stream length instead of being capped by the fattest
+//!   node. Requested workers are clamped to the host's available
+//!   parallelism; with one effective worker the run degenerates to exactly
+//!   the serial walk.
+//! * [`FastBackend::pipelined`]`(n)` — the older pipelined engine: every
+//!   planned node becomes a work unit on a pool of `n` scoped worker
+//!   threads, communicating over the bounded chunked channels of
+//!   [`sam_streams::chunked`]. Kept as the only mode exercising the
+//!   chunked-channel transport (spills, backpressure attribution) end to
+//!   end; [`FastBackend::with_chunk_config`] selects it implicitly.
 //!
-//! Both modes share the per-primitive transfer functions and the output
+//! All modes share the per-primitive transfer functions and the output
 //! assembly, so they produce bit-identical tensors from the same
 //! [`Plan`] — as does the cycle backend.
 //!
@@ -52,17 +61,37 @@ use std::time::Instant;
 
 type Stream = Vec<SimToken>;
 
+/// Which parallel engine a `Threads(n)` setting drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Work-stealing data parallelism within nodes (the default).
+    Stealing,
+    /// One worker per node, pipelined over bounded chunked channels.
+    Pipelined,
+}
+
+/// Minimum input-stream length (tokens) before the work-stealing engine
+/// splits a node's evaluation. Below this, segment setup and merge would
+/// cost more than the parallelism buys.
+const DEFAULT_SPLIT_THRESHOLD: usize = 8192;
+
 /// Runs plans functionally, without per-cycle simulation; serial by
 /// default, parallel with [`FastBackend::threads`].
 #[derive(Debug, Clone, Copy)]
 pub struct FastBackend {
     parallelism: Parallelism,
+    engine: Engine,
     chunk: ChunkConfig,
-    /// When true (the default), `Threads(n)` sizes every channel's depth
-    /// from the planner's stream-size estimates
+    /// When true (the default), the pipelined engine sizes every channel's
+    /// depth from the planner's stream-size estimates
     /// ([`Plan::channel_depth`]); [`FastBackend::with_chunk_config`]
     /// switches to the given fixed config instead.
     planned_depths: bool,
+    /// Work-stealing engine: minimum stream length before splitting.
+    split_threshold: usize,
+    /// Work-stealing engine: skip the available-parallelism clamp, so the
+    /// splitting machinery runs even on single-core hosts (testing).
+    force_split: bool,
 }
 
 impl Default for FastBackend {
@@ -72,26 +101,41 @@ impl Default for FastBackend {
 }
 
 impl FastBackend {
-    /// The single-threaded backend (also [`Default`]): whole streams per
-    /// node, no synchronization.
-    pub fn serial() -> Self {
-        FastBackend { parallelism: Parallelism::Serial, chunk: ChunkConfig::default(), planned_depths: true }
-    }
-
-    /// A pipelined backend running nodes on `threads` worker threads over
-    /// chunked streams. `threads` is clamped to at least 1. Channel depths
-    /// come from the planner's per-stream size estimates; use
-    /// [`FastBackend::with_chunk_config`] for a fixed sizing.
-    pub fn threads(threads: usize) -> Self {
+    fn base(parallelism: Parallelism, engine: Engine) -> Self {
         FastBackend {
-            parallelism: Parallelism::Threads(threads.max(1)),
+            parallelism,
+            engine,
             chunk: ChunkConfig::default(),
             planned_depths: true,
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
+            force_split: false,
         }
     }
 
-    /// A backend with an explicit [`Parallelism`] setting.
-    /// `Threads(0)` is clamped to `Threads(1)`.
+    /// The single-threaded backend (also [`Default`]): whole streams per
+    /// node, no synchronization.
+    pub fn serial() -> Self {
+        FastBackend::base(Parallelism::Serial, Engine::Stealing)
+    }
+
+    /// The work-stealing parallel backend: nodes still evaluate in
+    /// topological order, but long streams are split at fiber boundaries
+    /// into stealable segments across up to `threads` workers (clamped to
+    /// at least 1, and at runtime to the host's available parallelism).
+    pub fn threads(threads: usize) -> Self {
+        FastBackend::base(Parallelism::Threads(threads.max(1)), Engine::Stealing)
+    }
+
+    /// The pipelined parallel backend: one work unit per planned node on
+    /// `threads` worker threads over bounded chunked channels. Channel
+    /// depths come from the planner's per-stream size estimates; use
+    /// [`FastBackend::with_chunk_config`] for a fixed sizing.
+    pub fn pipelined(threads: usize) -> Self {
+        FastBackend::base(Parallelism::Threads(threads.max(1)), Engine::Pipelined)
+    }
+
+    /// A backend with an explicit [`Parallelism`] setting (work-stealing
+    /// engine for `Threads`). `Threads(0)` is clamped to `Threads(1)`.
     pub fn with_parallelism(parallelism: Parallelism) -> Self {
         match parallelism {
             Parallelism::Serial => FastBackend::serial(),
@@ -99,14 +143,36 @@ impl FastBackend {
         }
     }
 
-    /// Overrides the chunked-channel sizing used by `Threads(n)` execution
-    /// (serial mode ignores it), disabling the planner-derived per-channel
-    /// depths. Small depths force the spill escape path; the equivalence
-    /// suite uses this to prove results are unaffected, and
+    /// Overrides the chunked-channel sizing and selects the pipelined
+    /// engine (serial mode ignores it), disabling the planner-derived
+    /// per-channel depths. Small depths force the spill escape path; the
+    /// equivalence suite uses this to prove results are unaffected, and
     /// `Execution::spills` makes the escapes observable.
     pub fn with_chunk_config(mut self, chunk: ChunkConfig) -> Self {
         self.chunk = chunk;
+        self.engine = Engine::Pipelined;
         self.planned_depths = false;
+        self
+    }
+
+    /// Overrides only the chunk length of the pipelined engine's planned
+    /// per-channel depths (unlike [`FastBackend::with_chunk_config`], which
+    /// also pins the depth).
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> Self {
+        self.chunk = ChunkConfig { chunk_len: chunk_len.max(1), ..self.chunk };
+        self
+    }
+
+    /// Lowers the work-stealing engine's split threshold to `threshold`
+    /// tokens and disables the available-parallelism clamp, so `Threads(n)`
+    /// splits streams across `n` workers even on hosts that report fewer
+    /// cores. Intended for tests that must exercise the splitting seams
+    /// deterministically; the default configuration only splits when real
+    /// parallelism is available.
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.engine = Engine::Stealing;
+        self.split_threshold = threshold.max(1);
+        self.force_split = true;
         self
     }
 }
@@ -133,9 +199,18 @@ impl Executor for FastBackend {
         inputs: &Inputs,
         trace: &dyn TraceSink,
     ) -> Result<Execution, ExecError> {
-        match self.parallelism {
-            Parallelism::Serial => run_serial(self.name(), plan, inputs, trace),
-            Parallelism::Threads(n) => crate::parallel::run_parallel(
+        match (self.parallelism, self.engine) {
+            (Parallelism::Serial, _) => run_serial(self.name(), plan, inputs, trace),
+            (Parallelism::Threads(n), Engine::Stealing) => crate::parallel::run_stealing(
+                self.name(),
+                plan,
+                inputs,
+                n,
+                self.split_threshold,
+                self.force_split,
+                trace,
+            ),
+            (Parallelism::Threads(n), Engine::Pipelined) => crate::pipeline::run_pipelined(
                 self.name(),
                 plan,
                 inputs,
@@ -152,7 +227,7 @@ impl Executor for FastBackend {
 /// streams per node. Skip-target scanners are not evaluated standalone:
 /// each is fused into its intersecter as a [`GallopScan`], so skipped
 /// coordinates are never materialized at all.
-fn run_serial(
+pub(crate) fn run_serial(
     backend: &'static str,
     plan: &Plan,
     inputs: &Inputs,

@@ -124,7 +124,10 @@ pub mod error;
 pub mod fast;
 mod node;
 mod parallel;
+mod pipeline;
 pub mod plan;
+mod split;
+mod steal;
 pub mod tiled;
 
 pub use bind::Inputs;
@@ -136,7 +139,8 @@ pub use plan::{
 };
 pub use sam_memory::MemoryCounters;
 pub use sam_trace::{
-    ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, NodeProfile, NullSink, TokenCounts, TraceSink,
+    ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, NodeProfile, NullSink, TokenCounts,
+    TraceSink, WorkerProfile,
 };
 pub use tiled::TiledBackend;
 
@@ -185,18 +189,22 @@ pub struct Execution {
     pub profile: Option<ExecProfile>,
 }
 
-/// How a backend schedules the planned nodes.
+/// How a backend schedules the planned work.
 ///
-/// The default is [`Parallelism::Serial`]; [`FastBackend::threads`] selects
-/// pipelined execution. The cycle backend models hardware that is parallel
+/// The default is [`Parallelism::Serial`]. [`FastBackend::threads`] selects
+/// work-stealing *data* parallelism (nodes still evaluate in topological
+/// order; long input streams split at fiber boundaries across the pool),
+/// [`FastBackend::pipelined`] selects the one-worker-per-node pipelined
+/// mode, and [`TiledBackend::with_parallelism`] spreads independent tile
+/// tuples over the pool. The cycle backend models hardware that is parallel
 /// by construction, so the knob does not apply to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
-    /// One node at a time, in topological order, whole streams per node.
+    /// One work item at a time, in canonical order, whole streams per node.
     #[default]
     Serial,
-    /// Every node is a work unit on a pool of this many worker threads,
-    /// pipelining over bounded chunked channels. Clamped to at least 1.
+    /// A work-stealing pool of this many workers (clamped to at least 1;
+    /// the driving thread participates as worker 0).
     Threads(usize),
 }
 

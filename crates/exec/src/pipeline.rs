@@ -1,0 +1,386 @@
+//! The *pipelined* parallel fast-backend driver: one work unit per planned
+//! node, pipelined over chunked channels on a bounded worker pool.
+//!
+//! This is the engine behind [`FastBackend::pipelined`] (and behind
+//! `with_chunk_config`, whose spill-path tests depend on bounded
+//! channels). The default `Threads(n)` engine is the work-stealing
+//! data-parallel driver in the `parallel` module, which parallelizes
+//! *within* nodes instead of across them; this one is kept because it is
+//! the only mode that exercises the chunked-channel transport — spills,
+//! backpressure, blocked-send/recv attribution — end to end.
+//!
+//! [`FastBackend::pipelined`]: crate::FastBackend::pipelined
+//!
+//! The planner already emits everything this driver needs: a topological
+//! order, a producer endpoint per input port, and the channel topology
+//! ([`Plan::channels`]) with one channel per (producer port, consumer port)
+//! pair — fan-out reuses the planner's fork insertion, materialized here as
+//! one sender per consumer rather than a dedicated fork block.
+//!
+//! Scheduling is deliberately simple and provably deadlock-free:
+//!
+//! * Workers claim nodes from a shared cursor that walks the topological
+//!   order, so a node's producers are always claimed no later than the node
+//!   itself.
+//! * A claimed node runs its transfer function to completion, pulling from
+//!   [`ChunkReceiver`]s (blocking until the producer streams a chunk or
+//!   finishes) and pushing to [`ChunkSender`]s.
+//! * Receivers attach at claim time; sends into channels whose consumer has
+//!   not been claimed yet spill instead of blocking (see
+//!   [`sam_streams::chunked`]), so fewer threads than nodes degrades to
+//!   buffered execution, never to a stall. With at least as many threads as
+//!   nodes, the whole graph pipelines chunk by chunk under backpressure.
+//!
+//! A node that fails (misaligned streams, out-of-bounds reference) drops
+//! its senders, which truncates downstream streams; consumers then fail in
+//! turn, and the driver reports the earliest error in topological order —
+//! the root cause, exactly the error the serial mode would have raised.
+
+use crate::bind::Inputs;
+use crate::error::ExecError;
+use crate::node::{
+    eval_node, run_intersect, scanner_level, GallopScan, IntersectOperand, NodeJob, Sink, Source,
+    WriterOutput,
+};
+use crate::plan::Plan;
+use crate::{assemble_output, Execution};
+use sam_core::graph::NodeId;
+use sam_sim::SimToken;
+use sam_streams::chunked::{
+    channel_counted, channel_instrumented, ChannelStats, ChunkConfig, ChunkReceiver, ChunkSender,
+};
+use sam_trace::{ChannelProfile, TokenCounts, TraceSink};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+impl Source for ChunkReceiver<SimToken> {
+    fn next(&mut self) -> Option<SimToken> {
+        ChunkReceiver::next(self)
+    }
+
+    fn peek(&mut self) -> Option<SimToken> {
+        ChunkReceiver::peek(self).copied()
+    }
+}
+
+/// One node's output port in parallel mode: a sender per consumer (the
+/// planner's fork, applied at push time) plus a token count for reporting.
+struct ChannelSink {
+    senders: Vec<ChunkSender<SimToken>>,
+    tokens: u64,
+    /// Per-type token classification, accumulated only on traced runs.
+    /// Counting happens here — before fan-out duplicates the token — so a
+    /// node's counts are independent of its consumer count and identical to
+    /// what serial mode classifies from its materialized streams.
+    counts: Option<TokenCounts>,
+}
+
+impl Sink for ChannelSink {
+    fn push(&mut self, t: SimToken) {
+        self.tokens += 1;
+        if let Some(counts) = &mut self.counts {
+            counts.record(&t);
+        }
+        for tx in &mut self.senders {
+            tx.push(t);
+        }
+    }
+}
+
+/// The streams one claimed node reads and writes. Entries of `srcs` are
+/// `None` for unwired skip ports and for operand streams rerouted by skip
+/// fusion (see [`run_parallel`]).
+struct NodeStreams {
+    srcs: Vec<Option<ChunkReceiver<SimToken>>>,
+    sinks: Vec<ChannelSink>,
+}
+
+/// Pipelined evaluation of `plan` on `threads` worker threads.
+///
+/// Skip lanes change the materialized topology: a skip-target scanner is
+/// *fused* into its intersecter, so the scanner's output channels and the
+/// skip feedback channels are never created. Instead the channel that fed
+/// the scanner is rerouted to the intersecter's work unit, which runs a
+/// [`GallopScan`] over it — the skip "feedback" becomes a synchronous
+/// cursor jump inside one work unit, which is both faster and immune to
+/// feedback-cycle deadlocks.
+pub(crate) fn run_pipelined(
+    backend: &'static str,
+    plan: &Plan,
+    inputs: &Inputs,
+    threads: usize,
+    config: ChunkConfig,
+    planned_depths: bool,
+    trace: &dyn TraceSink,
+) -> Result<Execution, ExecError> {
+    let start = Instant::now();
+    let tracing = trace.enabled();
+    let nodes = plan.graph().nodes();
+    let n = nodes.len();
+    let threads = threads.max(1).min(n.max(1));
+    if tracing {
+        for &id in plan.order() {
+            trace.define_node(id.0, &plan.node_label(id));
+        }
+    }
+    // One shared counter aggregates the spill-past-depth escapes of every
+    // channel in the topology (reported as `Execution::spills`).
+    let spill_counter = Arc::new(AtomicU64::new(0));
+
+    // Skip fusion bookkeeping: scanner -> (intersecter, operand).
+    let fused_of: HashMap<usize, (usize, usize)> =
+        plan.skip_specs().iter().map(|s| (s.scanner.0, (s.intersecter.0, s.operand))).collect();
+
+    // Materialize the planned channel topology.
+    let mut srcs: Vec<Vec<Option<ChunkReceiver<SimToken>>>> =
+        nodes.iter().map(|k| (0..k.input_ports().len()).map(|_| None).collect()).collect();
+    let mut senders: Vec<Vec<Vec<ChunkSender<SimToken>>>> =
+        nodes.iter().map(|k| (0..k.output_ports().len()).map(|_| Vec::new()).collect()).collect();
+    // Fused scan inputs: (intersecter, operand) -> the channel that fed the
+    // elided scanner.
+    let mut fused_rx: HashMap<(usize, usize), ChunkReceiver<SimToken>> = HashMap::new();
+    // On traced runs, per-channel stall stats plus the attribution needed to
+    // roll them up: (stats, label, producer node, consumer node). Blocked
+    // sends charge the producer; blocked receives charge the consumer (for
+    // fused scanner inputs, the intersecter that actually drains them).
+    let mut chan_meta: Vec<(Arc<ChannelStats>, String, usize, usize)> = Vec::new();
+    let channel_count = plan.channels().len();
+    for spec in plan.channels() {
+        // Skip feedback lanes live inside the fused work unit; no channel.
+        if matches!(nodes[spec.from.node.0], sam_core::graph::NodeKind::Intersecter { .. })
+            && spec.from.port >= 3
+        {
+            continue;
+        }
+        // A fused scanner's own outputs are never materialized...
+        if fused_of.contains_key(&spec.from.node.0) {
+            continue;
+        }
+        // Per-channel depth from the planner's stream-size estimate, unless
+        // the caller pinned a fixed config (`with_chunk_config`).
+        let spec_config = if planned_depths {
+            ChunkConfig { chunk_len: config.chunk_len, depth: plan.channel_depth(spec, config.chunk_len) }
+        } else {
+            config
+        };
+        let (tx, rx) = if tracing {
+            let consumer = fused_of.get(&spec.to.0).map_or(spec.to.0, |&(i, _)| i);
+            let stats = Arc::new(ChannelStats::default());
+            let label = format!(
+                "n{}:{}.out{} -> n{}",
+                spec.from.node.0,
+                plan.node_label(spec.from.node),
+                spec.from.port,
+                consumer,
+            );
+            chan_meta.push((Arc::clone(&stats), label, spec.from.node.0, consumer));
+            channel_instrumented::<SimToken>(spec_config, Arc::clone(&spill_counter), stats)
+        } else {
+            channel_counted::<SimToken>(spec_config, Arc::clone(&spill_counter))
+        };
+        senders[spec.from.node.0][spec.from.port].push(tx);
+        // ...and the channel feeding it is rerouted to the intersecter.
+        if let Some(&key) = fused_of.get(&spec.to.0) {
+            fused_rx.insert(key, rx);
+        } else {
+            srcs[spec.to.0][spec.to_port] = Some(rx);
+        }
+    }
+    let works: Vec<Option<NodeStreams>> = srcs
+        .into_iter()
+        .zip(senders)
+        .map(|(node_srcs, node_senders)| {
+            Some(NodeStreams {
+                srcs: node_srcs,
+                sinks: node_senders
+                    .into_iter()
+                    .map(|txs| ChannelSink {
+                        senders: txs,
+                        tokens: 0,
+                        counts: tracing.then(TokenCounts::default),
+                    })
+                    .collect(),
+            })
+        })
+        .collect();
+
+    type NodeResult = (Result<Option<WriterOutput>, ExecError>, u64);
+    let works = Mutex::new(works);
+    let fused_rx = Mutex::new(fused_rx);
+    let results: Mutex<Vec<Option<NodeResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        let works = &works;
+        let results = &results;
+        let fused_rx = &fused_rx;
+        let cursor = &cursor;
+        for worker in 0..threads {
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(&id) = plan.order().get(idx) else { break };
+                let mut work = works.lock().expect("work list")[id.0].take().expect("each node claimed once");
+                if plan.is_skip_target(id) {
+                    // Fused into the downstream intersecter; nothing to run.
+                    results.lock().expect("results")[id.0] = Some((Ok(None), 0));
+                    continue;
+                }
+                let node_start = tracing.then(Instant::now);
+                // From here on the producers of this node may block on us
+                // instead of spilling: we are actively draining.
+                for src in work.srcs.iter().flatten() {
+                    src.attach();
+                }
+                let lanes = plan.skip_scanners(id);
+                let res = if lanes.iter().any(Option::is_some) {
+                    run_fused_intersect(plan, inputs, id, lanes, &mut work, fused_rx)
+                } else {
+                    let job = NodeJob::build(plan, inputs, id);
+                    let mut bound: Vec<ChunkReceiver<SimToken>> = work.srcs.drain(..).flatten().collect();
+                    eval_node(&job, &mut bound, &mut work.sinks)
+                };
+                let tokens = work.sinks.iter().map(|s| s.tokens).sum();
+                if tracing {
+                    let counts = work.sinks.iter().fold(TokenCounts::default(), |acc, s| match &s.counts {
+                        Some(c) => acc + *c,
+                        None => acc,
+                    });
+                    trace.record_tokens(id.0, counts);
+                }
+                // Dropping the streams finishes this node's outputs (flush +
+                // end-of-stream) and detaches its inputs.
+                drop(work);
+                if let Some(node_start) = node_start {
+                    let elapsed_ns = node_start.elapsed().as_nanos() as u64;
+                    let start_ns = (node_start - start).as_nanos() as u64;
+                    trace.record_invocations(id.0, 1);
+                    trace.record_node_wall(id.0, elapsed_ns);
+                    trace.record_span(
+                        &format!("worker-{worker}"),
+                        &plan.node_label(id),
+                        start_ns,
+                        elapsed_ns,
+                    );
+                }
+                results.lock().expect("results")[id.0] = Some((res, tokens));
+            });
+        }
+    });
+
+    if tracing {
+        // Channel stats are final once every worker has exited: attribute
+        // blocked sends to the producer, blocked receives to the consumer.
+        for (stats, label, producer, consumer) in &chan_meta {
+            let blocked_send = stats.blocked_send_ns.load(Ordering::Relaxed);
+            let blocked_recv = stats.blocked_recv_ns.load(Ordering::Relaxed);
+            trace.record_node_blocked(*producer, blocked_send);
+            trace.record_node_blocked(*consumer, blocked_recv);
+            trace.record_channel(ChannelProfile {
+                label: label.clone(),
+                blocked_send_ns: blocked_send,
+                blocked_recv_ns: blocked_recv,
+                occupancy_peak: stats.occupancy_peak.load(Ordering::Relaxed),
+                spills: stats.spills.load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    let mut results = results.into_inner().expect("results");
+    // Report the earliest failure in topological order: downstream nodes
+    // fail on the truncated streams an upstream failure leaves behind.
+    for &id in plan.order() {
+        if matches!(&results[id.0], Some((Err(_), _))) {
+            let Some((Err(e), _)) = results[id.0].take() else { unreachable!("just matched") };
+            return Err(e);
+        }
+    }
+
+    let mut level_results: HashMap<usize, sam_tensor::level::CompressedLevel> = HashMap::new();
+    let mut vals_result: Option<Vec<f64>> = None;
+    let mut tokens = 0u64;
+    for (i, slot) in results.iter_mut().enumerate() {
+        let Some((res, node_tokens)) = slot.take() else {
+            return Err(ExecError::IncompleteOutput { label: plan.node_label(NodeId(i)) });
+        };
+        tokens += node_tokens;
+        match res.expect("errors handled above") {
+            Some(WriterOutput::Level(level)) => {
+                level_results.insert(i, level);
+            }
+            Some(WriterOutput::Vals(vals)) => vals_result = Some(vals),
+            None => {}
+        }
+    }
+
+    let levels: Vec<_> = plan
+        .level_writers()
+        .iter()
+        .map(|w| level_results.remove(&w.0).ok_or(ExecError::IncompleteOutput { label: plan.node_label(*w) }))
+        .collect::<Result<_, _>>()?;
+    let vals =
+        vals_result.ok_or(ExecError::IncompleteOutput { label: plan.node_label(plan.vals_writer()) })?;
+    let output = assemble_output(plan, levels, &vals)?;
+
+    Ok(Execution {
+        backend,
+        output,
+        vals,
+        cycles: None,
+        blocks: n,
+        channels: channel_count,
+        tokens,
+        spills: spill_counter.load(Ordering::Relaxed),
+        memory: None,
+        elapsed: start.elapsed(),
+        profile: trace.snapshot(),
+    })
+}
+
+/// Runs a skip-fused intersecter work unit: each skip-wired operand is a
+/// [`GallopScan`] over the channel that fed its (elided) scanner, while
+/// skip-free operands read the scanner streams as usual.
+fn run_fused_intersect(
+    plan: &Plan,
+    inputs: &Inputs,
+    id: sam_core::graph::NodeId,
+    lanes: [Option<sam_core::graph::NodeId>; 2],
+    work: &mut NodeStreams,
+    fused_rx: &Mutex<HashMap<(usize, usize), ChunkReceiver<SimToken>>>,
+) -> Result<Option<WriterOutput>, ExecError> {
+    #[allow(clippy::too_many_arguments)]
+    fn mk_operand<'a>(
+        plan: &Plan,
+        inputs: &'a Inputs,
+        id: usize,
+        o: usize,
+        lane: Option<sam_core::graph::NodeId>,
+        slots: &mut [Option<ChunkReceiver<SimToken>>],
+        fused_rx: &Mutex<HashMap<(usize, usize), ChunkReceiver<SimToken>>>,
+        label: &str,
+    ) -> Result<IntersectOperand<'a, ChunkReceiver<SimToken>>, ExecError> {
+        let lost = || ExecError::Misaligned { label: label.to_string() };
+        match lane {
+            Some(scanner) => {
+                let rx = fused_rx.lock().expect("fused inputs").remove(&(id, o)).ok_or_else(lost)?;
+                rx.attach();
+                Ok(IntersectOperand::Scan(GallopScan::new(scanner_level(plan, inputs, scanner), rx)))
+            }
+            None => {
+                let crd = slots[o].take().ok_or_else(lost)?;
+                let rf = slots[2 + o].take().ok_or_else(lost)?;
+                Ok(IntersectOperand::Streams { crd, rf })
+            }
+        }
+    }
+
+    let label = plan.node_label(id);
+    let mut slots: Vec<Option<ChunkReceiver<SimToken>>> = work.srcs.drain(..).collect();
+    let a = mk_operand(plan, inputs, id.0, 0, lanes[0], &mut slots, fused_rx, &label)?;
+    let b = mk_operand(plan, inputs, id.0, 1, lanes[1], &mut slots, fused_rx, &label)?;
+    let [oc, o0, o1, ..] = &mut work.sinks[..] else { unreachable!("intersecter has five outputs") };
+    run_intersect(a, b, oc, o0, o1, &label)?;
+    Ok(None)
+}

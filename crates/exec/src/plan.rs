@@ -68,14 +68,51 @@ pub struct ChannelSpec {
     pub to_port: usize,
 }
 
+/// The fiber-split legality class of a node, computed by
+/// [`Plan::fiber_split`]: which rule the work-stealing backend may use to
+/// cut the node's input streams into independently evaluable segments.
+/// Every rule cuts at fiber boundaries (or finer, where the transfer
+/// function is genuinely elementwise) such that concatenating the segment
+/// outputs reproduces the serial output bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FiberSplit {
+    /// Never split: state spans fiber boundaries, or streams are skip-fused.
+    No,
+    /// Single-input elementwise (array loads, constant sources): cut at any
+    /// position.
+    Elementwise,
+    /// Multi-input lockstep elementwise (ALUs, locators): cut every input
+    /// at one common position.
+    Lockstep,
+    /// Level scanner: cut anywhere except between a data/empty token and
+    /// the stop token it would merge with.
+    Scanner,
+    /// Repeater: cut the repeat-signal input after a stop; the matching
+    /// ref-input cut follows from simulating the repeater's consumption.
+    Repeater,
+    /// Order-0 reducer: the accumulator resets at every stop; cut right
+    /// after any stop.
+    AfterStop,
+    /// Order-1 reducer: cut both inputs right after a stop pair that
+    /// flushes the accumulator.
+    AfterStopPair,
+    /// Intersect/union: stops pair up 1:1 by ordinal across operands; cut
+    /// each operand right after its k-th stop.
+    StopOrdinal,
+}
+
 /// Default cycle budget used by the cycle-approximate backend.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 
 /// Smallest per-channel chunk depth [`Plan::channel_depth`] hands out.
 pub const MIN_CHANNEL_DEPTH: usize = 2;
 
-/// Largest per-channel chunk depth [`Plan::channel_depth`] hands out.
-pub const MAX_CHANNEL_DEPTH: usize = 64;
+/// Largest per-channel chunk depth [`Plan::channel_depth`] hands out. The
+/// cap bounds *allocated* capacity, not resident memory: chunked queues
+/// grow lazily, so a deep channel over a short stream stays small. It must
+/// be large enough that the planner's (upper-bound) stream estimates fit,
+/// or producers running ahead of unclaimed consumers spill.
+pub const MAX_CHANNEL_DEPTH: usize = 8192;
 
 /// An executable plan for one graph over one set of input bindings.
 ///
@@ -502,9 +539,11 @@ impl Plan {
         let output_shape = level_writers.iter().map(|w| writer_dims[w.0]).collect();
 
         // Phase 6: stream-size estimates, walked in topological order. The
-        // estimates are heuristic (scanners multiply by the mean fiber
-        // length of the level they read; merges take the min/sum of their
-        // operands) and exist to size bounded channels, not to be exact.
+        // estimates are upper bounds at every node kind (scanners multiply
+        // by the *longest* fiber of the level they read; merges take the
+        // min/sum of their operands), so a channel sized from them never
+        // spills while its consumer is attached. They exist to size bounded
+        // channels, not to be exact.
         const EST_CAP: u64 = 1 << 40;
         let mut stream_sizes: Vec<Vec<u64>> =
             nodes.iter().map(|k| vec![0u64; k.output_ports().len()]).collect();
@@ -517,8 +556,15 @@ impl Plan {
                 NodeKind::Root { .. } => vec![2],
                 NodeKind::LevelScanner { tensor, .. } => {
                     let level = inputs.get(tensor).expect("validated binding").level(scan_levels[id.0]);
-                    let avg = (level.num_children() as u64).div_ceil((level.num_fibers() as u64).max(1));
-                    let est = ins[0].saturating_mul(avg + 1).min(EST_CAP);
+                    // Worst case, every input ref lands on the longest
+                    // fiber; the mean underestimates badly on skewed levels
+                    // (the SpMM/MTTKRP spill regressions).
+                    let longest = if level.is_dense() {
+                        level.dimension() as u64
+                    } else {
+                        (0..level.num_fibers()).map(|f| level.fiber_len(f) as u64).max().unwrap_or(0)
+                    };
+                    let est = ins[0].saturating_mul(longest + 1).min(EST_CAP);
                     vec![est; 2]
                 }
                 NodeKind::Repeater { .. } => vec![ins[0]],
@@ -629,6 +675,32 @@ impl Plan {
         let est = self.stream_size_estimate(spec.from);
         let chunks = est.div_ceil(chunk_len.max(1) as u64) as usize;
         (chunks + 2).clamp(MIN_CHANNEL_DEPTH, MAX_CHANNEL_DEPTH)
+    }
+
+    /// How (and whether) a node's evaluation may be split into independent
+    /// segments at fiber boundaries for the work-stealing backend. The
+    /// variant names the per-kind cut legality rule implemented in the
+    /// `split` module; [`FiberSplit::No`] covers operators whose state
+    /// spans fiber boundaries (order-2 reducers flush only at `Done`,
+    /// coordinate droppers buffer across their merge) and every node
+    /// involved in skip fusion, whose streams are never materialized.
+    pub(crate) fn fiber_split(&self, node: NodeId) -> FiberSplit {
+        if self.is_skip_target(node) || self.skip_scanners(node).iter().any(Option::is_some) {
+            return FiberSplit::No;
+        }
+        match &self.graph.nodes()[node.0] {
+            NodeKind::LevelScanner { .. } => FiberSplit::Scanner,
+            NodeKind::Repeater { .. } => FiberSplit::Repeater,
+            NodeKind::Intersecter { .. } | NodeKind::Unioner { .. } => FiberSplit::StopOrdinal,
+            NodeKind::Alu { .. } | NodeKind::Locator { .. } => FiberSplit::Lockstep,
+            NodeKind::Array { .. } | NodeKind::ConstVal { .. } => FiberSplit::Elementwise,
+            NodeKind::Reducer { order } => match order {
+                0 => FiberSplit::AfterStop,
+                1 => FiberSplit::AfterStopPair,
+                _ => FiberSplit::No,
+            },
+            _ => FiberSplit::No,
+        }
     }
 
     /// For an intersecter: the skip-target scanner of each operand, when a

@@ -173,6 +173,80 @@ fn traces_carry_enriched_node_labels() {
     }
 }
 
+/// Fiber splitting must be observability-invisible: with the split
+/// threshold forced to 1 (every node with a worker pool splits, regardless
+/// of host core count), per-node token and invocation counts still match
+/// fast-serial bit for bit on every catalog kernel.
+#[test]
+fn per_node_counts_identical_under_forced_splitting() {
+    for (graph, inputs) in catalog() {
+        let plan = Plan::build(&graph, &inputs).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        let (serial_tokens, serial) = profiled(&FastBackend::serial(), &plan, &inputs);
+        let (split_tokens, split) =
+            profiled(&FastBackend::threads(4).with_split_threshold(1), &plan, &inputs);
+        assert_eq!(serial_tokens, split_tokens, "{}", graph.name);
+        assert_eq!(serial.nodes.len(), split.nodes.len(), "{}", graph.name);
+        for (s, t) in serial.nodes.iter().zip(&split.nodes) {
+            assert_eq!(s.label, t.label, "{}: node {} label differs", graph.name, s.index);
+            assert_eq!(
+                s.tokens, t.tokens,
+                "{}: node {} ({}) token counts differ under forced splitting",
+                graph.name, s.index, s.label
+            );
+            assert_eq!(
+                s.invocations, t.invocations,
+                "{}: node {} ({}) invocation counts differ under forced splitting",
+                graph.name, s.index, s.label
+            );
+        }
+    }
+}
+
+/// Work-stealing runs surface per-worker scheduler counters, and those
+/// counters stay internally consistent: steals never exceed executed
+/// tasks, and no worker reports more busy time than the run's wall clock.
+#[test]
+fn worker_counters_are_consistent_with_wall_time() {
+    for (graph, inputs) in catalog() {
+        let plan = Plan::build(&graph, &inputs).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        let backend = FastBackend::threads(4).with_split_threshold(1);
+        let sink = CountersSink::new();
+        let run = backend.run_traced(&plan, &inputs, &sink).unwrap();
+        let profile = run.profile.expect("traced runs attach a profile");
+        assert_eq!(profile.workers.len(), 4, "{}", graph.name);
+        let elapsed_ns = run.elapsed.as_nanos() as u64;
+        // Generous slack for timer granularity on coarse clocks.
+        let ceiling = elapsed_ns + 10_000_000;
+        let mut total_tasks = 0u64;
+        for w in &profile.workers {
+            assert!(w.steals <= w.tasks, "{}: worker {} stole more than it ran", graph.name, w.index);
+            assert!(
+                w.busy_ns <= ceiling,
+                "{}: worker {} busy {}ns exceeds wall {}ns",
+                graph.name,
+                w.index,
+                w.busy_ns,
+                elapsed_ns
+            );
+            total_tasks += w.tasks;
+        }
+        assert_eq!(profile.total_steals(), profile.workers.iter().map(|w| w.steals).sum::<u64>());
+        // Every node evaluation runs somewhere: the pool accounts for at
+        // least one task per planned node (skip targets are folded into
+        // their consumers, splits add more).
+        assert!(
+            total_tasks >= profile.nodes.iter().filter(|n| n.invocations > 0).count() as u64,
+            "{}: {} tasks for {} active nodes",
+            graph.name,
+            total_tasks,
+            profile.nodes.len()
+        );
+        // Serial runs report no workers at all.
+        let (_, serial) = profiled(&FastBackend::serial(), &plan, &inputs);
+        assert!(serial.workers.is_empty());
+    }
+}
+
 /// The threaded backend attributes channel stalls: profiles include
 /// per-channel records and the skew kernel's serial bottleneck shows up as
 /// blocked time somewhere in the graph.

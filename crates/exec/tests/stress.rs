@@ -1,0 +1,163 @@
+//! Adversarial scheduling stress: the full kernel catalog under heavy
+//! oversubscription and pathological chunk/tile configurations, looped,
+//! under a watchdog timeout. This guards the liveness of all three
+//! parallel engines — the work-stealing splitter (forced to cut every
+//! stream), the pipelined bounded channels (4-token chunks at depth 1, the
+//! maximum-backpressure setting), and the parallel tile sweep (tile size 4
+//! floods the tuple space) — none of which may deadlock, livelock, or
+//! drift from the serial results no matter how oversubscribed the host is.
+
+use sam_core::graph::SamGraph;
+use sam_core::graphs;
+use sam_core::kernels::spmm::SpmmDataflow;
+use sam_exec::{execute, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
+use sam_streams::chunked::ChunkConfig;
+use sam_tensor::{synth, CooTensor, TensorFormat};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// Integer-valued variant of a random tensor: keeps tiled partial sums
+/// exact, so every backend must agree bit for bit.
+fn int_coo(coo: &CooTensor) -> CooTensor {
+    CooTensor::from_entries(
+        coo.shape().to_vec(),
+        coo.entries().iter().map(|(p, v)| (p.clone(), (v * 4.0).round())).collect(),
+    )
+    .unwrap()
+}
+
+fn catalog() -> Vec<(SamGraph, Inputs)> {
+    let vb = int_coo(&synth::random_vector(150, 45, 701));
+    let vc = int_coo(&synth::random_vector(150, 40, 702));
+    let m = int_coo(&synth::random_matrix_sparsity(24, 18, 0.85, 703));
+    let n = int_coo(&synth::random_matrix_sparsity(18, 21, 0.85, 704));
+    let sv = int_coo(&synth::random_vector(18, 18, 705));
+    let dense_c = int_coo(&synth::dense_matrix(24, 6, 706));
+    let dense_d = int_coo(&synth::dense_matrix(18, 6, 707));
+    let b3 = int_coo(&synth::random_tensor3([14, 8, 9], 160, 708));
+    let fc = int_coo(&synth::random_matrix_sparsity(10, 8, 0.55, 709));
+    let fd = int_coo(&synth::random_matrix_sparsity(10, 9, 0.55, 710));
+
+    vec![
+        (
+            graphs::vec_elem_mul(true),
+            Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec()),
+        ),
+        (graphs::identity(), Inputs::new().coo("B", &m, TensorFormat::dcsr())),
+        (
+            graphs::spmv(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::dense_vec()),
+        ),
+        (
+            graphs::spmv_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmv_with_skip(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::LinearCombination),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::InnerProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &n, TensorFormat::dcsc()),
+        ),
+        (
+            graphs::spmm(SpmmDataflow::OuterProduct),
+            Inputs::new().coo("B", &m, TensorFormat::dcsc()).coo("C", &n, TensorFormat::dcsr()),
+        ),
+        (
+            graphs::sddmm_coiteration(),
+            Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("C", &dense_c, TensorFormat::dense(2)).coo(
+                "D",
+                &dense_d,
+                TensorFormat::dense(2),
+            ),
+        ),
+        (
+            graphs::mttkrp(),
+            Inputs::new().coo("B", &b3, TensorFormat::csf(3)).coo("C", &fc, TensorFormat::dcsc()).coo(
+                "D",
+                &fd,
+                TensorFormat::dcsc(),
+            ),
+        ),
+    ]
+}
+
+fn run_stress() {
+    let catalog = catalog();
+    // Adversarial fast-backend configurations: 8 workers on any host,
+    // every stream split (threshold 1), and the pipelined engine reduced
+    // to 4-token chunks in depth-1 channels — every push is a potential
+    // stall, every chunk a potential spill.
+    let stealing = FastBackend::threads(8).with_split_threshold(1);
+    let pipelined = FastBackend::threads(8).with_chunk_config(ChunkConfig { chunk_len: 4, depth: 1 });
+    let tiled_serial = TiledBackend::with_tile(4);
+    let tiled_par = TiledBackend::with_tile(4).with_parallelism(Parallelism::Threads(8));
+
+    for round in 0..2 {
+        for (graph, inputs) in &catalog {
+            let serial = execute(graph, inputs, &FastBackend::serial())
+                .unwrap_or_else(|e| panic!("round {round} {}: serial failed: {e}", graph.name));
+            for backend in [&stealing, &pipelined] {
+                let run = execute(graph, inputs, backend)
+                    .unwrap_or_else(|e| panic!("round {round} {} on {}: {e}", graph.name, backend.name()));
+                assert_eq!(run.output, serial.output, "round {round} {}", graph.name);
+                assert_eq!(run.vals, serial.vals, "round {round} {}", graph.name);
+                assert_eq!(run.tokens, serial.tokens, "round {round} {}", graph.name);
+            }
+            // The parallel tile sweep must agree with the serial tile
+            // sweep in every respect — same outputs on kernels tiling
+            // supports, the same typed rejection on kernels it does not.
+            // It may never hang or fail where serial succeeds.
+            match (execute(graph, inputs, &tiled_serial), execute(graph, inputs, &tiled_par)) {
+                (Ok(s), Ok(p)) => {
+                    assert_eq!(p.output, s.output, "round {round} {} tiled", graph.name);
+                    assert_eq!(p.vals, s.vals, "round {round} {} tiled", graph.name);
+                    assert_eq!(p.output, serial.output, "round {round} {} tiled vs untiled", graph.name);
+                }
+                (Err(_), Err(_)) => {}
+                (s, p) => panic!(
+                    "round {round} {}: tiled serial/parallel diverged: serial {:?}, parallel {:?}",
+                    graph.name,
+                    s.map(|r| r.backend).map_err(|e| e.to_string()),
+                    p.map(|r| r.backend).map_err(|e| e.to_string()),
+                ),
+            }
+        }
+    }
+}
+
+/// The whole adversarial sweep must *finish*: a worker thread runs it and
+/// reports back over a channel; if the report does not arrive before the
+/// watchdog fires, some scheduler is deadlocked or livelocked and the test
+/// fails instead of hanging the suite forever.
+#[test]
+fn oversubscribed_adversarial_configs_finish_and_agree() {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        run_stress();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(()) => {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker panicked before reporting: surface its message.
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+            unreachable!("worker disconnected without panicking");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("stress sweep exceeded the 300s watchdog: scheduler deadlock or livelock")
+        }
+    }
+}

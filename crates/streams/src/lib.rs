@@ -46,6 +46,7 @@
 
 pub mod analysis;
 pub mod chunked;
+pub mod fiber;
 pub mod nested;
 pub mod stats;
 pub mod stream;

@@ -40,4 +40,4 @@ pub mod schedule;
 pub use extract::{for_each_stored, tile_of, TileGrid};
 pub use llb::LlbModel;
 pub use merge::TileMerger;
-pub use schedule::{KernelTiling, TensorTiling, TiledVar, TilingError};
+pub use schedule::{KernelTiling, TensorTiling, TiledVar, TilingError, TupleSpace};

@@ -167,6 +167,10 @@ impl TraceSink for ChromeTraceSink {
         self.counters.record_channel(channel);
     }
 
+    fn record_worker(&self, worker: crate::profile::WorkerProfile) {
+        self.counters.record_worker(worker);
+    }
+
     fn record_span(&self, track: &str, name: &str, start_ns: u64, dur_ns: u64) {
         let mut timeline = self.timeline.lock().expect("trace timeline");
         let track = timeline.track_id(track);

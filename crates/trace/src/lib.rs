@@ -41,5 +41,5 @@ mod sink;
 
 pub use chrome::ChromeTraceSink;
 pub use counts::TokenCounts;
-pub use profile::{ChannelProfile, ExecProfile, NodeProfile};
+pub use profile::{ChannelProfile, ExecProfile, NodeProfile, WorkerProfile};
 pub use sink::{CountersSink, NullSink, TraceSink};

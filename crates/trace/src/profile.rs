@@ -46,6 +46,21 @@ pub struct ChannelProfile {
     pub spills: u64,
 }
 
+/// Per-worker scheduler counters for one execution of the work-stealing
+/// backend: how many tasks the worker ran, how many of those it stole from
+/// another worker's queue, and how long it spent executing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// The worker's index (0 is the driving thread).
+    pub index: usize,
+    /// Tasks this worker executed (its own plus stolen ones).
+    pub tasks: u64,
+    /// Tasks this worker stole from another worker's queue.
+    pub steals: u64,
+    /// Wall time this worker spent executing tasks, nanoseconds.
+    pub busy_ns: u64,
+}
+
 /// The rollup of one traced execution, surfaced as `Execution::profile`.
 ///
 /// ```
@@ -56,7 +71,7 @@ pub struct ChannelProfile {
 ///         NodeProfile { index: 0, label: "scan B0".into(), busy_ns: 10, blocked_ns: 90, ..Default::default() },
 ///         NodeProfile { index: 1, label: "reduce".into(), busy_ns: 70, blocked_ns: 5, ..Default::default() },
 ///     ],
-///     channels: vec![],
+///     ..Default::default()
 /// };
 /// // The critical path is the longest-lived node, busy or blocked.
 /// assert_eq!(profile.critical_path_ns(), 100);
@@ -69,6 +84,9 @@ pub struct ExecProfile {
     /// Per-channel stall breakdown (empty on backends that materialize
     /// whole streams instead of using bounded channels).
     pub channels: Vec<ChannelProfile>,
+    /// Per-worker scheduler counters (empty on backends without a
+    /// work-stealing pool, and on runs where the pool never spun up).
+    pub workers: Vec<WorkerProfile>,
 }
 
 impl ExecProfile {
@@ -167,7 +185,25 @@ impl ExecProfile {
                 );
             }
         }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "\n{:<8} {:>8} {:>8} {:>12}", "worker", "tasks", "steals", "busy_us");
+            for w in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>8} {:>8} {:>12.1}",
+                    format!("w{}", w.index),
+                    w.tasks,
+                    w.steals,
+                    w.busy_ns as f64 / 1e3,
+                );
+            }
+        }
         out
+    }
+
+    /// Total tasks stolen across every worker.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
     }
 }
 
@@ -188,7 +224,8 @@ mod tests {
 
     #[test]
     fn critical_path_is_max_node_wall_time() {
-        let p = ExecProfile { nodes: vec![node(0, "a", 5, 10, 2), node(1, "b", 40, 1, 3)], channels: vec![] };
+        let p =
+            ExecProfile { nodes: vec![node(0, "a", 5, 10, 2), node(1, "b", 40, 1, 3)], ..Default::default() };
         assert_eq!(p.critical_path_ns(), 41);
         assert_eq!(p.total_blocked_ns(), 11);
         assert_eq!(p.total_tokens(), 5);
@@ -198,7 +235,7 @@ mod tests {
     fn ranking_puts_most_blocked_first() {
         let p = ExecProfile {
             nodes: vec![node(0, "busy", 100, 0, 1), node(1, "stalled", 1, 100, 1)],
-            channels: vec![],
+            ..Default::default()
         };
         let ranked = p.ranked_nodes();
         assert_eq!(ranked[0].label, "stalled");
@@ -216,12 +253,15 @@ mod tests {
                 occupancy_peak: 4,
                 spills: 2,
             }],
+            workers: vec![WorkerProfile { index: 0, tasks: 7, steals: 2, busy_ns: 12_000 }],
         };
         let table = p.stall_table();
         assert!(table.contains("n3:intersect(j: B,C)"));
         assert!(table.contains("n0:scan B0.out0 -> n3"));
         assert!(table.contains("blocked_us"));
         assert!(table.contains("spills"));
+        assert!(table.contains("steals"));
+        assert!(table.contains("w0"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The trace sink trait and its counter-accumulating implementations.
 
 use crate::counts::TokenCounts;
-use crate::profile::{ChannelProfile, ExecProfile, NodeProfile};
+use crate::profile::{ChannelProfile, ExecProfile, NodeProfile, WorkerProfile};
 use std::sync::Mutex;
 
 /// The hook surface the execution backends drive while running a plan.
@@ -43,6 +43,10 @@ pub trait TraceSink: Sync {
     /// Records the final stall stats of one channel.
     fn record_channel(&self, _channel: ChannelProfile) {}
 
+    /// Records the final scheduler counters of one worker (work-stealing
+    /// backends only).
+    fn record_worker(&self, _worker: WorkerProfile) {}
+
     /// Records one timeline span on a named track (a worker thread, a
     /// simulated block, a tile tuple). Timestamps are nanoseconds relative
     /// to the start of the run.
@@ -80,6 +84,7 @@ struct NodeAcc {
 struct Acc {
     nodes: Vec<NodeAcc>,
     channels: Vec<ChannelProfile>,
+    workers: Vec<WorkerProfile>,
 }
 
 impl Acc {
@@ -106,6 +111,11 @@ impl Acc {
                 })
                 .collect(),
             channels: self.channels.clone(),
+            workers: {
+                let mut workers = self.workers.clone();
+                workers.sort_by_key(|w| w.index);
+                workers
+            },
         }
     }
 }
@@ -173,6 +183,11 @@ impl TraceSink for CountersSink {
         acc.channels.push(channel);
     }
 
+    fn record_worker(&self, worker: WorkerProfile) {
+        let mut acc = self.acc.lock().expect("trace accumulator");
+        acc.workers.push(worker);
+    }
+
     fn snapshot(&self) -> Option<ExecProfile> {
         Some(self.profile())
     }
@@ -228,5 +243,17 @@ mod tests {
         let p = sink.snapshot().unwrap();
         assert_eq!(p.channels.len(), 1);
         assert_eq!(p.total_spills(), 3);
+    }
+
+    #[test]
+    fn workers_sort_by_index() {
+        let sink = CountersSink::new();
+        sink.record_worker(WorkerProfile { index: 2, tasks: 3, steals: 1, busy_ns: 50 });
+        sink.record_worker(WorkerProfile { index: 0, tasks: 5, steals: 0, busy_ns: 90 });
+        let p = sink.profile();
+        assert_eq!(p.workers.len(), 2);
+        assert_eq!(p.workers[0].index, 0);
+        assert_eq!(p.workers[1].index, 2);
+        assert_eq!(p.total_steals(), 1);
     }
 }

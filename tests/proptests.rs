@@ -7,6 +7,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
+use sam::custard::{lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
+use sam::exec::{execute, CycleBackend, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
 use sam::streams::{Nested, Stream};
 use sam::tensor::{CooTensor, Tensor, TensorFormat};
 use std::collections::BTreeMap;
@@ -88,4 +90,177 @@ fn vecmul_matches_direct_product() {
             }
         }
     }
+}
+
+/// A random integer-valued sparse tensor: integer values keep every
+/// partial-sum order exact, so all backends — including the tiled sweep,
+/// which re-associates additions across tiles — must agree bit for bit.
+fn int_tensor(rng: &mut StdRng, shape: &[usize], fill: f64) -> CooTensor {
+    let total: usize = shape.iter().product();
+    // At least one stored entry: an entirely empty operand trips a known
+    // output-assembly limitation on every backend (including serial), which
+    // is an executor issue, not a scheduling one — out of scope here.
+    let target = (((total as f64) * fill) as usize).max(1);
+    let mut points = BTreeMap::new();
+    for _ in 0..target {
+        let key: Vec<u32> = shape.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+        points.insert(key, f64::from(1 + rng.gen_range(0u32..8)));
+    }
+    CooTensor::from_entries(shape.to_vec(), points.into_iter().collect()).unwrap()
+}
+
+/// Randomized cross-backend fuzzing of the whole compile → plan → execute
+/// pipeline: seeded random Table-1-style expressions over random sparse
+/// operands, lowered through Custard, must produce bit-identical results
+/// on the cycle-accurate simulator, the serial fast executor, the
+/// work-stealing fast executor (splitting forced so the seams run on any
+/// host), and the tiled finite-memory backend (serial and parallel
+/// sweeps). Failures print the reproducing seed.
+#[test]
+fn fuzzed_expressions_are_bit_identical_across_backends() {
+    const FUZZ_CASES: u64 = 60;
+    let mut tiled_ok = 0u64;
+    for seed in 0..FUZZ_CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let di = 2 + rng.gen_range(0usize..14);
+        let dj = 2 + rng.gen_range(0usize..14);
+        let dk = 2 + rng.gen_range(0usize..10);
+        let mut fill = || 0.1 + 0.8 * rng.gen::<f64>();
+        let (f1, f2, f3) = (fill(), fill(), fill());
+
+        // One expression template per seed, cycling through the catalog.
+        let mut schedule = Schedule::new();
+        let mut formats = Formats::new();
+        let mut scalars: Vec<(&str, f64)> = Vec::new();
+        let (text, operands): (&str, Vec<(&str, CooTensor)>) = match seed % 10 {
+            0 => (
+                "x(i) = b(i) * c(i)",
+                vec![("b", int_tensor(&mut rng, &[di], f1)), ("c", int_tensor(&mut rng, &[di], f2))],
+            ),
+            1 => (
+                "x(i) = b(i) + c(i)",
+                vec![("b", int_tensor(&mut rng, &[di], f1)), ("c", int_tensor(&mut rng, &[di], f2))],
+            ),
+            2 => (
+                "x(i) = B(i,j) * c(j)",
+                vec![("B", int_tensor(&mut rng, &[di, dj], f1)), ("c", int_tensor(&mut rng, &[dj], f2))],
+            ),
+            3 => (
+                "X(i,j) = B(i,j) + C(i,j)",
+                vec![("B", int_tensor(&mut rng, &[di, dj], f1)), ("C", int_tensor(&mut rng, &[di, dj], f2))],
+            ),
+            4 => {
+                let orders = ["ijk", "ikj", "kij"];
+                schedule = schedule.reorder(orders[rng.gen_range(0..3)]);
+                (
+                    "X(i,j) = B(i,k) * C(k,j)",
+                    vec![
+                        ("B", int_tensor(&mut rng, &[di, dk], f1)),
+                        ("C", int_tensor(&mut rng, &[dk, dj], f2)),
+                    ],
+                )
+            }
+            5 => {
+                formats = formats.set("C", TensorFormat::dense(2)).set("D", TensorFormat::dense(2));
+                (
+                    "X(i,j) = B(i,j) * C(i,k) * D(j,k)",
+                    vec![
+                        ("B", int_tensor(&mut rng, &[di, dj], f1)),
+                        ("C", int_tensor(&mut rng, &[di, dk], 1.0)),
+                        ("D", int_tensor(&mut rng, &[dj, dk], 1.0)),
+                    ],
+                )
+            }
+            6 => (
+                "X(i,j) = B(i,j,k) * c(k)",
+                vec![("B", int_tensor(&mut rng, &[di, dj, dk], f1)), ("c", int_tensor(&mut rng, &[dk], f2))],
+            ),
+            7 => {
+                scalars.push(("alpha", f64::from(1 + rng.gen_range(0u32..4))));
+                scalars.push(("beta", -(f64::from(1 + rng.gen_range(0u32..4)))));
+                (
+                    "x(i) = alpha * B(j,i) * c(j) + beta * d(i)",
+                    vec![
+                        ("B", int_tensor(&mut rng, &[dj, di], f1)),
+                        ("c", int_tensor(&mut rng, &[dj], f2)),
+                        ("d", int_tensor(&mut rng, &[di], f3)),
+                    ],
+                )
+            }
+            8 => (
+                "chi() = B(i,j,k) * C(i,j,k)",
+                vec![
+                    ("B", int_tensor(&mut rng, &[di, dj, dk], f1)),
+                    ("C", int_tensor(&mut rng, &[di, dj, dk], f2)),
+                ],
+            ),
+            _ => (
+                "x(i) = b(i) - C(i,j) * d(j)",
+                vec![
+                    ("b", int_tensor(&mut rng, &[di], f1)),
+                    ("C", int_tensor(&mut rng, &[di, dj], f2)),
+                    ("d", int_tensor(&mut rng, &[dj], f3)),
+                ],
+            ),
+        };
+
+        let assignment = parse(text).unwrap_or_else(|e| panic!("seed {seed}: parse `{text}`: {e}"));
+        let cin = ConcreteIndexNotation::new(assignment, &schedule, formats);
+        let kernel =
+            lower_exec(&cin).unwrap_or_else(|e| panic!("seed {seed}: lowering `{text}` failed: {e}"));
+        let mut inputs = Inputs::new();
+        for (name, coo) in &operands {
+            let fmt = kernel
+                .formats
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("seed {seed}: operand `{name}` missing from derived formats"))
+                .1
+                .clone();
+            inputs = inputs.coo(name, coo, fmt);
+        }
+        for &(name, value) in &scalars {
+            inputs = inputs.scalar(name, value);
+        }
+
+        let serial = execute(&kernel.graph, &inputs, &FastBackend::serial())
+            .unwrap_or_else(|e| panic!("seed {seed}: `{text}` fast-serial failed: {e}"));
+
+        let stealing = FastBackend::threads(4).with_split_threshold(1);
+        for backend in [&CycleBackend::default() as &dyn Executor, &stealing] {
+            let run = execute(&kernel.graph, &inputs, backend)
+                .unwrap_or_else(|e| panic!("seed {seed}: `{text}` on {} failed: {e}", backend.name()));
+            assert_eq!(run.output, serial.output, "seed {seed}: `{text}` output on {}", backend.name());
+            assert_eq!(run.vals, serial.vals, "seed {seed}: `{text}` vals on {}", backend.name());
+        }
+
+        // The tiled sweeps run where tiling supports the lowered graph;
+        // serial and parallel tile schedules must agree with each other
+        // (including on rejection) and with the untiled run.
+        let ts = execute(&kernel.graph, &inputs, &TiledBackend::with_tile(4));
+        let tp = execute(
+            &kernel.graph,
+            &inputs,
+            &TiledBackend::with_tile(4).with_parallelism(Parallelism::Threads(3)),
+        );
+        match (ts, tp) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(s.output, serial.output, "seed {seed}: `{text}` tiled output");
+                assert_eq!(s.vals, serial.vals, "seed {seed}: `{text}` tiled vals");
+                assert_eq!(p.output, s.output, "seed {seed}: `{text}` parallel tiled output");
+                assert_eq!(p.vals, s.vals, "seed {seed}: `{text}` parallel tiled vals");
+                tiled_ok += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (s, p) => panic!(
+                "seed {seed}: `{text}` tiled serial/parallel disagree on success: {:?} vs {:?}",
+                s.map(|r| r.backend).map_err(|e| e.to_string()),
+                p.map(|r| r.backend).map_err(|e| e.to_string()),
+            ),
+        }
+    }
+    assert!(
+        tiled_ok * 2 >= FUZZ_CASES,
+        "tiled backend rejected too many fuzz cases ({tiled_ok}/{FUZZ_CASES} succeeded)"
+    );
 }

@@ -81,7 +81,13 @@ pub fn finish() {
         let members: Vec<&(String, String, f64)> = recorded.iter().filter(|(g, _, _)| g == group).collect();
         for (bi, (_, bench, ns)) in members.iter().enumerate() {
             let sep = if bi + 1 == members.len() { "" } else { "," };
-            out.push_str(&format!("    {:?}: {:.1}{}\n", bench, ns, sep));
+            // Full `Display` precision: one decimal place is fine for
+            // nanosecond timings but quantizes ratio-valued metrics (e.g.
+            // a 1.04 overhead ratio must not round to 1.0 before a gate
+            // compares it against a 1.05 bound). `Display` always emits a
+            // digit before any exponent and never a bare `inf`/`NaN` for
+            // the finite values benches record, so the JSON stays valid.
+            out.push_str(&format!("    {:?}: {}{}\n", bench, ns, sep));
         }
         let sep = if gi + 1 == groups.len() { "" } else { "," };
         out.push_str(&format!("  }}{}\n", sep));
