@@ -11,7 +11,11 @@
 //! numbers are instead gated *intra-run*: within a single benchmark
 //! session the work-stealing `threads4` entry must stay within
 //! [`PARALLEL_THRESHOLD`]× of `serial` on the [`PARALLEL_GROUPS`] kernels
-//! — parallel execution must never lose to serial.
+//! — parallel execution must never lose to serial. The service
+//! `throughput` group (from `throughput --save-json`) is gated intra-run
+//! the same way: warm rounds must stay within [`WARM_THRESHOLD`]× of the
+//! cold round, and the warm plan-cache hit rate must clear
+//! [`WARM_HIT_RATE_FLOOR`].
 //!
 //! Kernels (or individual entries) present in the current run but absent
 //! from the baseline are reported as `new` and ignored — a freshly added
@@ -61,6 +65,17 @@ const PARALLEL_THRESHOLD: f64 = 1.05;
 /// The parallel-comparison groups the intra-run `parallel ≤ serial` check
 /// covers (the flagship Table-1 kernels).
 const PARALLEL_GROUPS: &[&str] = &["exec_spmv_parallel", "exec_spmm_parallel", "exec_mttkrp_parallel"];
+
+/// Intra-run bound for the service throughput bench: warm rounds (plan and
+/// compile caches hot) may run at most this much slower than the best cold
+/// round measured in the same session. Like the parallel gate, this reads a
+/// best-of ratio (`warm_speedup` = warm/cold qps), so it only trips when
+/// the resident caches genuinely stop paying.
+const WARM_THRESHOLD: f64 = 1.05;
+
+/// Minimum plan-cache hit rate over the throughput bench's warm rounds:
+/// a resident service replaying a fixed workload must be almost pure hits.
+const WARM_HIT_RATE_FLOOR: f64 = 0.9;
 
 /// Parses the two-level `{"group": {"bench": number, ...}, ...}` JSON the
 /// bench harness emits. A hand-rolled scanner: the vendored serde stub has
@@ -277,6 +292,66 @@ fn main() -> ExitCode {
                 regressions += 1;
             }
         }
+    }
+
+    // The service-throughput gate is intra-run as well: within one session
+    // a warm plan/compile cache must never lose to a cold one, and the warm
+    // rounds of a fixed workload must be nearly all plan-cache hits. The
+    // group comes from `throughput --save-json`; a run that lost it is a
+    // lost measurement and fails like a vanished gated benchmark.
+    if let Some(throughput) = current.get("throughput") {
+        match throughput.get("warm_speedup") {
+            Some(&speedup) if speedup > 0.0 => {
+                let ratio = 1.0 / speedup;
+                gated += 1;
+                let verdict = if ratio > WARM_THRESHOLD { " REGRESSED" } else { "" };
+                println!(
+                    "{:<28} {:<16} {:>14} {speedup:>13.2}x {ratio:>7.2}x{verdict}",
+                    "throughput (intra-run)", "warm/cold", "speedup"
+                );
+                if ratio > WARM_THRESHOLD {
+                    eprintln!(
+                        "bench_gate: throughput: warm rounds run at {ratio:.2}x of the cold round \
+                         (bound {WARM_THRESHOLD:.2}x) — the resident plan cache lost to fresh compiles"
+                    );
+                    regressions += 1;
+                }
+            }
+            _ => {
+                eprintln!("bench_gate: throughput group is missing the `warm_speedup` metric");
+                regressions += 1;
+            }
+        }
+        match throughput.get("warm_hit_rate") {
+            Some(&rate) => {
+                gated += 1;
+                let verdict = if rate < WARM_HIT_RATE_FLOOR { " REGRESSED" } else { "" };
+                println!(
+                    "{:<28} {:<16} {:>14} {:>13.1}% {:>8}{verdict}",
+                    "throughput (intra-run)",
+                    "warm_hit_rate",
+                    "hit rate",
+                    100.0 * rate,
+                    "-"
+                );
+                if rate < WARM_HIT_RATE_FLOOR {
+                    eprintln!(
+                        "bench_gate: throughput: warm plan-cache hit rate {:.1}% is below the \
+                         {:.0}% floor — the service re-plans a fixed resident workload",
+                        100.0 * rate,
+                        100.0 * WARM_HIT_RATE_FLOOR
+                    );
+                    regressions += 1;
+                }
+            }
+            None => {
+                eprintln!("bench_gate: throughput group is missing the `warm_hit_rate` metric");
+                regressions += 1;
+            }
+        }
+    } else {
+        eprintln!("bench_gate: throughput group missing from current run");
+        regressions += 1;
     }
 
     println!("\n{gated} gated benchmarks (fast-serial), threshold {THRESHOLD}x, {regressions} regression(s)");

@@ -11,7 +11,9 @@
 //! samprof --list
 //! ```
 //!
-//! * `--backend cycle|serial|threadsN|tiled` (default `threads4`);
+//! * `--backend cycle|fast-serial|fast-threads:N|tiled` (default
+//!   `fast-threads:4`; the historical `serial`/`threadsN` spellings still
+//!   parse);
 //! * `--trace <path>` also writes a Chrome `trace_event` JSON timeline
 //!   (load it at `ui.perfetto.dev` or `chrome://tracing`);
 //! * `--save-json` merges `samprof_<name>` headline metrics (`blocked_ns`,
@@ -22,10 +24,8 @@ use sam_bench::{merge_json_group, table1_case, table1_case_names, workspace_root
 use sam_core::graph::SamGraph;
 use sam_core::graphs;
 use sam_core::kernels::spmm::SpmmDataflow;
-use sam_exec::{
-    ChromeTraceSink, CountersSink, CycleBackend, ExecProfile, Execution, Executor, FastBackend, Inputs, Plan,
-    TiledBackend,
-};
+use sam_exec::{BackendSpec, ChromeTraceSink, CountersSink, ExecProfile, Execution, Executor, Inputs, Plan};
+use sam_memory::MemoryConfig;
 use sam_tensor::{synth, TensorFormat};
 
 /// Catalog kernels with operands big enough that stall attribution is
@@ -108,23 +108,18 @@ fn kernel_case(name: &str) -> Option<(SamGraph, Inputs)> {
     })
 }
 
-fn parse_backend(arg: &str) -> Option<Box<dyn Executor>> {
-    if let Some(n) = arg.strip_prefix("threads") {
-        let n: usize = if n.is_empty() { 4 } else { n.parse().ok()? };
-        return Some(Box::new(FastBackend::threads(n)));
-    }
-    match arg {
-        "cycle" => Some(Box::new(CycleBackend::default())),
-        "serial" | "fast-serial" => Some(Box::new(FastBackend::serial())),
-        "fast-threads" => Some(Box::new(FastBackend::threads(4))),
-        "tiled" => Some(Box::new(TiledBackend::with_tile(64))),
-        _ => None,
-    }
+/// Builds the profiled backend from a [`BackendSpec`] label (stable labels
+/// plus the historical `threadsN` spellings, all parsed by `sam-exec`).
+/// `tiled` keeps samprof's historical 64-wide tiles so saved metrics stay
+/// comparable across runs.
+fn build_backend(arg: &str) -> Result<Box<dyn Executor>, sam_exec::ParseBackendError> {
+    let spec: BackendSpec = arg.parse()?;
+    Ok(spec.build_with_memory(Some(MemoryConfig { tile: 64, ..MemoryConfig::default() })))
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: samprof <kernel|expression> [--backend cycle|serial|threadsN|tiled] \
+        "usage: samprof <kernel|expression> [--backend cycle|fast-serial|fast-threads:N|tiled] \
          [--trace out.json] [--save-json]\n       samprof --list"
     );
     std::process::exit(2);
@@ -166,7 +161,7 @@ fn report(name: &str, backend: &dyn Executor, run: &Execution, profile: &ExecPro
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name: Option<String> = None;
-    let mut backend_arg = "threads4".to_string();
+    let mut backend_arg = "fast-threads:4".to_string();
     let mut trace_path: Option<String> = None;
     let mut save_json = false;
     let mut it = args.iter();
@@ -194,9 +189,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some(backend) = parse_backend(&backend_arg) else {
-        eprintln!("unknown backend `{backend_arg}` (cycle, serial, threadsN or tiled)");
-        std::process::exit(2);
+    let backend = match build_backend(&backend_arg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
 
     let plan = match Plan::build(&graph, &inputs) {

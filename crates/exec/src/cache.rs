@@ -1,0 +1,485 @@
+//! The global sharded plan cache and the [`Planner`] entry point.
+//!
+//! Planning a graph ([`Plan::build`]) walks the whole topology, validates
+//! every port and estimates every stream — cheap next to a cold custard
+//! compile, but pure waste when the same `(expression, formats, shapes)`
+//! workload executes thousands of times against a resident operand corpus.
+//! This module promotes the per-shape plan cache the tiled backend grew in
+//! PR 4 into one process-wide, sharded `(expression, formats, shapes) →
+//! Arc<Plan>` cache with hit/miss/eviction counters:
+//!
+//! * [`PlanKey`] captures **everything** a [`Plan`] reads from its inputs —
+//!   the graph's name and a structural fingerprint of its nodes and edges,
+//!   and per bound tensor the name, format, shape, the per-level fiber
+//!   statistics behind the planner's stream-size estimates, and the value
+//!   of single-element tensors (the planner resolves `ConstVal` scalars at
+//!   plan time). Equal keys therefore mean *bit-identical* plans: a cache
+//!   hit returns an execution indistinguishable from a fresh compile, down
+//!   to channel-depth and spill behavior.
+//! * [`PlanCache`] is the sharded LRU map. [`PlanCache::global`] is the
+//!   process-wide instance the default execution path uses; services that
+//!   want isolated counters (or a different capacity) construct their own.
+//! * [`Planner`] is the single planning entry point shared by the old
+//!   one-shot path and the `sam-serve` service: it produces `Arc<Plan>`s,
+//!   through a cache or not.
+//!
+//! ```
+//! use sam_core::graphs;
+//! use sam_exec::{Inputs, PlanCache};
+//! use sam_tensor::{synth, TensorFormat};
+//!
+//! let cache = PlanCache::new(64);
+//! let graph = graphs::vec_elem_mul(true);
+//! let b = synth::random_vector(64, 12, 1);
+//! let inputs = Inputs::new()
+//!     .coo("b", &b, TensorFormat::sparse_vec())
+//!     .coo("c", &b, TensorFormat::sparse_vec());
+//! let first = cache.get_or_plan(&graph, &inputs).unwrap();
+//! let second = cache.get_or_plan(&graph, &inputs).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! ```
+
+use crate::bind::Inputs;
+use crate::error::PlanError;
+use crate::plan::Plan;
+use sam_core::graph::SamGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How many independent shards a [`PlanCache`] splits its map across.
+/// Submissions from many service workers hash to different shards, so the
+/// cache is never one global lock.
+const SHARDS: usize = 8;
+
+/// Capacity of [`PlanCache::global`]. Generous: a plan for these graphs is
+/// a few kilobytes, and eviction only has to bound pathological sweeps
+/// (e.g. a tiled run visiting thousands of edge-tile shape classes).
+const GLOBAL_CAPACITY: usize = 2048;
+
+/// One bound tensor's contribution to a [`PlanKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BindingKey {
+    name: String,
+    /// The storage format, via its `Display` (level kinds + mode order).
+    format: String,
+    shape: Vec<usize>,
+    /// Per storage level: `(fiber count, longest fiber)` — exactly the
+    /// statistics the planner's stream-size estimates read, so two inputs
+    /// with equal keys plan to equal channel depths. Empty under
+    /// [`KeyDetail::ShapeClass`].
+    level_stats: Vec<(usize, usize)>,
+    /// Value bits of a single-element tensor: the planner bakes `ConstVal`
+    /// scalars (alpha/beta) into the plan, so the value is part of the
+    /// plan's identity under every detail level.
+    scalar_bits: Option<u64>,
+}
+
+/// How much of the bound inputs a [`PlanKey`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDetail {
+    /// Formats, shapes, per-level fiber statistics and scalar values: equal
+    /// keys produce bit-identical plans, including the stream-size
+    /// estimates. The default for whole-tensor execution.
+    Exact,
+    /// Formats, shapes and scalar values only: tensors of one shape class
+    /// share a plan even when their occupancy differs. Results are still
+    /// bit-identical; only the planner's channel-depth *estimates* may be
+    /// stale. The tiled backend uses this so interior tiles keep sharing
+    /// one plan per shape class (its inner runs are serial and never
+    /// consult the estimates).
+    ShapeClass,
+}
+
+/// The cache key: everything a [`Plan`] depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The graph's name — for custard-compiled kernels, the expression
+    /// string itself.
+    expr: String,
+    /// Structural hash of the graph's nodes and edges, so two graphs that
+    /// happen to share a name (hand-wired variants, property-test output)
+    /// can never collide.
+    fingerprint: u64,
+    bindings: Vec<BindingKey>,
+}
+
+impl PlanKey {
+    /// Builds the key for planning `graph` over `inputs` at the given
+    /// detail level.
+    pub fn new(graph: &SamGraph, inputs: &Inputs, detail: KeyDetail) -> PlanKey {
+        let mut h = DefaultHasher::new();
+        for node in graph.nodes() {
+            node.hash(&mut h);
+        }
+        for e in graph.edges() {
+            (e.from, e.to, e.kind, e.src_port, e.dst_port).hash(&mut h);
+        }
+        let bindings = inputs
+            .iter()
+            .map(|(name, t)| {
+                let level_stats = match detail {
+                    KeyDetail::ShapeClass => Vec::new(),
+                    KeyDetail::Exact => (0..t.format().order())
+                        .map(|l| {
+                            let level = t.level(l);
+                            let longest = if level.is_dense() {
+                                level.dimension()
+                            } else {
+                                (0..level.num_fibers()).map(|f| level.fiber_len(f)).max().unwrap_or(0)
+                            };
+                            (level.num_fibers(), longest)
+                        })
+                        .collect(),
+                };
+                let scalar_bits = match t.vals() {
+                    [v] if t.shape() == [1] => Some(v.to_bits()),
+                    _ => None,
+                };
+                BindingKey {
+                    name: name.to_string(),
+                    format: t.format().to_string(),
+                    shape: t.shape().to_vec(),
+                    level_stats,
+                    scalar_bits,
+                }
+            })
+            .collect();
+        PlanKey { expr: graph.name.clone(), fingerprint: h.finish(), bindings }
+    }
+
+    /// Which shard of an `n`-shard cache this key lives in.
+    fn shard(&self, n: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % n
+    }
+}
+
+/// A cached plan plus its LRU clock.
+struct Entry {
+    plan: Arc<Plan>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+}
+
+/// A snapshot of a [`PlanCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+    /// Entries dropped to stay under capacity.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits over total lookups; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, capacity-bounded `(expression, formats, shapes) → Arc<Plan>`
+/// cache. See the module docs for keying semantics.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (spread across shards;
+    /// clamped to at least one per shard).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache the default execution path plans through.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| PlanCache::new(GLOBAL_CAPACITY))
+    }
+
+    /// Returns the cached plan for `graph` over `inputs` (exact keying),
+    /// planning and inserting on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`Plan::build`]; failures are never
+    /// cached.
+    pub fn get_or_plan(&self, graph: &SamGraph, inputs: &Inputs) -> Result<Arc<Plan>, PlanError> {
+        self.get_or_plan_detailed(graph, inputs, KeyDetail::Exact)
+    }
+
+    /// [`PlanCache::get_or_plan`] with an explicit [`KeyDetail`] — the
+    /// tiled backend passes [`KeyDetail::ShapeClass`] so interior tiles
+    /// share one plan per shape class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`Plan::build`].
+    pub fn get_or_plan_detailed(
+        &self,
+        graph: &SamGraph,
+        inputs: &Inputs,
+        detail: KeyDetail,
+    ) -> Result<Arc<Plan>, PlanError> {
+        let key = PlanKey::new(graph, inputs, detail);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        {
+            let mut s = shard.lock().expect("plan cache shard");
+            s.tick += 1;
+            let tick = s.tick;
+            if let Some(e) = s.map.get_mut(&key) {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&e.plan));
+            }
+        }
+        // Plan outside the shard lock: concurrent misses on the same key
+        // may both plan, but the loser's insert just overwrites with an
+        // identical plan — far cheaper than serializing every planner run
+        // behind the shard.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(Plan::build(graph, inputs)?);
+        let mut s = shard.lock().expect("plan cache shard");
+        s.tick += 1;
+        let tick = s.tick;
+        s.map.insert(key, Entry { plan: Arc::clone(&plan), last_used: tick });
+        while s.map.len() > self.per_shard_capacity {
+            let oldest = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty over-capacity shard");
+            s.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(plan)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().expect("plan cache shard").map.len()).sum(),
+        }
+    }
+
+    /// Drops every cached plan and zeroes the counters (cold-start
+    /// measurement support; the resident plans' `Arc`s stay valid).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("plan cache shard");
+            s.map.clear();
+            s.tick = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The single planning entry point: turns `(graph, inputs)` into an
+/// [`Arc<Plan>`], through a [`PlanCache`] or not. Both the one-shot
+/// [`crate::ExecRequest`] path and the `sam-serve` service plan through
+/// this, so there is exactly one place plans come from.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    cache: Option<Arc<PlanCache>>,
+    use_global: bool,
+}
+
+impl Planner {
+    /// A planner over the process-wide [`PlanCache::global`].
+    pub fn cached() -> Planner {
+        Planner { cache: None, use_global: true }
+    }
+
+    /// A planner over a specific cache (a service's own, say).
+    pub fn with_cache(cache: Arc<PlanCache>) -> Planner {
+        Planner { cache: Some(cache), use_global: false }
+    }
+
+    /// A planner that always re-plans (the pre-cache behavior; also
+    /// [`Default`]).
+    pub fn uncached() -> Planner {
+        Planner { cache: None, use_global: false }
+    }
+
+    /// Plans `graph` over `inputs`, consulting this planner's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`Plan::build`].
+    pub fn plan(&self, graph: &SamGraph, inputs: &Inputs) -> Result<Arc<Plan>, PlanError> {
+        match (&self.cache, self.use_global) {
+            (Some(cache), _) => cache.get_or_plan(graph, inputs),
+            (None, true) => PlanCache::global().get_or_plan(graph, inputs),
+            (None, false) => Ok(Arc::new(Plan::build(graph, inputs)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_core::build::GraphBuilder;
+    use sam_core::graphs;
+    use sam_tensor::{synth, TensorFormat};
+
+    fn spmv_inputs(nnz: usize, seed: u64) -> Inputs {
+        let b = synth::random_matrix_sparsity(30, 20, 0.9, seed);
+        let c = synth::random_vector(20, nnz, seed + 1);
+        Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec())
+    }
+
+    #[test]
+    fn hits_return_the_same_plan_and_count() {
+        let cache = PlanCache::new(16);
+        let graph = graphs::spmv();
+        let inputs = spmv_inputs(12, 7);
+        let a = cache.get_or_plan(&graph, &inputs).unwrap();
+        let b = cache.get_or_plan(&graph, &inputs).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    fn vec_inputs(nnz: usize, seed: u64) -> Inputs {
+        let b = synth::random_vector(64, nnz, seed);
+        let c = synth::random_vector(64, nnz, seed + 1);
+        Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec())
+    }
+
+    #[test]
+    fn exact_keys_distinguish_occupancy_shape_class_keys_do_not() {
+        // Same shapes and formats, different fiber occupancy: the exact key
+        // sees it (stream-size estimates depend on it), the shape-class key
+        // deliberately does not.
+        let graph = graphs::vec_elem_mul(true);
+        let sparse = vec_inputs(4, 11);
+        let dense = vec_inputs(40, 11);
+        let cache = PlanCache::new(16);
+        let a = cache.get_or_plan(&graph, &sparse).unwrap();
+        let b = cache.get_or_plan(&graph, &dense).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "exact keys must see the occupancy difference");
+
+        let shape_cache = PlanCache::new(16);
+        let a = shape_cache.get_or_plan_detailed(&graph, &sparse, KeyDetail::ShapeClass).unwrap();
+        let b = shape_cache.get_or_plan_detailed(&graph, &dense, KeyDetail::ShapeClass).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "shape-class keys share one plan per shape");
+    }
+
+    #[test]
+    fn scalar_values_are_part_of_the_key() {
+        // Same graph, same formats and shapes — only the baked ConstVal
+        // value differs. Reusing the plan would silently compute with the
+        // stale scalar.
+        let mut g = GraphBuilder::new("x(i) = alpha * b(i)");
+        let root = g.root("b");
+        let (crd, rf) = g.scan("b", 'i', true, root);
+        let v = g.array("b", rf);
+        let alpha = g.scalar_source("alpha", v);
+        let scaled = g.alu("mul", alpha, v);
+        g.write_level("x", 'i', crd);
+        g.write_vals("x", scaled);
+        let graph = g.finish();
+
+        let b = synth::random_vector(16, 5, 21);
+        let two = Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).scalar("alpha", 2.0);
+        let three = Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).scalar("alpha", 3.0);
+        let cache = PlanCache::new(16);
+        let p2 = cache.get_or_plan_detailed(&graph, &two, KeyDetail::ShapeClass).unwrap();
+        let p3 = cache.get_or_plan_detailed(&graph, &three, KeyDetail::ShapeClass).unwrap();
+        assert!(!Arc::ptr_eq(&p2, &p3));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn graphs_sharing_a_name_do_not_collide() {
+        let build = |mul: bool| {
+            let mut g = GraphBuilder::new("same-name");
+            let root = g.root("b");
+            let (crd, rf) = g.scan("b", 'i', true, root);
+            let v = g.array("b", rf);
+            let out = g.alu(if mul { "mul" } else { "add" }, v, v);
+            g.write_level("x", 'i', crd);
+            g.write_vals("x", out);
+            g.finish()
+        };
+        let b = synth::random_vector(16, 5, 31);
+        let inputs = Inputs::new().coo("b", &b, TensorFormat::sparse_vec());
+        let cache = PlanCache::new(16);
+        cache.get_or_plan(&build(true), &inputs).unwrap();
+        cache.get_or_plan(&build(false), &inputs).unwrap();
+        assert_eq!(cache.stats().misses, 2, "structural fingerprint must split same-named graphs");
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = PlanCache::new(1); // one entry per shard
+        let graph = graphs::spmv();
+        // Distinct matrix shapes → guaranteed-distinct keys. Enough of them
+        // that some shard must exceed its single-entry capacity.
+        let inputs_for = |rows: usize| {
+            let b = synth::random_matrix_sparsity(rows, 20, 0.9, 40);
+            let c = synth::random_vector(20, 12, 41);
+            Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("c", &c, TensorFormat::dense_vec())
+        };
+        for rows in 10..=21 {
+            cache.get_or_plan(&graph, &inputs_for(rows)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 12);
+        assert!(stats.evictions > 0, "12 keys into 8 single-entry shards must evict");
+        assert!(stats.entries <= SHARDS);
+        // Evicted keys re-plan and still work.
+        cache.get_or_plan(&graph, &inputs_for(10)).unwrap();
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let cache = PlanCache::new(16);
+        let graph = graphs::spmv();
+        cache.get_or_plan(&graph, &spmv_inputs(5, 61)).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), PlanCacheStats::default());
+    }
+}

@@ -32,7 +32,7 @@
 //!
 //! ```
 //! use sam_core::graphs;
-//! use sam_exec::{execute, FastBackend, Inputs};
+//! use sam_exec::{BackendSpec, ExecRequest, Inputs};
 //! use sam_tensor::{synth, TensorFormat};
 //!
 //! let graph = graphs::spmv();
@@ -41,8 +41,9 @@
 //! let inputs = Inputs::new()
 //!     .coo("B", &b, TensorFormat::dcsr())
 //!     .coo("c", &c, TensorFormat::dense_vec());
-//! let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
-//! let parallel = execute(&graph, &inputs, &FastBackend::threads(4)).unwrap();
+//! let serial = ExecRequest::new(&graph, &inputs).run().unwrap();
+//! let parallel =
+//!     ExecRequest::new(&graph, &inputs).backend(BackendSpec::FastThreads(4)).run().unwrap();
 //! assert_eq!(serial.output.unwrap(), parallel.output.unwrap());
 //! ```
 

@@ -21,11 +21,17 @@
 //!   plan tile by tile under a finite-memory budget, recording measured
 //!   DRAM/LLB counters (the paper's Section 6.4 machine).
 //!
+//! Execution goes through one door, [`ExecRequest`]: a graph, its bound
+//! inputs, and [`ExecOptions`] (backend by [`BackendSpec`], optional trace
+//! sink, memory budget, pre-built plan). Requests plan through the global
+//! [`PlanCache`] by default, so repeated executions of one workload shape
+//! pay for planning once.
+//!
 //! # Running a kernel on both backends
 //!
 //! ```
 //! use sam_core::graphs;
-//! use sam_exec::{execute, CycleBackend, FastBackend, Inputs};
+//! use sam_exec::{BackendSpec, ExecRequest, Inputs};
 //! use sam_tensor::{synth, TensorFormat};
 //!
 //! // x(i) = b(i) * c(i) over two sparse vectors, on both backends.
@@ -35,16 +41,17 @@
 //! let inputs = Inputs::new()
 //!     .coo("b", &b, TensorFormat::sparse_vec())
 //!     .coo("c", &c, TensorFormat::sparse_vec());
-//! let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-//! let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+//! let cycle =
+//!     ExecRequest::new(&graph, &inputs).backend(BackendSpec::Cycle).run().unwrap();
+//! let fast = ExecRequest::new(&graph, &inputs).run().unwrap();
 //! assert!(cycle.cycles.unwrap() > 0);
 //! assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
 //! ```
 //!
 //! # Building, planning and executing by hand
 //!
-//! [`Plan::build`] exposes the intermediate step [`execute`] wraps: plan
-//! once, inspect the planned topology, then run the same plan on any
+//! [`Plan::build`] exposes the intermediate step [`ExecRequest`] wraps:
+//! plan once, inspect the planned topology, then run the same plan on any
 //! backend (and over the same inputs, as many times as needed).
 //!
 //! ```
@@ -77,15 +84,16 @@
 //! ```
 //! use sam_core::graphs;
 //! use sam_core::kernels::spmm::SpmmDataflow;
-//! use sam_exec::{execute, Executor, FastBackend, Inputs, Parallelism};
+//! use sam_exec::{BackendSpec, ExecRequest, Executor, FastBackend, Inputs, Parallelism};
 //! use sam_tensor::{synth, TensorFormat};
 //!
 //! let graph = graphs::spmm(SpmmDataflow::LinearCombination);
 //! let b = synth::random_matrix_sparsity(40, 30, 0.9, 5);
 //! let c = synth::random_matrix_sparsity(30, 20, 0.9, 6);
 //! let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
-//! let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
-//! let parallel = execute(&graph, &inputs, &FastBackend::threads(4)).unwrap();
+//! let serial = ExecRequest::new(&graph, &inputs).run().unwrap();
+//! let parallel =
+//!     ExecRequest::new(&graph, &inputs).backend(BackendSpec::FastThreads(4)).run().unwrap();
 //! assert_eq!(serial.output.unwrap(), parallel.output.unwrap());
 //! assert_eq!(parallel.backend, "fast-threads");
 //! assert!(matches!(FastBackend::threads(4).parallelism(), Parallelism::Threads(4)));
@@ -119,6 +127,7 @@
 #![warn(missing_docs)]
 
 pub mod bind;
+pub mod cache;
 pub mod cycle;
 pub mod error;
 pub mod fast;
@@ -126,22 +135,28 @@ mod node;
 mod parallel;
 mod pipeline;
 pub mod plan;
+pub mod request;
+pub mod spec;
 mod split;
-mod steal;
+pub mod steal;
 pub mod tiled;
 
 pub use bind::Inputs;
+pub use cache::{KeyDetail, PlanCache, PlanCacheStats, PlanKey, Planner};
 pub use cycle::CycleBackend;
 pub use error::{ExecError, PlanError};
 pub use fast::FastBackend;
 pub use plan::{
     ChannelSpec, Plan, PortRef, SkipSpec, DEFAULT_MAX_CYCLES, MAX_CHANNEL_DEPTH, MIN_CHANNEL_DEPTH,
 };
+pub use request::{ExecOptions, ExecRequest};
 pub use sam_memory::MemoryCounters;
 pub use sam_trace::{
     ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, NodeProfile, NullSink, TokenCounts,
     TraceSink, WorkerProfile,
 };
+pub use spec::{BackendSpec, ParseBackendError};
+pub use steal::{StealPool, WorkerStats};
 pub use tiled::TiledBackend;
 
 use sam_core::graph::SamGraph;
@@ -251,13 +266,17 @@ pub trait Executor {
 
 /// Plans `graph` over `inputs` and runs it on `backend` in one call.
 ///
+/// Deprecated shim over the [`ExecRequest`] door (which additionally plans
+/// through the global [`PlanCache`], selects backends by [`BackendSpec`],
+/// and carries tracing and memory options).
+///
 /// # Errors
 ///
 /// Returns any planning or execution error; see [`Plan::build`] and
 /// [`Executor::run`].
+#[deprecated(note = "use ExecRequest::new(graph, inputs).executor(backend).run()")]
 pub fn execute(graph: &SamGraph, inputs: &Inputs, backend: &dyn Executor) -> Result<Execution, ExecError> {
-    let plan = Plan::build(graph, inputs)?;
-    backend.run(&plan, inputs)
+    ExecRequest::new(graph, inputs).executor(backend).run()
 }
 
 /// The accumulation policy the executor assigns to a reducer of the given
@@ -319,8 +338,8 @@ mod tests {
         let c = synth::random_vector(200, 50, 4);
         let inputs =
             Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
-        let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-        let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+        let cycle = ExecRequest::new(&graph, &inputs).backend(BackendSpec::Cycle).run().unwrap();
+        let fast = ExecRequest::new(&graph, &inputs).run().unwrap();
         let mut env = dense_env(&[("b", &b), ("c", &c)]);
         env.set_dim('i', 200);
         let expect = env.evaluate(&table1::vec_elem_mul()).unwrap();
@@ -342,7 +361,7 @@ mod tests {
         env.bind_dims(&table1::spmv(), &[]);
         let expect = env.evaluate(&table1::spmv()).unwrap();
         for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-            let run = execute(&graph, &inputs, backend).unwrap();
+            let run = ExecRequest::new(&graph, &inputs).executor(backend).run().unwrap();
             assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
         }
     }
@@ -369,8 +388,8 @@ mod tests {
                 TensorFormat::dcsr()
             };
             let inputs = Inputs::new().coo("B", &b, b_fmt).coo("C", &c, c_fmt);
-            let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-            let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+            let cycle = ExecRequest::new(&graph, &inputs).backend(BackendSpec::Cycle).run().unwrap();
+            let fast = ExecRequest::new(&graph, &inputs).run().unwrap();
             assert!(
                 cycle.output.as_ref().unwrap().to_dense().approx_eq(&expect),
                 "{} cycle run diverged",
@@ -399,7 +418,7 @@ mod tests {
         env.bind_dims(&table1::sddmm(), &[]);
         let expect = env.evaluate(&table1::sddmm()).unwrap();
         for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-            let run = execute(&graph, &inputs, backend).unwrap();
+            let run = ExecRequest::new(&graph, &inputs).executor(backend).run().unwrap();
             assert!(run.output.unwrap().to_dense().approx_eq(&expect), "{} backend diverged", backend.name());
         }
     }
@@ -409,7 +428,7 @@ mod tests {
         let b = synth::random_matrix_sparsity(15, 12, 0.85, 12);
         let graph = graphs::identity();
         let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr());
-        let run = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+        let run = ExecRequest::new(&graph, &inputs).run().unwrap();
         let expect = Tensor::from_coo("B", &b, TensorFormat::dcsr());
         assert!(run.output.unwrap().approx_eq(&expect));
     }

@@ -22,19 +22,19 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// One unit of work: runs once, receives the executing worker's index.
-type Task<'env> = Box<dyn FnOnce(usize) + Send + 'env>;
+pub type Task<'env> = Box<dyn FnOnce(usize) + Send + 'env>;
 
 /// Per-worker scheduler counters, surfaced as `WorkerProfile` on traced
 /// runs.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct WorkerStats {
+pub struct WorkerStats {
     /// Tasks this worker executed.
-    pub(crate) tasks: u64,
+    pub tasks: u64,
     /// Tasks this worker took from another worker's queue.
-    pub(crate) steals: u64,
+    pub steals: u64,
     /// Wall time spent executing tasks, nanoseconds (collected only when
     /// the pool was built with `timing`).
-    pub(crate) busy_ns: u64,
+    pub busy_ns: u64,
 }
 
 struct PoolState<'env> {
@@ -46,7 +46,7 @@ struct PoolState<'env> {
 
 /// The pool. `'env` bounds what tasks may borrow: everything declared
 /// before the [`std::thread::scope`] the workers run inside.
-pub(crate) struct StealPool<'env> {
+pub struct StealPool<'env> {
     state: Mutex<PoolState<'env>>,
     /// Signals workers: new tasks or shutdown.
     work_cv: Condvar,
@@ -75,7 +75,7 @@ impl Drop for PendingGuard<'_, '_> {
 impl<'env> StealPool<'env> {
     /// A pool for `workers` participants (the driver counts as worker 0).
     /// `timing` turns on per-task wall-clock accumulation.
-    pub(crate) fn new(workers: usize, timing: bool) -> Self {
+    pub fn new(workers: usize, timing: bool) -> Self {
         let workers = workers.max(1);
         StealPool {
             state: Mutex::new(PoolState {
@@ -91,7 +91,7 @@ impl<'env> StealPool<'env> {
     }
 
     /// Number of participating workers (including the driver).
-    pub(crate) fn workers(&self) -> usize {
+    pub fn workers(&self) -> usize {
         self.stats.len()
     }
 
@@ -126,7 +126,7 @@ impl<'env> StealPool<'env> {
     /// participates as worker 0; the call returns once every task has
     /// finished. Tasks are distributed round-robin so stealing has
     /// somewhere to steal from immediately.
-    pub(crate) fn run_batch(&self, tasks: Vec<Task<'env>>) {
+    pub fn run_batch(&self, tasks: Vec<Task<'env>>) {
         if tasks.is_empty() {
             return;
         }
@@ -161,7 +161,7 @@ impl<'env> StealPool<'env> {
 
     /// The body of a spawned worker thread: execute and steal until
     /// [`StealPool::shutdown`].
-    pub(crate) fn worker_loop(&self, w: usize) {
+    pub fn worker_loop(&self, w: usize) {
         loop {
             let taken = {
                 let mut st = self.state.lock().expect("pool state");
@@ -183,13 +183,13 @@ impl<'env> StealPool<'env> {
     }
 
     /// Wakes every worker and tells it to exit once the queues drain.
-    pub(crate) fn shutdown(&self) {
+    pub fn shutdown(&self) {
         self.state.lock().expect("pool state").shutdown = true;
         self.work_cv.notify_all();
     }
 
     /// Snapshot of every worker's counters.
-    pub(crate) fn stats(&self) -> Vec<WorkerStats> {
+    pub fn stats(&self) -> Vec<WorkerStats> {
         self.stats.iter().map(|s| *s.lock().expect("worker stats")).collect()
     }
 }

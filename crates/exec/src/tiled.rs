@@ -21,7 +21,7 @@
 //! ```
 //! use sam_core::graphs;
 //! use sam_core::kernels::spmm::SpmmDataflow;
-//! use sam_exec::{execute, FastBackend, Inputs, TiledBackend};
+//! use sam_exec::{ExecRequest, Inputs, TiledBackend};
 //! use sam_tensor::{synth, CooTensor, TensorFormat};
 //!
 //! // Integer-valued operands make tiled partial sums exact.
@@ -36,14 +36,16 @@
 //! let c = int(&synth::random_matrix_sparsity(32, 40, 0.9, 2));
 //! let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
 //! let graph = graphs::spmm(SpmmDataflow::LinearCombination);
-//! let untiled = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
-//! let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(8)).unwrap();
+//! let untiled = ExecRequest::new(&graph, &inputs).run().unwrap();
+//! let tiled =
+//!     ExecRequest::new(&graph, &inputs).executor(&TiledBackend::with_tile(8)).run().unwrap();
 //! assert_eq!(untiled.output.unwrap(), tiled.output.unwrap());
 //! let mem = tiled.memory.unwrap();
 //! assert!(mem.dram_bytes > 0 && mem.tiles_executed > 0);
 //! ```
 
 use crate::bind::Inputs;
+use crate::cache::{KeyDetail, PlanCache};
 use crate::error::ExecError;
 use crate::plan::Plan;
 use crate::steal::StealPool;
@@ -188,9 +190,13 @@ impl Executor for TiledBackend {
         let mut tokens = 0u64;
         let inner = FastBackend::serial();
         // Interior tiles share one shape class (and thus one plan); edge
-        // tiles get their own cached plans. Arc'd so pool tasks can hold a
-        // plan while the cache keeps growing on the driving thread.
-        let mut plan_cache: HashMap<Vec<Vec<usize>>, Arc<Plan>> = HashMap::new();
+        // tiles get their own cached plans. Tile plans live in the global
+        // sharded cache under shape-class keys, so the shape classes of one
+        // run are still planned exactly once — and stay warm across runs.
+        // (Inner tile runs are serial, so the shape-class key's blindness to
+        // fiber occupancy is safe: serial evaluation never consults the
+        // planner's stream-size estimates.)
+        let plan_cache = PlanCache::global();
         let mut empty_cache: HashMap<(usize, Vec<usize>), Arc<Tensor>> = HashMap::new();
 
         // Offsets of the output writers' variables, refreshed per tuple.
@@ -344,7 +350,6 @@ impl Executor for TiledBackend {
                     // the input set — a refcount bump per tuple, not a deep
                     // copy.
                     let mut tile_inputs = base_inputs.clone();
-                    let mut shape_key: Vec<Vec<usize>> = Vec::with_capacity(keys.len());
                     for (ti, key) in keys.iter().enumerate() {
                         let tile: Arc<Tensor> = match grids[ti].get_shared(key) {
                             Some(t) => Arc::clone(t),
@@ -357,17 +362,11 @@ impl Executor for TiledBackend {
                                 }))
                             }
                         };
-                        shape_key.push(tile.shape().to_vec());
                         tile_inputs = tile_inputs.shared(tile);
                     }
 
-                    let tile_plan = match plan_cache.get(&shape_key) {
-                        Some(p) => Arc::clone(p),
-                        None => {
-                            let p = Arc::new(Plan::build(graph, &tile_inputs)?);
-                            Arc::clone(plan_cache.entry(shape_key).or_insert(p))
-                        }
-                    };
+                    let tile_plan =
+                        plan_cache.get_or_plan_detailed(graph, &tile_inputs, KeyDetail::ShapeClass)?;
                     jobs.push(TupleJob { tuple: tuple.clone(), inputs: tile_inputs, plan: tile_plan });
                     if jobs.len() >= batch_cap {
                         flush(&mut jobs)?;
@@ -486,7 +485,6 @@ fn empty_tile(name: &str, inputs: &Inputs, windows: &[(u32, u32)]) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::execute;
     use sam_core::graphs;
     use sam_tensor::{synth, TensorFormat};
 
@@ -507,8 +505,11 @@ mod tests {
         // An LLB far smaller than the working set: executing needless tile
         // tuples now costs real refetch traffic, which skipping avoids.
         let config = MemoryConfig { tile: 8, llb_bytes: 256, ..MemoryConfig::default() };
-        let skip = execute(&graph, &inputs, &TiledBackend::new(config)).unwrap();
-        let noskip = execute(&graph, &inputs, &TiledBackend::new(config).with_skipping(false)).unwrap();
+        let run = |backend: &TiledBackend| {
+            crate::ExecRequest::new(&graph, &inputs).executor(backend).run().unwrap()
+        };
+        let skip = run(&TiledBackend::new(config));
+        let noskip = run(&TiledBackend::new(config).with_skipping(false));
         assert_eq!(skip.output, noskip.output);
         let (sm, nm) = (skip.memory.unwrap(), noskip.memory.unwrap());
         assert!(sm.tiles_skipped > nm.tiles_skipped);
@@ -529,8 +530,11 @@ mod tests {
         let graph = graphs::spmm(sam_core::kernels::spmm::SpmmDataflow::LinearCombination);
         let tiny = MemoryConfig { tile: 8, llb_bytes: 256, ..MemoryConfig::default() };
         let big = MemoryConfig { tile: 8, ..MemoryConfig::default() };
-        let small_run = execute(&graph, &inputs, &TiledBackend::new(tiny)).unwrap();
-        let big_run = execute(&graph, &inputs, &TiledBackend::new(big)).unwrap();
+        let run = |backend: &TiledBackend| {
+            crate::ExecRequest::new(&graph, &inputs).executor(backend).run().unwrap()
+        };
+        let small_run = run(&TiledBackend::new(tiny));
+        let big_run = run(&TiledBackend::new(big));
         assert_eq!(small_run.output, big_run.output, "LLB size must not change results");
         let (sm, bm) = (small_run.memory.unwrap(), big_run.memory.unwrap());
         assert!(sm.spill_events > 0, "a 256-byte LLB must spill");
@@ -548,14 +552,12 @@ mod tests {
         // A small LLB keeps the access sequence order-sensitive (real
         // evictions), so this also checks the canonical-order replay.
         let config = MemoryConfig { tile: 8, llb_bytes: 4096, ..MemoryConfig::default() };
-        let serial = execute(&graph, &inputs, &TiledBackend::new(config)).unwrap();
+        let run = |backend: &TiledBackend| {
+            crate::ExecRequest::new(&graph, &inputs).executor(backend).run().unwrap()
+        };
+        let serial = run(&TiledBackend::new(config));
         for threads in [2, 4] {
-            let par = execute(
-                &graph,
-                &inputs,
-                &TiledBackend::new(config).with_parallelism(crate::Parallelism::Threads(threads)),
-            )
-            .unwrap();
+            let par = run(&TiledBackend::new(config).with_parallelism(crate::Parallelism::Threads(threads)));
             assert_eq!(par.output, serial.output, "threads={threads}");
             assert_eq!(par.vals, serial.vals, "threads={threads}");
             assert_eq!(par.tokens, serial.tokens, "threads={threads}");

@@ -3,7 +3,7 @@
 //! evaluator — the gap the executor closes over the hand-wired kernels.
 
 use custard::{lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
-use sam_exec::{execute, CycleBackend, Executor, FastBackend, Inputs};
+use sam_exec::{CycleBackend, ExecRequest, Executor, FastBackend, Inputs};
 use sam_tensor::reference::Environment;
 use sam_tensor::{synth, CooTensor, Tensor, TensorFormat};
 
@@ -26,7 +26,9 @@ fn check(text: &str, schedule: &Schedule, formats: Formats, operands: &[(&str, &
     let expect = env.evaluate(&assignment).expect("reference evaluation");
 
     for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-        let run = execute(&kernel.graph, &inputs, backend)
+        let run = ExecRequest::new(&kernel.graph, &inputs)
+            .executor(backend)
+            .run()
             .unwrap_or_else(|e| panic!("`{text}` on {}: {e}", backend.name()));
         let out = run.output.unwrap_or_else(|| panic!("`{text}` produced no tensor"));
         assert!(
@@ -120,7 +122,7 @@ fn right_nested_subtraction_associates_correctly() {
     env.bind_dims(&assignment, &[]);
     let expect = env.evaluate(&assignment).unwrap();
     for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        let run = ExecRequest::new(&kernel.graph, &inputs).executor(backend).run().unwrap();
         assert!(
             run.output.unwrap().to_dense().approx_eq(&expect),
             "right-nested subtraction diverged on the {} backend",
@@ -154,7 +156,7 @@ fn subtraction_through_a_union_zero_fills_the_correct_side() {
     for backend in
         [&CycleBackend::default() as &dyn Executor, &FastBackend::serial(), &FastBackend::threads(4)]
     {
-        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        let run = ExecRequest::new(&kernel.graph, &inputs).executor(backend).run().unwrap();
         let dense = run.output.expect("tensor output").to_dense();
         for i in 0..dim as u32 {
             let expect = if i % 2 == 0 { 2.0 } else { -3.0 };

@@ -7,7 +7,7 @@
 use sam_core::graph::SamGraph;
 use sam_core::graphs;
 use sam_core::kernels::spmm::SpmmDataflow;
-use sam_exec::{execute, CycleBackend, FastBackend, Inputs};
+use sam_exec::{CycleBackend, ExecRequest, FastBackend, Inputs};
 use sam_tensor::expr::{table1, Assignment};
 use sam_tensor::reference::Environment;
 use sam_tensor::{synth, TensorFormat};
@@ -95,7 +95,9 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
         env.bind_dims(&assignment, &[]);
         let expect = env.evaluate(&assignment).unwrap();
 
-        let serial = execute(&graph, &inputs, &FastBackend::serial())
+        let serial = ExecRequest::new(&graph, &inputs)
+            .executor(&FastBackend::serial())
+            .run()
             .unwrap_or_else(|e| panic!("{}: serial fast run failed: {e}", graph.name));
         assert_eq!(serial.backend, "fast-serial");
         let serial_out = serial.output.expect("tensor output");
@@ -105,7 +107,9 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
             graph.name
         );
 
-        let cycle = execute(&graph, &inputs, &CycleBackend::default())
+        let cycle = ExecRequest::new(&graph, &inputs)
+            .executor(&CycleBackend::default())
+            .run()
             .unwrap_or_else(|e| panic!("{}: cycle run failed: {e}", graph.name));
         assert_eq!(cycle.backend, "cycle");
         assert_eq!(
@@ -117,7 +121,9 @@ fn every_kernel_agrees_across_backends_and_thread_counts() {
 
         for threads in [2, 4] {
             let backend = FastBackend::threads(threads);
-            let parallel = execute(&graph, &inputs, &backend)
+            let parallel = ExecRequest::new(&graph, &inputs)
+                .executor(&backend)
+                .run()
                 .unwrap_or_else(|e| panic!("{}: Threads({threads}) run failed: {e}", graph.name));
             assert_eq!(parallel.backend, "fast-threads");
             assert_eq!(
@@ -167,8 +173,8 @@ fn parallel_errors_match_serial_errors() {
     let c = synth::random_vector(64, 2, 312);
     let inputs =
         Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
-    let serial = execute(&graph, &inputs, &FastBackend::serial());
-    let parallel = execute(&graph, &inputs, &FastBackend::threads(3));
+    let serial = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run();
+    let parallel = ExecRequest::new(&graph, &inputs).executor(&FastBackend::threads(3)).run();
     let Err(ExecError::Misaligned { label: serial_label }) = serial else {
         panic!("serial run should fail on the misaligned reducer streams, got {serial:?}");
     };
@@ -236,14 +242,19 @@ fn skip_twins() -> Vec<(SamGraph, SamGraph, Inputs)> {
 #[test]
 fn skip_graphs_match_their_skip_free_twins_on_every_backend() {
     for (plain, with_skip, inputs) in skip_twins() {
-        let reference = execute(&plain, &inputs, &FastBackend::serial())
+        let reference = ExecRequest::new(&plain, &inputs)
+            .executor(&FastBackend::serial())
+            .run()
             .unwrap_or_else(|e| panic!("{}: skip-free serial run failed: {e}", plain.name));
         let expect = reference.output.expect("tensor output");
 
         for (what, run) in [
-            ("fast-serial", execute(&with_skip, &inputs, &FastBackend::serial())),
-            ("fast-Threads(4)", execute(&with_skip, &inputs, &FastBackend::threads(4))),
-            ("cycle", execute(&with_skip, &inputs, &CycleBackend::default())),
+            ("fast-serial", ExecRequest::new(&with_skip, &inputs).executor(&FastBackend::serial()).run()),
+            (
+                "fast-Threads(4)",
+                ExecRequest::new(&with_skip, &inputs).executor(&FastBackend::threads(4)).run(),
+            ),
+            ("cycle", ExecRequest::new(&with_skip, &inputs).executor(&CycleBackend::default()).run()),
         ] {
             let run = run.unwrap_or_else(|e| panic!("{}: {what} skip run failed: {e}", with_skip.name));
             assert_eq!(
@@ -265,8 +276,14 @@ fn skip_fusion_reduces_materialized_tokens_on_skewed_inputs() {
     let vc = synth::random_vector(20_000, 40, 412);
     let inputs =
         Inputs::new().coo("b", &vb, TensorFormat::sparse_vec()).coo("c", &vc, TensorFormat::sparse_vec());
-    let plain = execute(&graphs::vec_elem_mul(true), &inputs, &FastBackend::serial()).unwrap();
-    let skip = execute(&graphs::vec_elem_mul_with_skip(true), &inputs, &FastBackend::serial()).unwrap();
+    let plain = ExecRequest::new(&graphs::vec_elem_mul(true), &inputs)
+        .executor(&FastBackend::serial())
+        .run()
+        .unwrap();
+    let skip = ExecRequest::new(&graphs::vec_elem_mul_with_skip(true), &inputs)
+        .executor(&FastBackend::serial())
+        .run()
+        .unwrap();
     assert_eq!(plain.output.unwrap(), skip.output.unwrap());
     assert!(
         skip.tokens * 4 < plain.tokens,
@@ -295,11 +312,13 @@ fn depth_one_chunk_config_forces_spills_without_changing_results() {
     env.bind_dims(&table1::spmm(), &[]);
     let expect = env.evaluate(&table1::spmm()).unwrap();
 
-    let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+    let serial = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
     let spilly = ChunkConfig { chunk_len: 4, depth: 1 };
     for threads in [2, 4, 8] {
         let backend = FastBackend::threads(threads).with_chunk_config(spilly);
-        let run = execute(&graph, &inputs, &backend)
+        let run = ExecRequest::new(&graph, &inputs)
+            .executor(&backend)
+            .run()
             .unwrap_or_else(|e| panic!("Threads({threads}) depth-1 run failed: {e}"));
         let out = run.output.expect("tensor output");
         assert!(out.to_dense().approx_eq(&expect), "Threads({threads}) depth-1 diverged from reference");

@@ -4,7 +4,7 @@
 use sam_core::build::GraphBuilder;
 use sam_core::graph::{NodeKind, PortKind, SamGraph, StreamKind};
 use sam_core::graphs;
-use sam_exec::{execute, CycleBackend, FastBackend, Inputs, Plan, PlanError};
+use sam_exec::{CycleBackend, ExecRequest, FastBackend, Inputs, Plan, PlanError};
 use sam_tensor::{synth, TensorFormat};
 
 fn vec_inputs(dim: usize) -> Inputs {
@@ -300,11 +300,25 @@ fn skip_target_with_extra_consumers_is_rejected() {
 fn execute_convenience_runs_both_backends() {
     let graph = graphs::vec_elem_mul(true);
     let inputs = vec_inputs(64);
-    let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-    let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+    let cycle = ExecRequest::new(&graph, &inputs).executor(&CycleBackend::default()).run().unwrap();
+    let fast = ExecRequest::new(&graph, &inputs).executor(&FastBackend::default()).run().unwrap();
     assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
     assert_eq!(cycle.backend, "cycle");
     assert_eq!(fast.backend, "fast-serial");
+}
+
+/// The deprecated `execute` shim must keep producing exactly what the
+/// request door produces, so pre-door callers migrate on their own clock.
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_execute_shim_matches_the_request_door() {
+    let graph = graphs::vec_elem_mul(true);
+    let inputs = vec_inputs(64);
+    let shim = sam_exec::execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+    let door = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
+    assert_eq!(shim.output, door.output);
+    assert_eq!(shim.vals, door.vals);
+    assert_eq!(shim.backend, door.backend);
 }
 
 #[test]

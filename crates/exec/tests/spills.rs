@@ -2,7 +2,7 @@
 //! and the win from planner-derived per-channel depths.
 
 use sam_core::graphs;
-use sam_exec::{execute, Executor, FastBackend, Inputs, Plan, PortRef};
+use sam_exec::{ExecRequest, Executor, FastBackend, Inputs, Plan, PortRef};
 use sam_streams::chunked::ChunkConfig;
 use sam_tensor::{synth, TensorFormat};
 
@@ -19,15 +19,15 @@ fn planned_channel_depths_eliminate_the_fixed_config_spills() {
         Inputs::new().coo("b", &b, TensorFormat::sparse_vec()).coo("c", &c, TensorFormat::sparse_vec());
     let graph = graphs::vec_elem_mul(true);
 
-    let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
+    let serial = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
     assert_eq!(serial.spills, 0, "serial mode has no channels to spill");
 
     let spilly = FastBackend::threads(2).with_chunk_config(ChunkConfig { chunk_len: 64, depth: 1 });
-    let fixed = execute(&graph, &inputs, &spilly).unwrap();
+    let fixed = ExecRequest::new(&graph, &inputs).executor(&spilly).run().unwrap();
     assert!(fixed.spills > 0, "depth-1 channels under 15k-token streams must take the spill escape");
     assert_eq!(fixed.output, serial.output);
 
-    let planned = execute(&graph, &inputs, &FastBackend::pipelined(2)).unwrap();
+    let planned = ExecRequest::new(&graph, &inputs).executor(&FastBackend::pipelined(2)).run().unwrap();
     assert_eq!(planned.spills, 0, "planner-derived depths should hold the whole estimated stream in flight");
     assert!(planned.spills < fixed.spills, "the spill-counter delta is the point of the knob");
     assert_eq!(planned.output, serial.output);
@@ -139,8 +139,10 @@ fn planned_depths_hold_the_whole_catalog_spill_free() {
     ];
 
     for (graph, inputs) in catalog {
-        let serial = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
-        let run = execute(&graph, &inputs, &FastBackend::pipelined(4))
+        let serial = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
+        let run = ExecRequest::new(&graph, &inputs)
+            .executor(&FastBackend::pipelined(4))
+            .run()
             .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
         assert_eq!(run.spills, 0, "{}: planned depths must not spill", graph.name);
         assert_eq!(run.output, serial.output, "{}", graph.name);

@@ -10,7 +10,7 @@
 use sam_core::graph::SamGraph;
 use sam_core::graphs;
 use sam_core::kernels::spmm::SpmmDataflow;
-use sam_exec::{execute, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
+use sam_exec::{ExecRequest, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
 use sam_streams::chunked::ChunkConfig;
 use sam_tensor::{synth, CooTensor, TensorFormat};
 use std::sync::mpsc;
@@ -101,10 +101,14 @@ fn run_stress() {
 
     for round in 0..2 {
         for (graph, inputs) in &catalog {
-            let serial = execute(graph, inputs, &FastBackend::serial())
+            let serial = ExecRequest::new(graph, inputs)
+                .executor(&FastBackend::serial())
+                .run()
                 .unwrap_or_else(|e| panic!("round {round} {}: serial failed: {e}", graph.name));
             for backend in [&stealing, &pipelined] {
-                let run = execute(graph, inputs, backend)
+                let run = ExecRequest::new(graph, inputs)
+                    .executor(backend)
+                    .run()
                     .unwrap_or_else(|e| panic!("round {round} {} on {}: {e}", graph.name, backend.name()));
                 assert_eq!(run.output, serial.output, "round {round} {}", graph.name);
                 assert_eq!(run.vals, serial.vals, "round {round} {}", graph.name);
@@ -114,7 +118,10 @@ fn run_stress() {
             // sweep in every respect — same outputs on kernels tiling
             // supports, the same typed rejection on kernels it does not.
             // It may never hang or fail where serial succeeds.
-            match (execute(graph, inputs, &tiled_serial), execute(graph, inputs, &tiled_par)) {
+            match (
+                ExecRequest::new(graph, inputs).executor(&tiled_serial).run(),
+                ExecRequest::new(graph, inputs).executor(&tiled_par).run(),
+            ) {
                 (Ok(s), Ok(p)) => {
                     assert_eq!(p.output, s.output, "round {round} {} tiled", graph.name);
                     assert_eq!(p.vals, s.vals, "round {round} {} tiled", graph.name);

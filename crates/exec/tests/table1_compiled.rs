@@ -9,7 +9,7 @@
 use custard::{parse, ConcreteIndexNotation, Formats, Schedule};
 use sam_core::graph::SamGraph;
 use sam_core::graphs;
-use sam_exec::{execute, CycleBackend, FastBackend, Inputs, TiledBackend};
+use sam_exec::{CycleBackend, ExecRequest, FastBackend, Inputs, TiledBackend};
 use sam_memory::MemoryConfig;
 use sam_tensor::reference::Environment;
 use sam_tensor::{synth, CooTensor, Tensor, TensorFormat};
@@ -207,7 +207,9 @@ fn every_table1_expression_compiles_and_runs_on_every_backend() {
         env.bind_dims(&assignment, &[]);
         let expect = env.evaluate(&assignment).expect("reference evaluation");
 
-        let serial = execute(&kernel.graph, &inputs, &FastBackend::serial())
+        let serial = ExecRequest::new(&kernel.graph, &inputs)
+            .executor(&FastBackend::serial())
+            .run()
             .unwrap_or_else(|e| panic!("{}: fast-serial failed: {e}", case.name));
         match &serial.output {
             Some(out) => assert_eq!(
@@ -221,8 +223,8 @@ fn every_table1_expression_compiles_and_runs_on_every_backend() {
 
         // Cycle and Threads(4) must be bit-identical to serial.
         for (what, run) in [
-            ("cycle", execute(&kernel.graph, &inputs, &CycleBackend::default())),
-            ("Threads(4)", execute(&kernel.graph, &inputs, &FastBackend::threads(4))),
+            ("cycle", ExecRequest::new(&kernel.graph, &inputs).executor(&CycleBackend::default()).run()),
+            ("Threads(4)", ExecRequest::new(&kernel.graph, &inputs).executor(&FastBackend::threads(4)).run()),
         ] {
             let run = run.unwrap_or_else(|e| panic!("{}: {what} failed: {e}", case.name));
             assert_eq!(run.output, serial.output, "{}: {what} diverged from serial", case.name);
@@ -232,7 +234,9 @@ fn every_table1_expression_compiles_and_runs_on_every_backend() {
         // The tiled finite-memory backend agrees with the dense reference
         // at a tile size that actually cuts these operands.
         let tiled = TiledBackend::new(MemoryConfig { tile: 4, llb_bytes: 2048, ..MemoryConfig::default() });
-        let run = execute(&kernel.graph, &inputs, &tiled)
+        let run = ExecRequest::new(&kernel.graph, &inputs)
+            .executor(&tiled)
+            .run()
             .unwrap_or_else(|e| panic!("{}: tiled run failed: {e}", case.name));
         match &run.output {
             Some(out) => assert_eq!(
@@ -247,7 +251,9 @@ fn every_table1_expression_compiles_and_runs_on_every_backend() {
         // Where a hand-wired catalog twin shares the compiled structure,
         // the compiled graph reproduces it bit for bit.
         if let Some(twin) = &case.twin {
-            let twin_run = execute(twin, &inputs, &FastBackend::serial())
+            let twin_run = ExecRequest::new(twin, &inputs)
+                .executor(&FastBackend::serial())
+                .run()
                 .unwrap_or_else(|e| panic!("{}: catalog twin failed: {e}", case.name));
             assert_eq!(
                 twin_run.output, serial.output,
@@ -283,8 +289,8 @@ fn compiled_skip_edges_reduce_tokens_on_sparse_by_dense() {
     let inputs = Inputs::new()
         .coo("B", &b, skip.formats.iter().find(|(n, _)| n == "B").unwrap().1.clone())
         .coo("c", &c, TensorFormat::dense_vec());
-    let with_skip = execute(&skip.graph, &inputs, &FastBackend::serial()).unwrap();
-    let without = execute(&plain.graph, &inputs, &FastBackend::serial()).unwrap();
+    let with_skip = ExecRequest::new(&skip.graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
+    let without = ExecRequest::new(&plain.graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
     assert_eq!(with_skip.output, without.output, "skip lowering changed the result");
     assert!(
         with_skip.tokens * 4 < without.tokens,

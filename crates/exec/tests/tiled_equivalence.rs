@@ -12,7 +12,7 @@
 use sam_core::graph::SamGraph;
 use sam_core::graphs;
 use sam_core::kernels::spmm::SpmmDataflow;
-use sam_exec::{execute, FastBackend, Inputs, TiledBackend};
+use sam_exec::{ExecRequest, FastBackend, Inputs, TiledBackend};
 use sam_tensor::expr::{table1, Assignment};
 use sam_tensor::reference::Environment;
 use sam_tensor::{synth, CooTensor, LevelFormat, TensorFormat};
@@ -132,7 +132,9 @@ fn every_supported_kernel_is_bit_identical_across_tile_sizes() {
         }
         env.bind_dims(&assignment, &[]);
         let expect = env.evaluate(&assignment).unwrap();
-        let untiled = execute(&graph, &inputs, &FastBackend::serial())
+        let untiled = ExecRequest::new(&graph, &inputs)
+            .executor(&FastBackend::serial())
+            .run()
             .unwrap_or_else(|e| panic!("{}: untiled run failed: {e}", graph.name));
         let untiled_out = untiled.output.expect("tensor output");
         assert!(
@@ -142,7 +144,9 @@ fn every_supported_kernel_is_bit_identical_across_tile_sizes() {
         );
 
         for tile in [4usize, 16, 128] {
-            let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(tile))
+            let tiled = ExecRequest::new(&graph, &inputs)
+                .executor(&TiledBackend::with_tile(tile))
+                .run()
                 .unwrap_or_else(|e| panic!("{}: tile {tile} run failed: {e}", graph.name));
             assert_eq!(tiled.backend, "tiled");
             assert_eq!(
@@ -193,8 +197,10 @@ fn random_sparse_matrices_stay_bit_identical_under_random_tilings() {
         env.bind_dims(&table1::spmm(), &[]);
         let expect = env.evaluate(&table1::spmm()).unwrap();
 
-        let untiled = execute(&graph, &inputs, &FastBackend::serial()).unwrap();
-        let tiled = execute(&graph, &inputs, &TiledBackend::with_tile(tile))
+        let untiled = ExecRequest::new(&graph, &inputs).executor(&FastBackend::serial()).run().unwrap();
+        let tiled = ExecRequest::new(&graph, &inputs)
+            .executor(&TiledBackend::with_tile(tile))
+            .run()
             .unwrap_or_else(|e| panic!("case {case} (i={i} k={k} j={j} tile={tile}): {e}"));
         let untiled_out = untiled.output.expect("tensor output");
         assert!(untiled_out.to_dense().approx_eq(&expect), "case {case}: untiled diverged from reference");

@@ -1,0 +1,45 @@
+//! # sam-serve
+//!
+//! The resident tensor service: the ROADMAP's "compile once, execute many
+//! times against a resident operand corpus" layer over the SAM execution
+//! stack.
+//!
+//! Three pieces (each with detailed module docs):
+//!
+//! * [`TensorStore`] — the named operand corpus, loaded once (SuiteSparse
+//!   Table 3 matrices come straight from the `sam_tensor` catalog), with
+//!   per-tensor format metadata and lazy, shared per-format
+//!   materialization.
+//! * [`Service`] — async batched submission: [`Service::submit`] enqueues
+//!   a [`Query`] onto bounded lanes and returns a [`QueryHandle`]; a
+//!   coordinator compiles (compile cache), binds, plans (a sharded
+//!   [`sam_exec::PlanCache`] of the service's own), batches same-plan
+//!   queries and fans the batch over a work-stealing executor pool.
+//!   Per-query backend selection by [`sam_exec::BackendSpec`].
+//! * [`table1_workload`] — the mixed twelve-kernel Table 1 workload
+//!   (integer-valued, bit-exact across backends) that the throughput
+//!   bench and the equivalence tests share.
+//!
+//! ```
+//! use sam_serve::{table1_workload, Service};
+//!
+//! let (store, queries) = table1_workload(42);
+//! let service = Service::new(store);
+//! let handles: Vec<_> =
+//!     queries.into_iter().map(|w| (w.name, service.submit(w.query))).collect();
+//! for (name, handle) in handles {
+//!     let run = handle.wait().unwrap_or_else(|e| panic!("{name}: {e}"));
+//!     assert_eq!(run.backend, "fast-serial");
+//! }
+//! assert_eq!(service.stats().completed, 12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod store;
+pub mod workload;
+
+pub use service::{Query, QueryHandle, ServeError, Service, ServiceConfig, ServiceStats};
+pub use store::TensorStore;
+pub use workload::{table1_workload, WorkloadQuery};

@@ -1,0 +1,602 @@
+//! The resident query service: [`Service::submit`] and friends.
+//!
+//! A [`Service`] owns three long-lived pieces:
+//!
+//! * the operand corpus (an [`Arc<TensorStore>`]), loaded once;
+//! * a **compile cache** (`(expression, schedule, format overrides) →
+//!   Arc<ExecutableKernel>`) so each distinct expression lowers through
+//!   custard once, and a **plan cache** (a [`PlanCache`] of its own, so a
+//!   service's hit/miss counters are not entangled with the process-wide
+//!   cache) so each workload shape plans once;
+//! * the submission machinery: [`Service::submit`] enqueues a [`Query`]
+//!   onto one of a fixed set of **bounded MPSC lanes** (same-expression
+//!   queries hash to the same lane) and returns a [`QueryHandle`]
+//!   immediately. A coordinator thread drains every lane on each doorbell
+//!   ring, prepares the drained queries (compile → bind from the store →
+//!   plan), **batches same-plan queries together**, and dispatches the
+//!   batch over a work-stealing pool of executor workers
+//!   ([`sam_exec::steal::StealPool`] — the same pool the parallel
+//!   backends use; the coordinator participates as worker 0).
+//!
+//! Every query executes through the [`sam_exec::ExecRequest`] door with
+//! its plan pre-resolved, on the backend its [`Query::backend`] selected —
+//! so a service run is bit-identical to a one-shot request for the same
+//! query, and the plan-cache hit path provably changes nothing but speed.
+//! Failures (unknown tensors, compile errors, execution errors) surface
+//! through [`QueryHandle::wait`], never as panics in the service threads.
+
+use crate::store::TensorStore;
+use custard::{ConcreteIndexNotation, ExecutableKernel, Formats, Schedule};
+use sam_exec::steal::{StealPool, Task};
+use sam_exec::{
+    BackendSpec, ExecError, ExecRequest, Execution, Inputs, Plan, PlanCache, PlanCacheStats, Planner,
+};
+use sam_memory::MemoryConfig;
+use sam_tensor::TensorFormat;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One query against the resident corpus: a tensor-index expression plus
+/// how to schedule, bind and execute it.
+#[derive(Debug, Clone)]
+pub struct Query {
+    expression: String,
+    order: Option<String>,
+    formats: Vec<(String, TensorFormat)>,
+    bindings: Vec<(String, String)>,
+    scalars: Vec<(String, f64)>,
+    backend: BackendSpec,
+    memory: Option<MemoryConfig>,
+}
+
+impl Query {
+    /// A query for `expression` (custard tensor index notation, e.g.
+    /// `"x(i) = B(i,j) * c(j)"`) on the default backend with no bindings.
+    pub fn new(expression: &str) -> Query {
+        Query {
+            expression: expression.to_string(),
+            order: None,
+            formats: Vec::new(),
+            bindings: Vec::new(),
+            scalars: Vec::new(),
+            backend: BackendSpec::default(),
+            memory: None,
+        }
+    }
+
+    /// Reorders the loop nest (custard `Schedule::reorder`, e.g. `"ikj"`).
+    pub fn order(mut self, order: &str) -> Query {
+        self.order = Some(order.to_string());
+        self
+    }
+
+    /// Overrides the storage format the lowering assumes for one operand.
+    pub fn format(mut self, operand: &str, format: TensorFormat) -> Query {
+        self.formats.push((operand.to_string(), format));
+        self
+    }
+
+    /// Binds expression operand `operand` to the stored tensor `stored`.
+    pub fn bind(mut self, operand: &str, stored: &str) -> Query {
+        self.bindings.push((operand.to_string(), stored.to_string()));
+        self
+    }
+
+    /// [`Query::bind`] where the operand and the stored tensor share a
+    /// name — the common case for a corpus keyed by expression names.
+    pub fn operand(self, name: &str) -> Query {
+        let stored = name.to_string();
+        self.bind(&stored, &stored)
+    }
+
+    /// Binds a scalar operand (`alpha`, `beta`) by value.
+    pub fn scalar(mut self, name: &str, value: f64) -> Query {
+        self.scalars.push((name.to_string(), value));
+        self
+    }
+
+    /// Selects the backend this query runs on (default: fast-serial).
+    pub fn backend(mut self, spec: BackendSpec) -> Query {
+        self.backend = spec;
+        self
+    }
+
+    /// Overrides the finite-memory budget for a tiled-backend query.
+    pub fn memory(mut self, memory: MemoryConfig) -> Query {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// The expression text.
+    pub fn expression(&self) -> &str {
+        &self.expression
+    }
+
+    /// The backend this query selected.
+    pub fn backend_spec(&self) -> BackendSpec {
+        self.backend
+    }
+
+    /// The loop reorder requested with [`Query::order`], if any.
+    pub fn reorder(&self) -> Option<&str> {
+        self.order.as_deref()
+    }
+
+    /// The per-operand format overrides set with [`Query::format`].
+    pub fn format_overrides(&self) -> &[(String, TensorFormat)] {
+        &self.formats
+    }
+
+    /// The `(operand, stored tensor)` bindings set with [`Query::bind`].
+    pub fn bindings(&self) -> &[(String, String)] {
+        &self.bindings
+    }
+
+    /// The scalar operands set with [`Query::scalar`].
+    pub fn scalar_bindings(&self) -> &[(String, f64)] {
+        &self.scalars
+    }
+}
+
+/// Why a submitted query failed. Delivered through [`QueryHandle::wait`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// A binding referenced a tensor the store does not hold.
+    UnknownTensor {
+        /// The missing stored-tensor name.
+        name: String,
+    },
+    /// The expression failed to parse or lower, or a binding referenced an
+    /// operand the compiled kernel does not use.
+    Compile {
+        /// The offending expression text.
+        expression: String,
+        /// The parser's or lowering's message.
+        message: String,
+    },
+    /// Planning or execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTensor { name } => write!(f, "no tensor `{name}` in the store"),
+            ServeError::Compile { expression, message } => {
+                write!(f, "`{expression}` failed to compile: {message}")
+            }
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> ServeError {
+        ServeError::Exec(e)
+    }
+}
+
+#[derive(Default)]
+struct HandleState {
+    slot: Mutex<Option<Result<Execution, ServeError>>>,
+    done: Condvar,
+}
+
+impl HandleState {
+    fn resolve(&self, result: Result<Execution, ServeError>) {
+        *self.slot.lock().expect("handle slot") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// The future side of one [`Service::submit`] call.
+#[derive(Debug)]
+pub struct QueryHandle {
+    state: Arc<HandleState>,
+}
+
+impl fmt::Debug for HandleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandleState").field("done", &self.is_done()).finish()
+    }
+}
+
+impl HandleState {
+    fn is_done(&self) -> bool {
+        self.slot.lock().expect("handle slot").is_some()
+    }
+}
+
+impl QueryHandle {
+    /// Blocks until the query finishes and returns its result.
+    pub fn wait(self) -> Result<Execution, ServeError> {
+        let mut slot = self.state.slot.lock().expect("handle slot");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot).expect("handle slot");
+        }
+    }
+
+    /// Whether the result is already available ([`QueryHandle::wait`]
+    /// would return without blocking).
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+}
+
+/// Sizing knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Executor-pool participants (the coordinator counts as one; clamped
+    /// to at least 1).
+    pub workers: usize,
+    /// Number of submission lanes.
+    pub lanes: usize,
+    /// Bounded depth of each lane; [`Service::submit`] blocks (applying
+    /// backpressure) when its lane is full.
+    pub lane_capacity: usize,
+    /// Capacity of the service's plan cache.
+    pub plan_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 4, lanes: 4, lane_capacity: 64, plan_capacity: 1024 }
+    }
+}
+
+/// A snapshot of a service's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Queries accepted by [`Service::submit`].
+    pub submitted: u64,
+    /// Queries that finished successfully.
+    pub completed: u64,
+    /// Queries that resolved to a [`ServeError`].
+    pub failed: u64,
+    /// Coordinator drain cycles that dispatched at least one query.
+    pub batches: u64,
+    /// Queries that rode in a same-plan group of two or more.
+    pub batched_same_plan: u64,
+    /// Compile-cache hits (expression already lowered).
+    pub compile_hits: u64,
+    /// Compile-cache misses (expression lowered now).
+    pub compile_misses: u64,
+    /// The service's plan-cache counters.
+    pub plans: PlanCacheStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_same_plan: AtomicU64,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+}
+
+struct Job {
+    query: Query,
+    state: Arc<HandleState>,
+}
+
+struct Lane {
+    queue: Mutex<VecDeque<Job>>,
+    not_full: Condvar,
+}
+
+#[derive(Default)]
+struct Door {
+    rung: bool,
+    closed: bool,
+}
+
+/// `(expression, reorder, format overrides)` — everything that changes
+/// what `lower_exec` produces.
+type CompileKey = (String, Option<String>, String);
+
+/// A prepared query: compiled, bound and planned, ready to execute.
+struct Ready {
+    kernel: Arc<ExecutableKernel>,
+    plan: Arc<Plan>,
+    inputs: Inputs,
+    backend: BackendSpec,
+    memory: Option<MemoryConfig>,
+    state: Arc<HandleState>,
+}
+
+struct Shared {
+    store: Arc<TensorStore>,
+    lanes: Vec<Lane>,
+    lane_capacity: usize,
+    door: Mutex<Door>,
+    bell: Condvar,
+    kernels: Mutex<HashMap<CompileKey, Arc<ExecutableKernel>>>,
+    plans: Arc<PlanCache>,
+    pool: StealPool<'static>,
+    counters: Arc<Counters>,
+}
+
+impl Shared {
+    fn ring(&self) {
+        self.door.lock().expect("doorbell").rung = true;
+        self.bell.notify_one();
+    }
+
+    /// Takes everything currently enqueued, releasing backpressured
+    /// submitters.
+    fn drain(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for lane in &self.lanes {
+            let drained = std::mem::take(&mut *lane.queue.lock().expect("lane"));
+            if !drained.is_empty() {
+                lane.not_full.notify_all();
+                jobs.extend(drained);
+            }
+        }
+        jobs
+    }
+
+    /// Lowers the query's expression, through the compile cache.
+    fn kernel(&self, query: &Query) -> Result<Arc<ExecutableKernel>, ServeError> {
+        let mut sig: Vec<String> = query.formats.iter().map(|(n, f)| format!("{n}={f}")).collect();
+        sig.sort();
+        let key: CompileKey = (query.expression.clone(), query.order.clone(), sig.join(";"));
+        if let Some(kernel) = self.kernels.lock().expect("kernels").get(&key) {
+            self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(kernel));
+        }
+        self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
+        let compile_err =
+            |message: String| ServeError::Compile { expression: query.expression.clone(), message };
+        let assignment = custard::parse(&query.expression).map_err(|e| compile_err(e.to_string()))?;
+        let schedule = match &query.order {
+            Some(order) => Schedule::new().reorder(order),
+            None => Schedule::new(),
+        };
+        let mut formats = Formats::new();
+        for (name, format) in &query.formats {
+            formats = formats.set(name, format.clone());
+        }
+        let cin = ConcreteIndexNotation::new(assignment, &schedule, formats);
+        let kernel = Arc::new(custard::lower_exec(&cin).map_err(|e| compile_err(e.to_string()))?);
+        // A concurrent miss may have inserted already; either kernel is
+        // identical, keep the first.
+        Ok(Arc::clone(self.kernels.lock().expect("kernels").entry(key).or_insert(kernel)))
+    }
+
+    /// Compile, bind from the store, and plan — everything short of
+    /// executing.
+    fn prepare(&self, query: &Query) -> Result<(Arc<ExecutableKernel>, Arc<Plan>, Inputs), ServeError> {
+        let kernel = self.kernel(query)?;
+        let mut inputs = Inputs::new();
+        for (operand, stored) in &query.bindings {
+            let format =
+                kernel.formats.iter().find(|(n, _)| n == operand).map(|(_, f)| f.clone()).ok_or_else(
+                    || ServeError::Compile {
+                        expression: query.expression.clone(),
+                        message: format!("binding `{operand}` is not an operand of this expression"),
+                    },
+                )?;
+            let tensor = self
+                .store
+                .materialize(stored, operand, &format)
+                .ok_or_else(|| ServeError::UnknownTensor { name: stored.clone() })?;
+            inputs = inputs.shared(tensor);
+        }
+        for (name, value) in &query.scalars {
+            inputs = inputs.scalar(name, *value);
+        }
+        let plan = Planner::with_cache(Arc::clone(&self.plans))
+            .plan(&kernel.graph, &inputs)
+            .map_err(|e| ServeError::Exec(ExecError::from(e)))?;
+        Ok((kernel, plan, inputs))
+    }
+
+    /// Prepares a drained batch, groups same-plan queries, and runs the
+    /// whole batch over the pool (the calling coordinator participates as
+    /// worker 0).
+    fn run_jobs(&self, jobs: Vec<Job>) {
+        let mut groups: HashMap<(usize, BackendSpec), Vec<Ready>> = HashMap::new();
+        for job in jobs {
+            match self.prepare(&job.query) {
+                Ok((kernel, plan, inputs)) => {
+                    let group = (Arc::as_ptr(&plan) as usize, job.query.backend);
+                    groups.entry(group).or_default().push(Ready {
+                        kernel,
+                        plan,
+                        inputs,
+                        backend: job.query.backend,
+                        memory: job.query.memory,
+                        state: job.state,
+                    });
+                }
+                Err(e) => {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    job.state.resolve(Err(e));
+                }
+            }
+        }
+        if groups.is_empty() {
+            return;
+        }
+        // One task per same-plan chunk: chunks share the plan Arc and are
+        // sized so a large group still spreads across the whole pool.
+        let workers = self.pool.workers();
+        let mut tasks: Vec<Task<'static>> = Vec::new();
+        for (_, group) in groups {
+            if group.len() > 1 {
+                self.counters.batched_same_plan.fetch_add(group.len() as u64, Ordering::Relaxed);
+            }
+            let chunk_len = group.len().div_ceil(workers).max(1);
+            let mut group = group.into_iter().peekable();
+            while group.peek().is_some() {
+                let chunk: Vec<Ready> = group.by_ref().take(chunk_len).collect();
+                let counters = Arc::clone(&self.counters);
+                tasks.push(Box::new(move |_w| {
+                    for ready in chunk {
+                        let mut request = ExecRequest::new(&ready.kernel.graph, &ready.inputs)
+                            .backend(ready.backend)
+                            .planned(Arc::clone(&ready.plan));
+                        if let Some(memory) = ready.memory {
+                            request = request.memory(memory);
+                        }
+                        let result = request.run();
+                        let counter = if result.is_ok() { &counters.completed } else { &counters.failed };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        ready.state.resolve(result.map_err(ServeError::from));
+                    }
+                }));
+            }
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.pool.run_batch(tasks);
+    }
+
+    /// The coordinator thread: sleep on the doorbell, drain, dispatch;
+    /// on close, drain what is left, then stop the pool.
+    fn coordinate(&self) {
+        loop {
+            let closed = {
+                let mut door = self.door.lock().expect("doorbell");
+                while !door.rung && !door.closed {
+                    door = self.bell.wait(door).expect("doorbell");
+                }
+                door.rung = false;
+                door.closed
+            };
+            loop {
+                let jobs = self.drain();
+                if jobs.is_empty() {
+                    break;
+                }
+                self.run_jobs(jobs);
+            }
+            if closed {
+                break;
+            }
+        }
+        self.pool.shutdown();
+    }
+}
+
+/// The resident tensor service. See the module docs for the moving parts;
+/// see [`Service::submit`] for the query lifecycle.
+pub struct Service {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service").field("stats", &self.stats()).finish()
+    }
+}
+
+impl Service {
+    /// A service over `store` with default [`ServiceConfig`].
+    pub fn new(store: Arc<TensorStore>) -> Service {
+        Service::with_config(store, ServiceConfig::default())
+    }
+
+    /// A service over `store`, sized by `config`.
+    pub fn with_config(store: Arc<TensorStore>, config: ServiceConfig) -> Service {
+        let shared = Arc::new(Shared {
+            store,
+            lanes: (0..config.lanes.max(1))
+                .map(|_| Lane { queue: Mutex::new(VecDeque::new()), not_full: Condvar::new() })
+                .collect(),
+            lane_capacity: config.lane_capacity.max(1),
+            door: Mutex::new(Door::default()),
+            bell: Condvar::new(),
+            kernels: Mutex::new(HashMap::new()),
+            plans: Arc::new(PlanCache::new(config.plan_capacity)),
+            pool: StealPool::new(config.workers, false),
+            counters: Arc::new(Counters::default()),
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || shared.coordinate()));
+        }
+        for w in 1..shared.pool.workers() {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || shared.pool.worker_loop(w)));
+        }
+        Service { shared, threads }
+    }
+
+    /// Enqueues `query` and returns immediately. The query is compiled
+    /// (compile cache), bound against the store, planned (plan cache),
+    /// batched with same-plan queries and executed on its selected
+    /// backend; the outcome — success or any error along that path —
+    /// arrives through the returned handle's [`QueryHandle::wait`].
+    ///
+    /// Submission is bounded: when the query's lane is full, `submit`
+    /// blocks until the coordinator drains it.
+    pub fn submit(&self, query: Query) -> QueryHandle {
+        let state = Arc::new(HandleState::default());
+        let handle = QueryHandle { state: Arc::clone(&state) };
+        let mut hasher = DefaultHasher::new();
+        query.expression.hash(&mut hasher);
+        let lane = &self.shared.lanes[(hasher.finish() as usize) % self.shared.lanes.len()];
+        {
+            let mut queue = lane.queue.lock().expect("lane");
+            while queue.len() >= self.shared.lane_capacity {
+                queue = lane.not_full.wait(queue).expect("lane");
+            }
+            queue.push_back(Job { query, state });
+        }
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.ring();
+        handle
+    }
+
+    /// The operand corpus this service serves.
+    pub fn store(&self) -> &Arc<TensorStore> {
+        &self.shared.store
+    }
+
+    /// This service's plan-cache counters.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.shared.plans.stats()
+    }
+
+    /// A snapshot of every service counter.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_same_plan: c.batched_same_plan.load(Ordering::Relaxed),
+            compile_hits: c.compile_hits.load(Ordering::Relaxed),
+            compile_misses: c.compile_misses.load(Ordering::Relaxed),
+            plans: self.shared.plans.stats(),
+        }
+    }
+}
+
+impl Drop for Service {
+    /// Stops accepting work, finishes everything already enqueued, and
+    /// joins the coordinator and worker threads.
+    fn drop(&mut self) {
+        self.shared.door.lock().expect("doorbell").closed = true;
+        self.shared.bell.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}

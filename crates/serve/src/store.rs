@@ -1,0 +1,144 @@
+//! The resident operand corpus: [`TensorStore`].
+//!
+//! A service's tensors are loaded once and then served to every query:
+//! the store keeps raw COO operands by name (plus an optional preferred
+//! storage format as per-tensor metadata) and materializes [`Tensor`]s
+//! lazily — building the level structure for one `(stored tensor, bound
+//! name, format)` combination exactly once, behind an [`Arc`] that every
+//! subsequent query shares. Table 3 matrices load straight from the
+//! `sam_tensor::suitesparse` catalog.
+
+use sam_tensor::{suitesparse, CooTensor, Tensor, TensorFormat};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// A named, immutable corpus of operands with lazy per-format
+/// materialization. See the module docs.
+#[derive(Debug, Default)]
+pub struct TensorStore {
+    coos: BTreeMap<String, Arc<CooTensor>>,
+    /// Per-tensor preferred storage format (advisory metadata: queries may
+    /// still bind any format).
+    formats: BTreeMap<String, TensorFormat>,
+    /// Materialized `(stored name, bound name, format)` → tensor cache.
+    materialized: Mutex<HashMap<(String, String, String), Arc<Tensor>>>,
+}
+
+impl TensorStore {
+    /// An empty store.
+    pub fn new() -> TensorStore {
+        TensorStore::default()
+    }
+
+    /// Adds (or replaces) a raw COO operand under `name`.
+    pub fn insert(&mut self, name: &str, coo: CooTensor) -> &mut Self {
+        self.coos.insert(name.to_string(), Arc::new(coo));
+        self
+    }
+
+    /// [`TensorStore::insert`] plus a preferred-format annotation.
+    pub fn insert_with_format(&mut self, name: &str, coo: CooTensor, format: TensorFormat) -> &mut Self {
+        self.insert(name, coo);
+        self.formats.insert(name.to_string(), format);
+        self
+    }
+
+    /// Loads a Table 3 SuiteSparse matrix from the `sam_tensor` catalog
+    /// under its catalog name, deterministically instantiated from `seed`.
+    /// Returns `false` when the catalog has no such matrix.
+    pub fn load_table3(&mut self, name: &str, seed: u64) -> bool {
+        match suitesparse::find(name) {
+            Some(info) => {
+                self.insert(name, info.instantiate(seed));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The raw COO operand stored under `name`.
+    pub fn coo(&self, name: &str) -> Option<&Arc<CooTensor>> {
+        self.coos.get(name)
+    }
+
+    /// The preferred storage format recorded for `name`, if any.
+    pub fn preferred_format(&self, name: &str) -> Option<&TensorFormat> {
+        self.formats.get(name)
+    }
+
+    /// Stored tensor names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.coos.keys().map(String::as_str)
+    }
+
+    /// Number of stored operands.
+    pub fn len(&self) -> usize {
+        self.coos.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coos.is_empty()
+    }
+
+    /// Number of distinct `(stored, bound, format)` tensors materialized
+    /// so far.
+    pub fn materialized_count(&self) -> usize {
+        self.materialized.lock().expect("store cache").len()
+    }
+
+    /// The stored operand `stored`, materialized as a [`Tensor`] named
+    /// `bound` in `format` — built once per combination, shared ever after.
+    /// Returns `None` when `stored` is not in the corpus.
+    pub fn materialize(&self, stored: &str, bound: &str, format: &TensorFormat) -> Option<Arc<Tensor>> {
+        let coo = self.coos.get(stored)?;
+        let key = (stored.to_string(), bound.to_string(), format.to_string());
+        let mut cache = self.materialized.lock().expect("store cache");
+        Some(Arc::clone(
+            cache.entry(key).or_insert_with(|| Arc::new(Tensor::from_coo(bound, coo, format.clone()))),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_tensor::synth;
+
+    #[test]
+    fn materialization_is_cached_per_name_and_format() {
+        let mut store = TensorStore::new();
+        store.insert("B", synth::random_matrix_sparsity(10, 8, 0.8, 1));
+        let a = store.materialize("B", "B", &TensorFormat::dcsr()).unwrap();
+        let b = store.materialize("B", "B", &TensorFormat::dcsr()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.materialized_count(), 1);
+        let c = store.materialize("B", "B", &TensorFormat::csr()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = store.materialize("B", "B2", &TensorFormat::dcsr()).unwrap();
+        assert_eq!(d.name(), "B2", "bound name is baked into the tensor");
+        assert_eq!(store.materialized_count(), 3);
+        assert!(store.materialize("missing", "m", &TensorFormat::dcsr()).is_none());
+    }
+
+    #[test]
+    fn table3_matrices_load_from_the_catalog() {
+        let mut store = TensorStore::new();
+        assert!(store.load_table3("relat3", 7));
+        assert!(!store.load_table3("not-a-matrix", 7));
+        let coo = store.coo("relat3").unwrap();
+        assert_eq!(coo.shape(), &[8, 5]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn preferred_formats_are_metadata_only() {
+        let mut store = TensorStore::new();
+        store.insert_with_format("c", synth::random_vector(12, 6, 2), TensorFormat::dense_vec());
+        assert_eq!(store.preferred_format("c"), Some(&TensorFormat::dense_vec()));
+        assert!(store.preferred_format("missing").is_none());
+        // Queries may still bind any format.
+        let t = store.materialize("c", "c", &TensorFormat::sparse_vec()).unwrap();
+        assert_eq!(t.format(), &TensorFormat::sparse_vec());
+    }
+}

@@ -3,7 +3,7 @@
 //! then run the *same graph* on both `sam-exec` backends and check the
 //! results against the dense reference evaluator.
 use custard::{lower, lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
-use sam::exec::{execute, CycleBackend, Executor, FastBackend, Inputs};
+use sam::exec::{CycleBackend, ExecRequest, Executor, FastBackend, Inputs};
 use sam::tensor::reference::Environment;
 use sam::tensor::{synth, Tensor, TensorFormat};
 
@@ -35,7 +35,8 @@ fn main() {
     let expect = env.evaluate(&assignment).expect("reference evaluation");
 
     for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-        let run = execute(&kernel.graph, &inputs, backend).expect("execution succeeds");
+        let run =
+            ExecRequest::new(&kernel.graph, &inputs).executor(backend).run().expect("execution succeeds");
         let ok = run.output.as_ref().expect("tensor output").to_dense().approx_eq(&expect);
         println!(
             "{:<6} backend: {:>9} tokens, {:>5} blocks, {} in {:?} — {}",

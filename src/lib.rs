@@ -12,8 +12,11 @@
 //!   wiring helpers and hand-scheduled kernel library,
 //! * [`trace`] — the observability layer (trace sinks, per-node/per-channel
 //!   profiles, Chrome trace export),
-//! * [`exec`] — the graph-driven execution engine (planner plus the
-//!   cycle-approximate and fast functional backends),
+//! * [`exec`] — the graph-driven execution engine (the `ExecRequest` entry
+//!   point, planner and plan cache, plus the cycle-approximate, fast
+//!   functional and finite-memory tiled backends),
+//! * [`serve`] — the resident tensor service (operand corpus, async
+//!   batched query submission, per-query backend routing),
 //! * [`memory`] — the analytic finite-memory / tiling model,
 //! * [`tiles`] — the tiling subsystem (tile extraction, schedules with
 //!   sparse tile skipping, LLB cache model, tile-merge reduction),
@@ -27,6 +30,7 @@ pub use sam_core as core;
 pub use sam_exec as exec;
 pub use sam_memory as memory;
 pub use sam_primitives as primitives;
+pub use sam_serve as serve;
 pub use sam_sim as sim;
 pub use sam_streams as streams;
 pub use sam_tensor as tensor;

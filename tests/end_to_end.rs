@@ -8,7 +8,7 @@ use sam::core::graphs;
 use sam::core::kernels::spmm::{spmm_order, SpmmDataflow};
 use sam::core::kernels::spmv::spmv;
 use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
-use sam::exec::{execute, CycleBackend, Executor, FastBackend, Inputs};
+use sam::exec::{CycleBackend, ExecRequest, Executor, FastBackend, Inputs};
 use sam::tensor::expr::table1;
 use sam::tensor::reference::Environment;
 use sam::tensor::{synth, Tensor, TensorFormat};
@@ -120,9 +120,13 @@ fn every_kernel_graph_agrees_across_backends_and_reference() {
         env.bind_dims(&assignment, &[]);
         let expect = env.evaluate(&assignment).unwrap();
 
-        let cycle = execute(&graph, &inputs, &CycleBackend::default())
+        let cycle = ExecRequest::new(&graph, &inputs)
+            .executor(&CycleBackend::default())
+            .run()
             .unwrap_or_else(|e| panic!("{}: cycle backend failed: {e}", graph.name));
-        let fast = execute(&graph, &inputs, &FastBackend::default())
+        let fast = ExecRequest::new(&graph, &inputs)
+            .executor(&FastBackend::default())
+            .run()
             .unwrap_or_else(|e| panic!("{}: fast backend failed: {e}", graph.name));
         let cycle_out = cycle.output.expect("tensor output");
         let fast_out = fast.output.expect("tensor output");
@@ -157,7 +161,7 @@ fn compiled_spmv_agrees_with_hand_kernel() {
         inputs = inputs.coo(name, coo, fmt.clone());
     }
     for backend in [&CycleBackend::default() as &dyn Executor, &FastBackend::default()] {
-        let run = execute(&kernel.graph, &inputs, backend).unwrap();
+        let run = ExecRequest::new(&kernel.graph, &inputs).executor(backend).run().unwrap();
         assert!(
             run.output.unwrap().to_dense().approx_eq(&hand.output.to_dense()),
             "{} backend disagreed with the hand-scheduled kernel",
@@ -174,8 +178,8 @@ fn fast_backend_is_leaner_than_cycle_backend() {
     let c = synth::random_matrix_sparsity(25, 30, 0.9, 221);
     let graph = graphs::spmm(SpmmDataflow::LinearCombination);
     let inputs = Inputs::new().coo("B", &b, TensorFormat::dcsr()).coo("C", &c, TensorFormat::dcsr());
-    let cycle = execute(&graph, &inputs, &CycleBackend::default()).unwrap();
-    let fast = execute(&graph, &inputs, &FastBackend::default()).unwrap();
+    let cycle = ExecRequest::new(&graph, &inputs).executor(&CycleBackend::default()).run().unwrap();
+    let fast = ExecRequest::new(&graph, &inputs).executor(&FastBackend::default()).run().unwrap();
     assert_eq!(cycle.output.unwrap(), fast.output.unwrap());
     assert!(fast.tokens <= cycle.tokens, "fast={} cycle={}", fast.tokens, cycle.tokens);
 }

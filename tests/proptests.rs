@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sam::core::kernels::vecmul::{vec_elem_mul, VecFormat};
 use sam::custard::{lower_exec, parse, ConcreteIndexNotation, Formats, Schedule};
-use sam::exec::{execute, CycleBackend, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
+use sam::exec::{CycleBackend, ExecRequest, Executor, FastBackend, Inputs, Parallelism, TiledBackend};
 use sam::streams::{Nested, Stream};
 use sam::tensor::{CooTensor, Tensor, TensorFormat};
 use std::collections::BTreeMap;
@@ -223,12 +223,16 @@ fn fuzzed_expressions_are_bit_identical_across_backends() {
             inputs = inputs.scalar(name, value);
         }
 
-        let serial = execute(&kernel.graph, &inputs, &FastBackend::serial())
+        let serial = ExecRequest::new(&kernel.graph, &inputs)
+            .executor(&FastBackend::serial())
+            .run()
             .unwrap_or_else(|e| panic!("seed {seed}: `{text}` fast-serial failed: {e}"));
 
         let stealing = FastBackend::threads(4).with_split_threshold(1);
         for backend in [&CycleBackend::default() as &dyn Executor, &stealing] {
-            let run = execute(&kernel.graph, &inputs, backend)
+            let run = ExecRequest::new(&kernel.graph, &inputs)
+                .executor(backend)
+                .run()
                 .unwrap_or_else(|e| panic!("seed {seed}: `{text}` on {} failed: {e}", backend.name()));
             assert_eq!(run.output, serial.output, "seed {seed}: `{text}` output on {}", backend.name());
             assert_eq!(run.vals, serial.vals, "seed {seed}: `{text}` vals on {}", backend.name());
@@ -237,12 +241,10 @@ fn fuzzed_expressions_are_bit_identical_across_backends() {
         // The tiled sweeps run where tiling supports the lowered graph;
         // serial and parallel tile schedules must agree with each other
         // (including on rejection) and with the untiled run.
-        let ts = execute(&kernel.graph, &inputs, &TiledBackend::with_tile(4));
-        let tp = execute(
-            &kernel.graph,
-            &inputs,
-            &TiledBackend::with_tile(4).with_parallelism(Parallelism::Threads(3)),
-        );
+        let ts = ExecRequest::new(&kernel.graph, &inputs).executor(&TiledBackend::with_tile(4)).run();
+        let tp = ExecRequest::new(&kernel.graph, &inputs)
+            .executor(&TiledBackend::with_tile(4).with_parallelism(Parallelism::Threads(3)))
+            .run();
         match (ts, tp) {
             (Ok(s), Ok(p)) => {
                 assert_eq!(s.output, serial.output, "seed {seed}: `{text}` tiled output");
