@@ -14,8 +14,10 @@
 //! — parallel execution must never lose to serial. The service
 //! `throughput` group (from `throughput --save-json`) is gated intra-run
 //! the same way: warm rounds must stay within [`WARM_THRESHOLD`]× of the
-//! cold round, and the warm plan-cache hit rate must clear
-//! [`WARM_HIT_RATE_FLOOR`].
+//! cold round, the warm plan-cache hit rate must clear
+//! [`WARM_HIT_RATE_FLOOR`], and the instrumented service must stay within
+//! [`TELEMETRY_THRESHOLD`]× of a metrics-disabled one (the "telemetry is
+//! cheap" invariant).
 //!
 //! Kernels (or individual entries) present in the current run but absent
 //! from the baseline are reported as `new` and ignored — a freshly added
@@ -76,6 +78,13 @@ const WARM_THRESHOLD: f64 = 1.05;
 /// Minimum plan-cache hit rate over the throughput bench's warm rounds:
 /// a resident service replaying a fixed workload must be almost pure hits.
 const WARM_HIT_RATE_FLOOR: f64 = 0.9;
+
+/// Intra-run bound on the service telemetry: a fully instrumented service
+/// may cost at most this much relative to a metrics-disabled one. Like the
+/// other overhead gates this reads a best-paired ratio (the instrumented
+/// service only "loses" if it loses every alternating round), so scheduler
+/// noise cannot fake an overhead.
+const TELEMETRY_THRESHOLD: f64 = 1.05;
 
 /// Parses the two-level `{"group": {"bench": number, ...}, ...}` JSON the
 /// bench harness emits. A hand-rolled scanner: the vendored serde stub has
@@ -346,6 +355,28 @@ fn main() -> ExitCode {
             }
             None => {
                 eprintln!("bench_gate: throughput group is missing the `warm_hit_rate` metric");
+                regressions += 1;
+            }
+        }
+        match throughput.get("telemetry_overhead") {
+            Some(&ratio) if ratio > 0.0 => {
+                gated += 1;
+                let verdict = if ratio > TELEMETRY_THRESHOLD { " REGRESSED" } else { "" };
+                println!(
+                    "{:<28} {:<16} {:>14} {:>14} {ratio:>7.2}x{verdict}",
+                    "throughput (intra-run)", "telemetry", "paired", "-"
+                );
+                if ratio > TELEMETRY_THRESHOLD {
+                    eprintln!(
+                        "bench_gate: throughput: instrumented service runs at {ratio:.2}x of the \
+                         metrics-disabled service (bound {TELEMETRY_THRESHOLD:.2}x) — query-span \
+                         telemetry is no longer cheap"
+                    );
+                    regressions += 1;
+                }
+            }
+            _ => {
+                eprintln!("bench_gate: throughput group is missing the `telemetry_overhead` metric");
                 regressions += 1;
             }
         }

@@ -18,7 +18,12 @@
 //!   (load it at `ui.perfetto.dev` or `chrome://tracing`);
 //! * `--save-json` merges `samprof_<name>` headline metrics (`blocked_ns`,
 //!   `spills`, `tokens`) into the workspace `BENCH_exec.json` so the
-//!   benchmark trajectory carries them.
+//!   benchmark trajectory carries them;
+//! * `--serve [--rounds N]` profiles the query *lifecycle* instead of one
+//!   execution: it runs the Table 1 workload through a resident
+//!   `sam-serve` service for N rounds and prints the per-stage breakdown
+//!   (queue / compile / plan / batch / execute / resolve) with p50/p90/p99
+//!   and max per stage, from the service telemetry.
 
 use sam_bench::{merge_json_group, table1_case, table1_case_names, workspace_root};
 use sam_core::graph::SamGraph;
@@ -120,9 +125,92 @@ fn build_backend(arg: &str) -> Result<Box<dyn Executor>, sam_exec::ParseBackendE
 fn usage() -> ! {
     eprintln!(
         "usage: samprof <kernel|expression> [--backend cycle|fast-serial|fast-threads:N|tiled] \
-         [--trace out.json] [--save-json]\n       samprof --list"
+         [--trace out.json] [--save-json]\n       samprof --serve [--rounds N]\n       samprof --list"
     );
     std::process::exit(2);
+}
+
+/// `--serve`: run the Table 1 workload through a resident service and
+/// print the query-lifecycle breakdown from the service telemetry.
+fn serve_mode(rounds: usize) {
+    use sam_exec::Stage;
+    use sam_serve::Service;
+    use std::sync::Arc;
+
+    let (store, queries) = sam_serve::table1_workload(997);
+    let service = Service::new(Arc::clone(&store));
+    for _ in 0..rounds {
+        let handles: Vec<_> = queries.iter().map(|w| (w.name, service.submit(w.query.clone()))).collect();
+        for (name, handle) in handles {
+            if let Err(e) = handle.wait() {
+                eprintln!("samprof --serve: `{name}` failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let snap = service.metrics_snapshot();
+    println!(
+        "samprof --serve: {} queries ({} Table 1 expressions x {rounds} rounds) through sam-serve\n",
+        snap.completed,
+        queries.len()
+    );
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50 us", "p90 us", "p99 us", "max us"
+    );
+    let us = |ns: u64| ns as f64 / 1e3;
+    for stage in Stage::ALL {
+        let h = snap.stage(stage);
+        println!(
+            "{:<10} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            stage.name(),
+            h.count,
+            us(h.p50()),
+            us(h.p90()),
+            us(h.p99()),
+            us(h.max),
+        );
+    }
+    let h = &snap.latency;
+    println!(
+        "{:<10} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        "total",
+        h.count,
+        us(h.p50()),
+        us(h.p90()),
+        us(h.p99()),
+        us(h.max),
+    );
+    println!("\nexecute by backend:");
+    for (backend, h) in &snap.execute_by_backend {
+        println!(
+            "  {backend:<16} {:>5} queries, p50 {:>8.1}us, p99 {:>8.1}us",
+            h.count,
+            us(h.p50()),
+            us(h.p99())
+        );
+    }
+    println!(
+        "\ncompile cache {} hits / {} misses; plan cache {} hits / {} misses / {} evictions",
+        snap.compile_hits, snap.compile_misses, snap.plans.hits, snap.plans.misses, snap.plans.evictions
+    );
+    println!(
+        "batches {}, mean batch size {:.2}, same-plan rate {:.1}%, lane depth high-water {}",
+        snap.batches,
+        snap.batch_size.mean(),
+        100.0 * snap.same_plan_rate,
+        snap.lane_depth_high_water
+    );
+    let busiest = snap.workers.iter().map(|w| w.utilization).fold(0.0f64, f64::max);
+    println!(
+        "window qps {:.0}, {} workers (busiest {:.0}% utilized), store built {} tensors in {:.1}us",
+        snap.window_qps,
+        snap.workers.len(),
+        100.0 * busiest,
+        snap.store.builds,
+        snap.store.build_ns as f64 / 1e3
+    );
 }
 
 fn report(name: &str, backend: &dyn Executor, run: &Execution, profile: &ExecProfile) {
@@ -164,6 +252,8 @@ fn main() {
     let mut backend_arg = "fast-threads:4".to_string();
     let mut trace_path: Option<String> = None;
     let mut save_json = false;
+    let mut serve = false;
+    let mut rounds = 10usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -175,10 +265,21 @@ fn main() {
             "--backend" => backend_arg = it.next().cloned().unwrap_or_else(|| usage()),
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--save-json" => save_json = true,
+            "--serve" => serve = true,
+            "--rounds" => {
+                rounds = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| usage());
+            }
             _ if a.starts_with("--") => usage(),
             _ if name.is_none() => name = Some(a.clone()),
             _ => usage(),
         }
+    }
+    if serve {
+        if name.is_some() {
+            usage();
+        }
+        serve_mode(rounds.max(1));
+        return;
     }
     let Some(name) = name else { usage() };
 

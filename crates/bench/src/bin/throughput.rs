@@ -14,16 +14,25 @@
 //! `--save-json` merges the headline metrics into the workspace
 //! `BENCH_exec.json` as the `throughput` group: `cold_qps`, `warm_qps`,
 //! `warm_speedup` (warm/cold — the value the plan cache pays), and
-//! `warm_hit_rate` (plan-cache hit rate over the warm rounds alone).
-//! `bench_gate` checks both intra-run: warm must not lose to cold, and the
-//! warm rounds must be nearly all hits.
+//! `warm_hit_rate` (plan-cache hit rate over the warm rounds alone),
+//! plus the latency trajectory from the warm service's telemetry —
+//! `p50_latency_us`, `p99_latency_us`, `mean_batch_size` — and
+//! `telemetry_overhead`: the best-paired qps ratio of a metrics-disabled
+//! service over an instrumented one (alternating rounds on two otherwise
+//! identical services; the instrumented service only "loses" if it loses
+//! every pairing). `bench_gate` checks warm ≥ cold, a >90% warm hit rate,
+//! and `telemetry_overhead` ≤ 1.05.
 //!
-//! Usage: `throughput [--smoke] [--save-json]`.
+//! `--prom PATH` dumps the warm service's Prometheus text exposition after
+//! the measured rounds; `--events PATH` runs the warm service with a zero
+//! slow-query threshold teeing every query span to PATH as JSONL.
+//!
+//! Usage: `throughput [--smoke] [--save-json] [--prom PATH] [--events PATH]`.
 
 use sam_bench::{merge_json_group, workspace_root};
-use sam_serve::{Service, WorkloadQuery};
+use sam_serve::{Service, ServiceConfig, TelemetryConfig, WorkloadQuery};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Submits the whole workload, waits for every handle, and returns the
 /// round's queries/sec.
@@ -42,14 +51,20 @@ fn round_qps(service: &Service, queries: &[WorkloadQuery]) -> f64 {
 fn main() {
     let mut smoke = false;
     let mut save_json = false;
-    for arg in std::env::args().skip(1) {
+    let mut prom_path: Option<String> = None;
+    let mut events_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    let usage = || -> ! {
+        eprintln!("usage: throughput [--smoke] [--save-json] [--prom PATH] [--events PATH]");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--save-json" => save_json = true,
-            _ => {
-                eprintln!("usage: throughput [--smoke] [--save-json]");
-                std::process::exit(2);
-            }
+            "--prom" => prom_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--events" => events_path = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
         }
     }
     let (cold_trials, warm_rounds) = if smoke { (2, 5) } else { (5, 30) };
@@ -66,8 +81,17 @@ fn main() {
     }
 
     // Warm: one resident service; a priming round fills both caches, then
-    // the measured rounds are pure cache-hit traffic.
-    let service = Service::new(Arc::clone(&store));
+    // the measured rounds are pure cache-hit traffic. With `--events`, the
+    // warm service tees every query span to a JSONL event log.
+    let warm_telemetry = TelemetryConfig {
+        slow_query: events_path.as_ref().map(|_| Duration::ZERO),
+        event_log: events_path.as_ref().map(Into::into),
+        ..TelemetryConfig::default()
+    };
+    let service = Service::with_config(
+        Arc::clone(&store),
+        ServiceConfig { telemetry: warm_telemetry, ..ServiceConfig::default() },
+    );
     round_qps(&service, &queries);
     let primed = service.stats();
     let mut warm_qps = 0.0f64;
@@ -75,10 +99,38 @@ fn main() {
         warm_qps = warm_qps.max(round_qps(&service, &queries));
     }
     let after = service.stats();
-    let warm_hits = after.plans.hits - primed.plans.hits;
-    let warm_misses = after.plans.misses - primed.plans.misses;
-    let warm_hit_rate = warm_hits as f64 / ((warm_hits + warm_misses) as f64).max(1.0);
+    let warm_delta = after.plans.delta_since(&primed.plans);
+    let warm_hit_rate = warm_delta.hits as f64 / ((warm_delta.hits + warm_delta.misses) as f64).max(1.0);
     let warm_speedup = warm_qps / cold_qps.max(1e-9);
+
+    // The warm service's telemetry: the latency trajectory behind the qps
+    // headline, from the per-query lifecycle spans.
+    let snapshot = service.metrics_snapshot();
+    let p50_latency_us = snapshot.latency.p50() as f64 / 1e3;
+    let p99_latency_us = snapshot.latency.p99() as f64 / 1e3;
+    let mean_batch_size = snapshot.batch_size.mean();
+
+    // Telemetry overhead, best-paired: two fresh services over the same
+    // store — metrics disabled versus fully instrumented — primed, then
+    // measured in alternating rounds. The ratio only rises above 1 if the
+    // instrumented service loses *every* pairing, so scheduler noise in a
+    // single round cannot fake an overhead.
+    let disabled_config = ServiceConfig {
+        telemetry: TelemetryConfig { enabled: false, ..TelemetryConfig::default() },
+        ..ServiceConfig::default()
+    };
+    let disabled = Service::with_config(Arc::clone(&store), disabled_config);
+    let instrumented = Service::new(Arc::clone(&store));
+    round_qps(&disabled, &queries);
+    round_qps(&instrumented, &queries);
+    let paired_rounds = if smoke { 5 } else { 12 };
+    let telemetry_overhead = (0..paired_rounds)
+        .map(|_| {
+            let off = round_qps(&disabled, &queries);
+            let on = round_qps(&instrumented, &queries);
+            off / on.max(1e-9)
+        })
+        .fold(f64::INFINITY, f64::min);
 
     println!("throughput: mixed Table 1 workload ({} queries/round) through sam-serve", queries.len());
     println!(
@@ -90,6 +142,27 @@ fn main() {
         "plan cache after warm rounds: {} hits / {} misses / {} evictions, {} entries",
         after.plans.hits, after.plans.misses, after.plans.evictions, after.plans.entries
     );
+    println!(
+        "warm latency p50 {p50_latency_us:.1}us / p99 {p99_latency_us:.1}us, mean batch {mean_batch_size:.2}"
+    );
+    println!(
+        "telemetry overhead {telemetry_overhead:.3}x (best of {paired_rounds} paired disabled/instrumented rounds)"
+    );
+
+    if let Some(path) = &prom_path {
+        match std::fs::write(path, service.render_prometheus()) {
+            Ok(()) => println!("wrote Prometheus exposition to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &events_path {
+        // Every span so far hit the zero slow-query threshold and was teed
+        // to the file (the in-memory ring only keeps the most recent).
+        println!("wrote {} JSONL query events to {path}", service.metrics_snapshot().slow_queries);
+    }
 
     if save_json {
         let metrics: Vec<(&str, f64)> = vec![
@@ -97,6 +170,10 @@ fn main() {
             ("warm_qps", warm_qps),
             ("warm_speedup", warm_speedup),
             ("warm_hit_rate", warm_hit_rate),
+            ("p50_latency_us", p50_latency_us),
+            ("p99_latency_us", p99_latency_us),
+            ("mean_batch_size", mean_batch_size),
+            ("telemetry_overhead", telemetry_overhead),
         ];
         let path = workspace_root().join("BENCH_exec.json");
         match merge_json_group(&path, "throughput", &metrics) {

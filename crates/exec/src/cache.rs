@@ -195,6 +195,23 @@ impl PlanCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The counter movement since `earlier` — a per-window rate for a
+    /// cache whose lifetime counters keep running. The counters are
+    /// process-lifetime aggregates shared by every user of the cache, so a
+    /// service that wants "hits this second" or "did *my* lookup hit"
+    /// snapshots before and after and diffs, instead of racing other users
+    /// for an absolute read. Saturating, so a [`PlanCache::clear`] between
+    /// snapshots yields zeros rather than wrapping; `entries` stays the
+    /// current residency (it is a level, not a flow).
+    pub fn delta_since(&self, earlier: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
 }
 
 /// A sharded, capacity-bounded `(expression, formats, shapes) → Arc<Plan>`
@@ -472,6 +489,25 @@ mod tests {
         assert!(stats.entries <= SHARDS);
         // Evicted keys re-plan and still work.
         cache.get_or_plan(&graph, &inputs_for(10)).unwrap();
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        let cache = PlanCache::new(16);
+        let graph = graphs::spmv();
+        let inputs = spmv_inputs(9, 71);
+        cache.get_or_plan(&graph, &inputs).unwrap(); // miss (outside window)
+        let before = cache.stats();
+        cache.get_or_plan(&graph, &inputs).unwrap(); // hit
+        cache.get_or_plan(&graph, &spmv_inputs(3, 72)).unwrap(); // miss
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 1, 0));
+        assert_eq!(delta.entries, 2, "entries reports current residency, not a diff");
+        assert!(delta.hit_rate() > 0.49 && delta.hit_rate() < 0.51);
+        // A clear between snapshots saturates to zero instead of wrapping.
+        cache.clear();
+        let after_clear = cache.stats().delta_since(&before);
+        assert_eq!((after_clear.hits, after_clear.misses), (0, 0));
     }
 
     #[test]

@@ -152,8 +152,8 @@ pub use plan::{
 pub use request::{ExecOptions, ExecRequest};
 pub use sam_memory::MemoryCounters;
 pub use sam_trace::{
-    ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, NodeProfile, NullSink, TokenCounts,
-    TraceSink, WorkerProfile,
+    ChannelProfile, ChromeTraceSink, CountersSink, ExecProfile, HistogramSnapshot, MetricsRegistry,
+    NodeProfile, NullSink, QuerySpan, Stage, TokenCounts, TraceSink, WorkerProfile,
 };
 pub use spec::{BackendSpec, ParseBackendError};
 pub use steal::{StealPool, WorkerStats};

@@ -19,6 +19,13 @@
 //! * [`table1_workload`] — the mixed twelve-kernel Table 1 workload
 //!   (integer-valued, bit-exact across backends) that the throughput
 //!   bench and the equivalence tests share.
+//! * Service telemetry — every query carries a lifecycle span
+//!   (queue → compile → plan → batch → execute → resolve) feeding
+//!   latency histograms and cache/batch/qps gauges, exposed as a typed
+//!   [`Service::metrics_snapshot`], Prometheus text via
+//!   [`Service::render_prometheus`], and JSONL slow-query events
+//!   ([`TelemetryConfig::slow_query`]); per-query `ExecProfile`s survive
+//!   the service path via [`Query::traced`].
 //!
 //! ```
 //! use sam_serve::{table1_workload, Service};
@@ -36,10 +43,12 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod service;
 pub mod store;
 pub mod workload;
 
-pub use service::{Query, QueryHandle, ServeError, Service, ServiceConfig, ServiceStats};
-pub use store::TensorStore;
+pub use metrics::{MetricsSnapshot, TelemetryConfig, WorkerTelemetry};
+pub use service::{Query, QueryHandle, ServeError, Service, ServiceConfig, ServiceStats, TraceMode};
+pub use store::{MaterializeStats, TensorStore};
 pub use workload::{table1_workload, WorkloadQuery};

@@ -25,6 +25,7 @@
 //! Failures (unknown tensors, compile errors, execution errors) surface
 //! through [`QueryHandle::wait`], never as panics in the service threads.
 
+use crate::metrics::{MetricsSnapshot, Telemetry, TelemetryConfig};
 use crate::store::TensorStore;
 use custard::{ConcreteIndexNotation, ExecutableKernel, Formats, Schedule};
 use sam_exec::steal::{StealPool, Task};
@@ -33,13 +34,40 @@ use sam_exec::{
 };
 use sam_memory::MemoryConfig;
 use sam_tensor::TensorFormat;
+use sam_trace::{CountersSink, QuerySpan, Stage, TraceSink};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Whether (and how) one query's execution is traced — the service-path
+/// equivalent of [`ExecRequest::traced`].
+#[derive(Clone, Default)]
+pub enum TraceMode {
+    /// No per-execution instrumentation (the default).
+    #[default]
+    Off,
+    /// Drive a service-created [`CountersSink`] so the resolved
+    /// [`Execution::profile`] carries an `ExecProfile` — the `run_traced`
+    /// semantics, surviving the service path.
+    Profile,
+    /// Drive this caller-owned sink (a `ChromeTraceSink`, say).
+    Sink(Arc<dyn TraceSink + Send + Sync>),
+}
+
+impl fmt::Debug for TraceMode {
+    // Custom sinks are opaque; print the variant only.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceMode::Off => f.write_str("Off"),
+            TraceMode::Profile => f.write_str("Profile"),
+            TraceMode::Sink(_) => f.write_str("Sink(..)"),
+        }
+    }
+}
 
 /// One query against the resident corpus: a tensor-index expression plus
 /// how to schedule, bind and execute it.
@@ -52,6 +80,7 @@ pub struct Query {
     scalars: Vec<(String, f64)>,
     backend: BackendSpec,
     memory: Option<MemoryConfig>,
+    traced: TraceMode,
 }
 
 impl Query {
@@ -66,6 +95,7 @@ impl Query {
             scalars: Vec::new(),
             backend: BackendSpec::default(),
             memory: None,
+            traced: TraceMode::Off,
         }
     }
 
@@ -112,6 +142,21 @@ impl Query {
         self
     }
 
+    /// Traces this query's execution: the resolved [`Execution::profile`]
+    /// carries the per-node/per-channel `ExecProfile`, exactly as a
+    /// one-shot `run_traced` would — at the cost of instrumenting that one
+    /// execution.
+    pub fn traced(mut self) -> Query {
+        self.traced = TraceMode::Profile;
+        self
+    }
+
+    /// Traces this query's execution through a caller-owned sink.
+    pub fn traced_with(mut self, sink: Arc<dyn TraceSink + Send + Sync>) -> Query {
+        self.traced = TraceMode::Sink(sink);
+        self
+    }
+
     /// The expression text.
     pub fn expression(&self) -> &str {
         &self.expression
@@ -140,6 +185,11 @@ impl Query {
     /// The scalar operands set with [`Query::scalar`].
     pub fn scalar_bindings(&self) -> &[(String, f64)] {
         &self.scalars
+    }
+
+    /// How this query's execution is traced.
+    pub fn trace_mode(&self) -> &TraceMode {
+        &self.traced
     }
 }
 
@@ -246,11 +296,19 @@ pub struct ServiceConfig {
     pub lane_capacity: usize,
     /// Capacity of the service's plan cache.
     pub plan_capacity: usize,
+    /// Lifecycle telemetry knobs (see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 4, lanes: 4, lane_capacity: 64, plan_capacity: 1024 }
+        ServiceConfig {
+            workers: 4,
+            lanes: 4,
+            lane_capacity: 64,
+            plan_capacity: 1024,
+            telemetry: TelemetryConfig::default(),
+        }
     }
 }
 
@@ -275,20 +333,11 @@ pub struct ServiceStats {
     pub plans: PlanCacheStats,
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_same_plan: AtomicU64,
-    compile_hits: AtomicU64,
-    compile_misses: AtomicU64,
-}
-
 struct Job {
     query: Query,
     state: Arc<HandleState>,
+    /// When [`Service::submit`] enqueued the query (telemetry on only).
+    enqueued: Option<Instant>,
 }
 
 struct Lane {
@@ -314,6 +363,11 @@ struct Ready {
     backend: BackendSpec,
     memory: Option<MemoryConfig>,
     state: Arc<HandleState>,
+    traced: TraceMode,
+    /// The query's lifecycle span so far (telemetry on only).
+    span: Option<QuerySpan>,
+    /// When preparation finished — the batch stage starts here.
+    prepared: Option<Instant>,
 }
 
 struct Shared {
@@ -325,7 +379,7 @@ struct Shared {
     kernels: Mutex<HashMap<CompileKey, Arc<ExecutableKernel>>>,
     plans: Arc<PlanCache>,
     pool: StealPool<'static>,
-    counters: Arc<Counters>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Shared {
@@ -348,16 +402,17 @@ impl Shared {
         jobs
     }
 
-    /// Lowers the query's expression, through the compile cache.
-    fn kernel(&self, query: &Query) -> Result<Arc<ExecutableKernel>, ServeError> {
+    /// Lowers the query's expression, through the compile cache. The
+    /// returned flag says whether the cache already held the kernel.
+    fn kernel(&self, query: &Query) -> Result<(Arc<ExecutableKernel>, bool), ServeError> {
         let mut sig: Vec<String> = query.formats.iter().map(|(n, f)| format!("{n}={f}")).collect();
         sig.sort();
         let key: CompileKey = (query.expression.clone(), query.order.clone(), sig.join(";"));
         if let Some(kernel) = self.kernels.lock().expect("kernels").get(&key) {
-            self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(kernel));
+            self.telemetry.compile_hits.inc();
+            return Ok((Arc::clone(kernel), true));
         }
-        self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.compile_misses.inc();
         let compile_err =
             |message: String| ServeError::Compile { expression: query.expression.clone(), message };
         let assignment = custard::parse(&query.expression).map_err(|e| compile_err(e.to_string()))?;
@@ -373,13 +428,25 @@ impl Shared {
         let kernel = Arc::new(custard::lower_exec(&cin).map_err(|e| compile_err(e.to_string()))?);
         // A concurrent miss may have inserted already; either kernel is
         // identical, keep the first.
-        Ok(Arc::clone(self.kernels.lock().expect("kernels").entry(key).or_insert(kernel)))
+        Ok((Arc::clone(self.kernels.lock().expect("kernels").entry(key).or_insert(kernel)), false))
     }
 
     /// Compile, bind from the store, and plan — everything short of
-    /// executing.
-    fn prepare(&self, query: &Query) -> Result<(Arc<ExecutableKernel>, Arc<Plan>, Inputs), ServeError> {
-        let kernel = self.kernel(query)?;
+    /// executing. With a span, times the compile stage and the plan stage
+    /// (binding rides in the plan stage; the store's own counters break
+    /// out materialization cost) and marks the cache outcomes.
+    fn prepare(
+        &self,
+        query: &Query,
+        mut span: Option<&mut QuerySpan>,
+    ) -> Result<(Arc<ExecutableKernel>, Arc<Plan>, Inputs), ServeError> {
+        let compile_started = span.is_some().then(Instant::now);
+        let (kernel, compile_hit) = self.kernel(query)?;
+        if let (Some(span), Some(started)) = (span.as_deref_mut(), compile_started) {
+            span.record(Stage::Compile, started.elapsed());
+            span.compile_hit = compile_hit;
+        }
+        let plan_started = span.is_some().then(Instant::now);
         let mut inputs = Inputs::new();
         for (operand, stored) in &query.bindings {
             let format =
@@ -398,9 +465,19 @@ impl Shared {
         for (name, value) in &query.scalars {
             inputs = inputs.scalar(name, *value);
         }
+        // Only the coordinator plans against the service's private cache,
+        // so a stats delta around this one call attributes the hit or miss
+        // to this query.
+        let plans_before = span.is_some().then(|| self.plans.stats());
         let plan = Planner::with_cache(Arc::clone(&self.plans))
             .plan(&kernel.graph, &inputs)
             .map_err(|e| ServeError::Exec(ExecError::from(e)))?;
+        if let (Some(span), Some(started)) = (span, plan_started) {
+            span.record(Stage::Plan, started.elapsed());
+            if let Some(before) = plans_before {
+                span.plan_hit = self.plans.stats().delta_since(&before).hits > 0;
+            }
+        }
         Ok((kernel, plan, inputs))
     }
 
@@ -408,9 +485,22 @@ impl Shared {
     /// whole batch over the pool (the calling coordinator participates as
     /// worker 0).
     fn run_jobs(&self, jobs: Vec<Job>) {
+        // One clock read attributes queue wait for the whole drain.
+        let drained_at = self.telemetry.now();
         let mut groups: HashMap<(usize, BackendSpec), Vec<Ready>> = HashMap::new();
         for job in jobs {
-            match self.prepare(&job.query) {
+            let mut span = drained_at.map(|now| {
+                let mut span = QuerySpan {
+                    expression: job.query.expression.clone(),
+                    backend: job.query.backend.to_string(),
+                    ..QuerySpan::default()
+                };
+                if let Some(enqueued) = job.enqueued {
+                    span.record(Stage::Queue, now.saturating_duration_since(enqueued));
+                }
+                span
+            });
+            match self.prepare(&job.query, span.as_mut()) {
                 Ok((kernel, plan, inputs)) => {
                     let group = (Arc::as_ptr(&plan) as usize, job.query.backend);
                     groups.entry(group).or_default().push(Ready {
@@ -420,10 +510,17 @@ impl Shared {
                         backend: job.query.backend,
                         memory: job.query.memory,
                         state: job.state,
+                        traced: job.query.traced,
+                        span,
+                        prepared: self.telemetry.now(),
                     });
                 }
                 Err(e) => {
-                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.failed.inc();
+                    if let Some(mut span) = span {
+                        span.error = Some(e.to_string());
+                        self.telemetry.observe_span(&span, None);
+                    }
                     job.state.resolve(Err(e));
                 }
             }
@@ -435,32 +532,80 @@ impl Shared {
         // sized so a large group still spreads across the whole pool.
         let workers = self.pool.workers();
         let mut tasks: Vec<Task<'static>> = Vec::new();
-        for (_, group) in groups {
+        for (_, mut group) in groups {
             if group.len() > 1 {
-                self.counters.batched_same_plan.fetch_add(group.len() as u64, Ordering::Relaxed);
+                self.telemetry.batched_same_plan.add(group.len() as u64);
+            }
+            self.telemetry.record_batch(group.len());
+            let group_len = group.len() as u64;
+            for ready in &mut group {
+                if let Some(span) = ready.span.as_mut() {
+                    span.batch_size = group_len;
+                }
             }
             let chunk_len = group.len().div_ceil(workers).max(1);
             let mut group = group.into_iter().peekable();
             while group.peek().is_some() {
                 let chunk: Vec<Ready> = group.by_ref().take(chunk_len).collect();
-                let counters = Arc::clone(&self.counters);
+                let telemetry = Arc::clone(&self.telemetry);
                 tasks.push(Box::new(move |_w| {
-                    for ready in chunk {
+                    for mut ready in chunk {
+                        let task_started = telemetry.now();
+                        if let (Some(span), Some(started), Some(prepared)) =
+                            (ready.span.as_mut(), task_started, ready.prepared)
+                        {
+                            span.record(Stage::Batch, started.saturating_duration_since(prepared));
+                        }
+                        // Any trace sink must outlive the request borrowing it.
+                        let profile_sink;
+                        let trace: Option<&dyn TraceSink> = match &ready.traced {
+                            TraceMode::Off => None,
+                            TraceMode::Profile => {
+                                profile_sink = CountersSink::new();
+                                Some(&profile_sink)
+                            }
+                            TraceMode::Sink(sink) => Some(sink.as_ref()),
+                        };
                         let mut request = ExecRequest::new(&ready.kernel.graph, &ready.inputs)
                             .backend(ready.backend)
                             .planned(Arc::clone(&ready.plan));
                         if let Some(memory) = ready.memory {
                             request = request.memory(memory);
                         }
+                        if let Some(trace) = trace {
+                            request = request.traced(trace);
+                        }
                         let result = request.run();
-                        let counter = if result.is_ok() { &counters.completed } else { &counters.failed };
-                        counter.fetch_add(1, Ordering::Relaxed);
+                        let resolve_started = telemetry.now();
+                        if let (Some(span), Some(started), Some(ended)) =
+                            (ready.span.as_mut(), task_started, resolve_started)
+                        {
+                            span.record(Stage::Execute, ended.saturating_duration_since(started));
+                        }
+                        let counter = if result.is_ok() { &telemetry.completed } else { &telemetry.failed };
+                        counter.inc();
+                        // Publish the span BEFORE waking the handle, so a
+                        // waiter that snapshots right after `wait()` returns
+                        // is guaranteed to see this query in the histograms.
+                        // The resolve stage therefore covers the result
+                        // bookkeeping, not the condvar notify itself.
+                        if let (Some(span), Some(started)) = (ready.span.as_mut(), resolve_started) {
+                            let profile = match &result {
+                                Ok(run) => run.profile.clone(),
+                                Err(e) => {
+                                    span.error = Some(e.to_string());
+                                    None
+                                }
+                            };
+                            span.record(Stage::Resolve, started.elapsed());
+                            telemetry.observe_span(span, profile.as_ref());
+                        }
                         ready.state.resolve(result.map_err(ServeError::from));
                     }
                 }));
             }
         }
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.batches.inc();
         self.pool.run_batch(tasks);
     }
 
@@ -512,6 +657,7 @@ impl Service {
 
     /// A service over `store`, sized by `config`.
     pub fn with_config(store: Arc<TensorStore>, config: ServiceConfig) -> Service {
+        let telemetry = Arc::new(Telemetry::new(config.telemetry.clone()));
         let shared = Arc::new(Shared {
             store,
             lanes: (0..config.lanes.max(1))
@@ -522,8 +668,10 @@ impl Service {
             bell: Condvar::new(),
             kernels: Mutex::new(HashMap::new()),
             plans: Arc::new(PlanCache::new(config.plan_capacity)),
-            pool: StealPool::new(config.workers, false),
-            counters: Arc::new(Counters::default()),
+            // Pool timing rides the telemetry switch: worker busy_ns feeds
+            // the utilization gauges.
+            pool: StealPool::new(config.workers, telemetry.config.enabled),
+            telemetry,
         });
         let mut threads = Vec::new();
         {
@@ -551,14 +699,17 @@ impl Service {
         let mut hasher = DefaultHasher::new();
         query.expression.hash(&mut hasher);
         let lane = &self.shared.lanes[(hasher.finish() as usize) % self.shared.lanes.len()];
-        {
+        let enqueued = self.shared.telemetry.now();
+        let depth = {
             let mut queue = lane.queue.lock().expect("lane");
             while queue.len() >= self.shared.lane_capacity {
                 queue = lane.not_full.wait(queue).expect("lane");
             }
-            queue.push_back(Job { query, state });
-        }
-        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            queue.push_back(Job { query, state, enqueued });
+            queue.len()
+        };
+        self.shared.telemetry.record_lane_depth(depth);
+        self.shared.telemetry.submitted.inc();
         self.shared.ring();
         handle
     }
@@ -575,17 +726,45 @@ impl Service {
 
     /// A snapshot of every service counter.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
+        let t = &self.shared.telemetry;
         ServiceStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            batched_same_plan: c.batched_same_plan.load(Ordering::Relaxed),
-            compile_hits: c.compile_hits.load(Ordering::Relaxed),
-            compile_misses: c.compile_misses.load(Ordering::Relaxed),
+            submitted: t.submitted.get(),
+            completed: t.completed.get(),
+            failed: t.failed.get(),
+            batches: t.batches.get(),
+            batched_same_plan: t.batched_same_plan.get(),
+            compile_hits: t.compile_hits.get(),
+            compile_misses: t.compile_misses.get(),
             plans: self.shared.plans.stats(),
         }
+    }
+
+    /// A typed point-in-time view of the full telemetry surface: lifecycle
+    /// counters, per-stage and per-backend latency histograms, batch-size
+    /// distribution, plan/compile/store cache behavior, lane-depth
+    /// high-water, rolling-window qps and per-worker utilization.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.telemetry.snapshot(
+            self.shared.plans.stats(),
+            self.shared.store.materialize_stats(),
+            &self.shared.pool.stats(),
+        )
+    }
+
+    /// The same metrics in the Prometheus text exposition format, ready to
+    /// serve from a `/metrics` endpoint or dump next to a bench artifact.
+    pub fn render_prometheus(&self) -> String {
+        self.shared.telemetry.render(
+            &self.shared.plans.stats(),
+            &self.shared.store.materialize_stats(),
+            &self.shared.pool.stats(),
+        )
+    }
+
+    /// The retained slow-query JSONL events (oldest first). Empty unless
+    /// [`TelemetryConfig::slow_query`] is set.
+    pub fn recent_events(&self) -> Vec<String> {
+        self.shared.telemetry.recent_events()
     }
 }
 

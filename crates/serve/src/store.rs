@@ -9,8 +9,24 @@
 //! `sam_tensor::suitesparse` catalog.
 
 use sam_tensor::{suitesparse, CooTensor, Tensor, TensorFormat};
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Counters over [`TensorStore::materialize`]: how often level structures
+/// were actually built versus served from the cache, and the wall time the
+/// builds cost. Feeds the service telemetry's store gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Level structures built from COO.
+    pub builds: u64,
+    /// Materializations served from the cache.
+    pub hits: u64,
+    /// Total nanoseconds spent inside the builds.
+    pub build_ns: u64,
+}
 
 /// A named, immutable corpus of operands with lazy per-format
 /// materialization. See the module docs.
@@ -22,6 +38,9 @@ pub struct TensorStore {
     formats: BTreeMap<String, TensorFormat>,
     /// Materialized `(stored name, bound name, format)` → tensor cache.
     materialized: Mutex<HashMap<(String, String, String), Arc<Tensor>>>,
+    builds: AtomicU64,
+    build_hits: AtomicU64,
+    build_ns: AtomicU64,
 }
 
 impl TensorStore {
@@ -94,9 +113,28 @@ impl TensorStore {
         let coo = self.coos.get(stored)?;
         let key = (stored.to_string(), bound.to_string(), format.to_string());
         let mut cache = self.materialized.lock().expect("store cache");
-        Some(Arc::clone(
-            cache.entry(key).or_insert_with(|| Arc::new(Tensor::from_coo(bound, coo, format.clone()))),
-        ))
+        Some(match cache.entry(key) {
+            Entry::Occupied(e) => {
+                self.build_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                let started = Instant::now();
+                let tensor = Arc::new(Tensor::from_coo(bound, coo, format.clone()));
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                self.build_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Arc::clone(v.insert(tensor))
+            }
+        })
+    }
+
+    /// Build-versus-hit counters over [`TensorStore::materialize`].
+    pub fn materialize_stats(&self) -> MaterializeStats {
+        MaterializeStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.build_hits.load(Ordering::Relaxed),
+            build_ns: self.build_ns.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -119,6 +157,9 @@ mod tests {
         assert_eq!(d.name(), "B2", "bound name is baked into the tensor");
         assert_eq!(store.materialized_count(), 3);
         assert!(store.materialize("missing", "m", &TensorFormat::dcsr()).is_none());
+        let stats = store.materialize_stats();
+        assert_eq!((stats.builds, stats.hits), (3, 1));
+        assert!(stats.build_ns > 0, "builds must accumulate wall time");
     }
 
     #[test]

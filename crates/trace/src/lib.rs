@@ -26,6 +26,16 @@
 //!   ranked stall table ([`ExecProfile::stall_table`]) — the `samprof`
 //!   binary in `sam-bench` is a thin shell around it.
 //!
+//! Above the single-execution layer, the crate also carries the
+//! *service-level* observability surface used by `sam-serve`:
+//!
+//! * [`metrics`] — lock-cheap counters, gauges and log-bucketed latency
+//!   histograms (p50/p90/p99/max estimation) behind a [`MetricsRegistry`]
+//!   that renders Prometheus text exposition.
+//! * [`QuerySpan`] / [`Stage`] — per-query lifecycle attribution
+//!   (queue → compile → plan → batch → execute → resolve) with single-line
+//!   JSON serialization for JSONL event logs.
+//!
 //! Stall *attribution* comes from the bounded chunked channels in
 //! `sam_streams::chunked`: each instrumented channel records how long its
 //! producer was blocked on send and its consumer blocked on receive, plus
@@ -36,10 +46,14 @@
 
 mod chrome;
 mod counts;
+pub mod metrics;
 mod profile;
 mod sink;
+mod span;
 
 pub use chrome::ChromeTraceSink;
 pub use counts::TokenCounts;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use profile::{ChannelProfile, ExecProfile, NodeProfile, WorkerProfile};
 pub use sink::{CountersSink, NullSink, TraceSink};
+pub use span::{QuerySpan, Stage};
