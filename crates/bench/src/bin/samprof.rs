@@ -25,93 +25,11 @@
 //!   (queue / compile / plan / batch / execute / resolve) with p50/p90/p99
 //!   and max per stage, from the service telemetry.
 
-use sam_bench::{merge_json_group, table1_case, table1_case_names, workspace_root};
-use sam_core::graph::SamGraph;
-use sam_core::graphs;
-use sam_core::kernels::spmm::SpmmDataflow;
-use sam_exec::{BackendSpec, ChromeTraceSink, CountersSink, ExecProfile, Execution, Executor, Inputs, Plan};
+use sam_bench::{
+    kernel_case, merge_json_group, table1_case, table1_case_names, workspace_root, PROFILE_KERNELS,
+};
+use sam_exec::{BackendSpec, ChromeTraceSink, CountersSink, ExecProfile, Execution, Executor, Plan};
 use sam_memory::MemoryConfig;
-use sam_tensor::{synth, TensorFormat};
-
-/// Catalog kernels with operands big enough that stall attribution is
-/// meaningful but small enough for the cycle backend. The `_skew` variants
-/// pit a dense matrix row against a very sparse vector, so one scanner
-/// dominates the run — the case coordinate skipping (`spmv_skip`) erases.
-const KERNELS: &[&str] =
-    &["vecmul", "vecmul_skew", "identity", "spmv", "spmv_skew", "spmv_skip", "spmm", "sddmm", "mttkrp"];
-
-fn kernel_case(name: &str) -> Option<(SamGraph, Inputs)> {
-    // The skew pair: an 80%-dense 400x2000 matrix co-iterated against a
-    // 12-nonzero vector (the exec_backends `skip_skew` operands).
-    let skew = || {
-        let m = synth::random_matrix_sparsity(400, 2000, 0.2, 58);
-        let sv = synth::random_vector(2000, 12, 59);
-        (m, sv)
-    };
-    Some(match name {
-        "vecmul" => {
-            (
-                graphs::vec_elem_mul(true),
-                Inputs::new()
-                    .coo("b", &synth::random_vector(4000, 1200, 21), TensorFormat::sparse_vec())
-                    .coo("c", &synth::random_vector(4000, 1100, 22), TensorFormat::sparse_vec()),
-            )
-        }
-        "vecmul_skew" => {
-            (
-                graphs::vec_elem_mul(true),
-                Inputs::new()
-                    .coo("b", &synth::random_vector(4000, 3600, 23), TensorFormat::sparse_vec())
-                    .coo("c", &synth::random_vector(4000, 40, 24), TensorFormat::sparse_vec()),
-            )
-        }
-        "identity" => (
-            graphs::identity(),
-            Inputs::new().coo("B", &synth::random_matrix_sparsity(256, 256, 0.9, 25), TensorFormat::dcsr()),
-        ),
-        "spmv" => {
-            let (m, _) = skew();
-            (
-                graphs::spmv(),
-                Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo(
-                    "c",
-                    &synth::random_vector(2000, 900, 20),
-                    TensorFormat::dense_vec(),
-                ),
-            )
-        }
-        "spmv_skew" | "spmv_skip" => {
-            let (m, sv) = skew();
-            let graph =
-                if name == "spmv_skip" { graphs::spmv_with_skip() } else { graphs::spmv_coiteration() };
-            (
-                graph,
-                Inputs::new().coo("B", &m, TensorFormat::dcsr()).coo("c", &sv, TensorFormat::sparse_vec()),
-            )
-        }
-        "spmm" => (
-            graphs::spmm(SpmmDataflow::LinearCombination),
-            Inputs::new()
-                .coo("B", &synth::random_matrix_sparsity(128, 128, 0.9, 26), TensorFormat::dcsr())
-                .coo("C", &synth::random_matrix_sparsity(128, 128, 0.9, 27), TensorFormat::dcsr()),
-        ),
-        "sddmm" => (
-            graphs::sddmm_coiteration(),
-            Inputs::new()
-                .coo("B", &synth::random_matrix_sparsity(128, 128, 0.95, 28), TensorFormat::dcsr())
-                .coo("C", &synth::dense_matrix(128, 16, 29), TensorFormat::dense(2))
-                .coo("D", &synth::dense_matrix(128, 16, 30), TensorFormat::dense(2)),
-        ),
-        "mttkrp" => (
-            graphs::mttkrp(),
-            Inputs::new()
-                .coo("B", &synth::random_tensor3([48, 24, 16], 3000, 31), TensorFormat::csf(3))
-                .coo("C", &synth::random_matrix_sparsity(20, 24, 0.5, 32), TensorFormat::dcsc())
-                .coo("D", &synth::random_matrix_sparsity(20, 16, 0.5, 33), TensorFormat::dcsc()),
-        ),
-        _ => return None,
-    })
-}
 
 /// Builds the profiled backend from a [`BackendSpec`] label (stable labels
 /// plus the historical `threadsN` spellings, all parsed by `sam-exec`).
@@ -258,7 +176,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => {
-                println!("kernels:     {}", KERNELS.join(", "));
+                println!("kernels:     {}", PROFILE_KERNELS.join(", "));
                 println!("expressions: {}", table1_case_names().join(", "));
                 return;
             }

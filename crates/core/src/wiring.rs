@@ -16,6 +16,7 @@ use sam_tensor::Tensor;
 use std::sync::Arc;
 
 /// Copies every token of its input to each of its outputs (stream fan-out).
+#[derive(Debug)]
 pub struct Fork {
     name: String,
     input: ChannelId,

@@ -178,6 +178,17 @@ pub struct ExecutableKernel {
     pub scalars: Vec<String>,
 }
 
+impl ExecutableKernel {
+    /// Runs the structural static verifier (`sam-verify`) over the lowered
+    /// graph: port protocol, acyclicity, skip-lane contract, writer rules,
+    /// plus all graph lints. Binding-level rules (formats, ranks, scalars)
+    /// need the executor's planning path, which verifies against the bound
+    /// tensors.
+    pub fn verify(&self) -> sam_verify::Report {
+        sam_verify::verify(&self.graph)
+    }
+}
+
 /// One scanned operand of an index variable: the scanner's outputs plus the
 /// level format (which the skip heuristic consults).
 #[derive(Clone, Copy)]
@@ -669,7 +680,15 @@ pub fn lower_exec_with(
     }
     g.write_vals(&assignment.target, tail);
 
-    Ok(ExecutableKernel { graph: g.finish(), formats, scalars })
+    let kernel = ExecutableKernel { graph: g.finish(), formats, scalars };
+    // Every graph this lowering emits must pass the static verifier
+    // structurally — a diagnostic here is a compiler bug, not a user error.
+    debug_assert!(
+        !kernel.verify().has_errors(),
+        "lower_exec emitted a graph the static verifier rejects:\n{}",
+        kernel.verify().render()
+    );
+    Ok(kernel)
 }
 
 #[cfg(test)]

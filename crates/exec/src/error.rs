@@ -131,6 +131,15 @@ pub enum PlanError {
         /// The index variable.
         index: char,
     },
+    /// The static verifier (`sam-verify`) rejected the graph before
+    /// planning. Carries every error-severity diagnostic, not just the
+    /// first — strictly more specific than the planner's own
+    /// first-error-wins validation, which this subsumes on the
+    /// [`crate::Planner`] path.
+    Rejected {
+        /// The verifier's error diagnostics, in graph order.
+        diagnostics: Vec<sam_verify::Diagnostic>,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -185,6 +194,13 @@ impl fmt::Display for PlanError {
             PlanError::MultipleValsWriters => write!(f, "graph has more than one values writer"),
             PlanError::UnknownDimension { index } => {
                 write!(f, "no scanner iterates `{index}`, so the output dimension is unknown")
+            }
+            PlanError::Rejected { diagnostics } => {
+                write!(f, "graph failed static verification ({} error(s))", diagnostics.len())?;
+                for d in diagnostics {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
             }
         }
     }

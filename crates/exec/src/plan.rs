@@ -372,6 +372,14 @@ impl Plan {
         let mut vals_writer: Option<NodeId> = None;
         let mut output_name = String::new();
 
+        // The rank validation at value arrays delegates to the static
+        // verifier's stream-type inference — one implementation of the
+        // tensor/depth trace instead of two drifting apart. The planner's
+        // own `ref_ann` stays authoritative for scanner depths (it also
+        // feeds the stream-size estimates below).
+        let verify_bindings: sam_verify::Bindings<'_> = inputs.iter().collect();
+        let verifier = sam_verify::Analysis::run(graph, Some(&verify_bindings));
+
         let lookup_ref = |ref_ann: &HashMap<(usize, usize), (String, usize)>,
                           p: &PortRef,
                           label: String,
@@ -465,20 +473,27 @@ impl Plan {
                     // levels (e.g. a matrix bound to a vector kernel) and
                     // would silently read wrong positions. Untracked
                     // streams (e.g. routed through a coordinate dropper)
-                    // stay permissive and fail at execution if wrong.
+                    // stay permissive and fail at execution if wrong. The
+                    // trace itself is the verifier's.
                     let src = &node_inputs[id.0][0].expect("bound data port");
-                    if let Some((t, depth)) = ref_ann.get(&(src.node.0, src.port)) {
+                    debug_assert_eq!(
+                        verifier.ref_annotation(src.node.0, src.port),
+                        ref_ann.get(&(src.node.0, src.port)).map(|(t, d)| (t.as_str(), *d)),
+                        "verifier and planner disagree on the reference trace into `{}`",
+                        graph.node_label(id)
+                    );
+                    if let Some((t, depth)) = verifier.ref_annotation(src.node.0, src.port) {
                         if t != tensor {
                             return Err(PlanError::TensorMismatch {
                                 label: graph.node_label(id),
                                 expected: tensor.clone(),
-                                found: t.clone(),
+                                found: t.to_string(),
                             });
                         }
-                        if *depth != bound.levels().len() {
+                        if depth != bound.levels().len() {
                             return Err(PlanError::RankMismatch {
                                 tensor: tensor.clone(),
-                                consumed: *depth,
+                                consumed: depth,
                                 levels: bound.levels().len(),
                             });
                         }

@@ -72,6 +72,15 @@ impl Drop for PendingGuard<'_, '_> {
     }
 }
 
+impl std::fmt::Debug for StealPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealPool")
+            .field("workers", &self.stats.len())
+            .field("timing", &self.timing)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'env> StealPool<'env> {
     /// A pool for `workers` participants (the driver counts as worker 0).
     /// `timing` turns on per-task wall-clock accumulation.

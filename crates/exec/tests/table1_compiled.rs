@@ -207,6 +207,17 @@ fn every_table1_expression_compiles_and_runs_on_every_backend() {
         env.bind_dims(&assignment, &[]);
         let expect = env.evaluate(&assignment).expect("reference evaluation");
 
+        // Every compiled kernel, bound to its real operands, is completely
+        // clean under the static verifier — no errors and no lints.
+        let bindings: sam_verify::Bindings<'_> = inputs.iter().collect();
+        let report = sam_verify::verify_bound(&kernel.graph, &bindings);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{}: compiled kernel must verify clean:\n{}",
+            case.name,
+            report.render()
+        );
+
         let serial = ExecRequest::new(&kernel.graph, &inputs)
             .executor(&FastBackend::serial())
             .run()

@@ -12,6 +12,7 @@ use std::sync::Arc;
 ///
 /// Empty (`N`) references — produced by unions for missing operands — pass
 /// through as empty tokens so the downstream ALU can treat them as zeros.
+#[derive(Debug)]
 pub struct ValArray {
     name: String,
     vals: Arc<Vec<f64>>,
@@ -74,6 +75,7 @@ impl Block for ValArray {
 /// When present it emits the coordinate, the pass-through reference and the
 /// located child reference; when absent it emits empty tokens on all three
 /// outputs so downstream streams stay aligned.
+#[derive(Debug)]
 pub struct Locator {
     name: String,
     level: Arc<Level>,

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 
 /// Scans a [`BitvectorLevel`], emitting one bitvector word per cycle plus a
 /// reference stream of popcount-summed base positions (Section 4.3).
+#[derive(Debug)]
 pub struct BitvectorScanner {
     name: String,
     level: Arc<BitvectorLevel>,
@@ -101,6 +102,7 @@ impl Block for BitvectorScanner {
 
 /// Converts a coordinate stream into a bitvector stream by packing `width`
 /// coordinates per emitted word (Definition 4.2).
+#[derive(Debug)]
 pub struct BitvectorConverter {
     name: String,
     width: u8,
@@ -191,6 +193,7 @@ impl Block for BitvectorConverter {
 /// Word-wise bitvector intersecter: ANDs aligned words from two bitvector
 /// streams, passing each operand's base-rank reference through for value
 /// gathering.
+#[derive(Debug)]
 pub struct BitvectorIntersecter {
     name: String,
     in_bits: [ChannelId; 2],
@@ -286,6 +289,7 @@ pub fn bit_result_sink() -> BitResultSink {
 /// each cycle one word is processed, with all of its lanes' value reads,
 /// multiplies and writes happening in parallel (the implicit-parallelism
 /// advantage the paper ascribes to bitvectors).
+#[derive(Debug)]
 pub struct BitvectorVecMul {
     name: String,
     vals_a: Arc<Vec<f64>>,
@@ -357,6 +361,7 @@ impl Block for BitvectorVecMul {
 /// The block is self-contained: it owns both operands' bit-tree data and
 /// walks them one word per cycle, which keeps the model cycle-faithful while
 /// avoiding a bespoke multi-protocol stream wiring.
+#[derive(Debug)]
 pub struct BitTreeVecMul {
     name: String,
     level_a: Arc<BitvectorLevel>,

@@ -31,6 +31,7 @@ impl AluOp {
 /// Consumes two aligned value streams and produces one value stream,
 /// treating empty (`N`) tokens as zeros. Control tokens of the two inputs
 /// must agree and are passed through.
+#[derive(Debug)]
 pub struct Alu {
     name: String,
     op: AluOp,
@@ -114,6 +115,7 @@ impl Block for Alu {
 /// combines with in a downstream [`Alu`]; empty (`N`) tokens pass through as
 /// empty (the position is absent either way) and control tokens mirror, so
 /// the constant stream is always structurally aligned with its sibling.
+#[derive(Debug)]
 pub struct ConstVal {
     name: String,
     value: f64,
@@ -189,6 +191,7 @@ pub enum EmptyFiberPolicy {
 /// * order 2 (matrix): accumulates `(outer, inner, value)` triples and emits
 ///   the accumulated matrix when the stream ends (used by outer-product
 ///   dataflows).
+#[derive(Debug)]
 pub struct Reducer {
     name: String,
     order: usize,

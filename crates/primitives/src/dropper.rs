@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 /// both. Trailing stop tokens are held back so that a dropped last fiber can
 /// merge its group-closing stop into the previous fiber's stop, exactly as in
 /// Figure 8.
+#[derive(Debug)]
 pub struct CoordDropper {
     name: String,
     in_outer_crd: ChannelId,

@@ -21,6 +21,7 @@ use sam_streams::Token;
 /// about. The scanner drops requests whose fiber already closed, which is
 /// what keeps skipping sound on multi-fiber streams (see
 /// [`crate::LevelScanner`]).
+#[derive(Debug)]
 pub struct Intersecter {
     name: String,
     in_crd: [ChannelId; 2],
@@ -174,6 +175,7 @@ impl Block for Intersecter {
 /// Emits a coordinate whenever at least one input carries it; the reference
 /// output of an operand that lacks the coordinate carries an empty (`N`)
 /// token, as in paper Figure 5.
+#[derive(Debug)]
 pub struct Unioner {
     name: String,
     in_crd: [ChannelId; 2],
@@ -298,6 +300,7 @@ impl Block for Unioner {
 
 /// Forks a stream into `n` output streams, dealing out fibers round-robin
 /// (Section 4.4).
+#[derive(Debug)]
 pub struct Parallelizer {
     name: String,
     input: ChannelId,
@@ -360,6 +363,7 @@ impl Block for Parallelizer {
 
 /// Joins `n` parallel streams back into one by concatenating their fibers in
 /// round-robin order (Section 4.4).
+#[derive(Debug)]
 pub struct Serializer {
     name: String,
     inputs: Vec<ChannelId>,

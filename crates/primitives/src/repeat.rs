@@ -19,6 +19,7 @@ use sam_streams::Token;
 ///  in_ref:  D, 0                       (the scalar c's root reference)
 ///  out_ref: D, S0, 0, 0, 0, 0, 0
 /// ```
+#[derive(Debug)]
 pub struct Repeater {
     name: String,
     in_crd: ChannelId,

@@ -45,6 +45,7 @@ enum ScanState {
 ///   dropped; without the tag it could gallop a *later* fiber past
 ///   coordinates that match (multi-fiber streams lag arbitrarily far behind
 ///   their consumers in the dataflow).
+#[derive(Debug)]
 pub struct LevelScanner {
     name: String,
     level: Arc<Level>,

@@ -28,6 +28,7 @@ pub fn val_sink() -> ValWriterSink {
 /// Writes one coordinate stream into a compressed level in memory
 /// (Definition 3.8). Every stop token closes the fiber being written; the
 /// done token finalizes the level and publishes it to the sink.
+#[derive(Debug)]
 pub struct LevelWriter {
     name: String,
     dim: usize,
@@ -88,6 +89,7 @@ impl Block for LevelWriter {
 /// Writes a value stream into a values array (the store mode of the array
 /// block wrapped by a level writer, Definition 3.8). Empty tokens store an
 /// explicit zero; stop tokens carry no data.
+#[derive(Debug)]
 pub struct ValWriter {
     name: String,
     in_val: ChannelId,

@@ -30,7 +30,8 @@ use crate::store::TensorStore;
 use custard::{ConcreteIndexNotation, ExecutableKernel, Formats, Schedule};
 use sam_exec::steal::{StealPool, Task};
 use sam_exec::{
-    BackendSpec, ExecError, ExecRequest, Execution, Inputs, Plan, PlanCache, PlanCacheStats, Planner,
+    BackendSpec, ExecError, ExecRequest, Execution, Inputs, Plan, PlanCache, PlanCacheStats, PlanError,
+    Planner,
 };
 use sam_memory::MemoryConfig;
 use sam_tensor::TensorFormat;
@@ -209,6 +210,16 @@ pub enum ServeError {
         /// The parser's or lowering's message.
         message: String,
     },
+    /// The static verifier (`sam-verify`) rejected the compiled graph
+    /// against the bound tensors before planning — a wiring or binding
+    /// defect, reported with every diagnostic rather than the planner's
+    /// first error.
+    Rejected {
+        /// The offending expression text.
+        expression: String,
+        /// The verifier's error diagnostics.
+        diagnostics: Vec<sam_verify::Diagnostic>,
+    },
     /// Planning or execution failed.
     Exec(ExecError),
 }
@@ -219,6 +230,13 @@ impl fmt::Display for ServeError {
             ServeError::UnknownTensor { name } => write!(f, "no tensor `{name}` in the store"),
             ServeError::Compile { expression, message } => {
                 write!(f, "`{expression}` failed to compile: {message}")
+            }
+            ServeError::Rejected { expression, diagnostics } => {
+                write!(f, "`{expression}` failed verification ({} error(s))", diagnostics.len())?;
+                for d in diagnostics {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
             }
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
         }
@@ -469,9 +487,14 @@ impl Shared {
         // so a stats delta around this one call attributes the hit or miss
         // to this query.
         let plans_before = span.is_some().then(|| self.plans.stats());
-        let plan = Planner::with_cache(Arc::clone(&self.plans))
-            .plan(&kernel.graph, &inputs)
-            .map_err(|e| ServeError::Exec(ExecError::from(e)))?;
+        let plan = Planner::with_cache(Arc::clone(&self.plans)).plan(&kernel.graph, &inputs).map_err(
+            |e| match e {
+                PlanError::Rejected { diagnostics } => {
+                    ServeError::Rejected { expression: query.expression.clone(), diagnostics }
+                }
+                other => ServeError::Exec(ExecError::from(other)),
+            },
+        )?;
         if let (Some(span), Some(started)) = (span, plan_started) {
             span.record(Stage::Plan, started.elapsed());
             if let Some(before) = plans_before {

@@ -38,6 +38,16 @@ pub struct Context<'a> {
     ops: u64,
 }
 
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("channels", &self.channels.len())
+            .field("cycle", &self.cycle)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
 impl<'a> Context<'a> {
     fn new(channels: &'a mut [Channel], cycle: u64) -> Self {
         Context { channels, cycle, ops: 0 }
@@ -163,6 +173,16 @@ pub struct Simulator {
     histories: Vec<Option<Vec<SimToken>>>,
     blocks: Vec<(Box<dyn Block>, bool)>,
     cycles: u64,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("channels", &self.channels.len())
+            .field("blocks", &self.blocks.len())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
 }
 
 impl Simulator {

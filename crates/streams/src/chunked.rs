@@ -249,6 +249,17 @@ impl<T> ChunkSender<T> {
     }
 }
 
+impl<T> std::fmt::Debug for ChunkSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkSender")
+            .field("chunk_len", &self.chunk_len)
+            .field("depth", &self.depth)
+            .field("buffered", &self.buf.len())
+            .field("spilling", &self.spilling)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> Drop for ChunkSender<T> {
     fn drop(&mut self) {
         self.flush();
@@ -266,6 +277,15 @@ pub struct ChunkReceiver<T> {
     peeked: Option<T>,
     /// Optional per-channel stall stats (see [`channel_instrumented`]).
     stats: Option<Arc<ChannelStats>>,
+}
+
+impl<T> std::fmt::Debug for ChunkReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkReceiver")
+            .field("buffered", &self.cur.len())
+            .field("peeked", &self.peeked.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T> ChunkReceiver<T> {

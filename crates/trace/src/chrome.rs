@@ -73,6 +73,12 @@ pub struct ChromeTraceSink {
     timeline: Mutex<Timeline>,
 }
 
+impl std::fmt::Debug for ChromeTraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChromeTraceSink").finish_non_exhaustive()
+    }
+}
+
 impl ChromeTraceSink {
     /// A fresh, empty sink.
     pub fn new() -> Self {

@@ -140,6 +140,12 @@ pub struct CountersSink {
     acc: Mutex<Acc>,
 }
 
+impl std::fmt::Debug for CountersSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountersSink").finish_non_exhaustive()
+    }
+}
+
 impl CountersSink {
     /// A fresh, empty sink.
     pub fn new() -> Self {

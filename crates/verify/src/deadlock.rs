@@ -1,0 +1,227 @@
+//! Channel-topology deadlock analysis.
+//!
+//! The pipelined backend gives every planned channel a bounded chunked
+//! queue. A producer whose consumer is attached blocks under backpressure;
+//! one whose consumer has not been claimed yet takes the spill-past-depth
+//! escape (`sam_streams::chunked`). *Without* that escape, a bounded
+//! topology can deadlock on reconvergent fork–join shapes: a fork must
+//! emit each token to all of its consumers, so when one branch's channel
+//! fills while the join still waits for tokens staged on the other branch
+//! (a scanner expanding refs into fibers, a reducer holding a whole fiber
+//! before emitting, a repeater or dropper re-timing its streams), the fork
+//! blocks and the starving branch can never be fed — a cycle through
+//! bounded channels.
+//!
+//! This pass classifies those shapes statically: for every fork whose
+//! branches reconverge at a common descendant, if either branch contains a
+//! rate-changing (staging) operator and the fork's estimated stream does
+//! not fit in the analyzed channel budget, the graph can deadlock at that
+//! budget and is reported with [`Rule::BoundedDeadlock`]. The estimates
+//! mirror the planner's upper-bound stream sizing, so a budget derived
+//! from `Plan::channel_depth` is never flagged — which is exactly why the
+//! planner-derived depths eliminate the fixed-config spills observed by
+//! `Execution::spills`.
+
+use crate::analysis::{Analysis, Bindings};
+use crate::diag::{Diagnostic, Report, Rule};
+use sam_core::graph::{NodeId, NodeKind, SamGraph};
+
+/// The bounded-channel capacity to analyze against: every channel holds at
+/// most `depth` chunks of `chunk_len` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelBudget {
+    /// Tokens per chunk.
+    pub chunk_len: usize,
+    /// Chunks in flight per channel.
+    pub depth: usize,
+}
+
+impl ChannelBudget {
+    /// Total tokens a channel holds before a producer must block or spill.
+    pub fn tokens(&self) -> u64 {
+        self.chunk_len as u64 * self.depth as u64
+    }
+}
+
+/// Classifies `graph` at the given channel budget and returns a report
+/// with one [`Rule::BoundedDeadlock`] warning per deadlock-capable
+/// fork–join (empty when the graph is safe at that budget).
+///
+/// The analysis needs valid bindings for its stream-size estimates; if the
+/// graph does not verify cleanly the report of those *errors* is returned
+/// instead, since deadlock behavior is undefined for graphs the planner
+/// rejects.
+pub fn analyze(graph: &SamGraph, bindings: &Bindings<'_>, budget: ChannelBudget) -> Report {
+    let analysis = Analysis::run(graph, Some(bindings));
+    if analysis.report.has_errors() {
+        return analysis.report;
+    }
+    let mut report = Report::default();
+    classify(graph, &analysis, bindings, budget, &mut report);
+    report
+}
+
+/// Whether a node changes the token rate between its inputs and outputs —
+/// the operators that create unbounded skew between reconvergent branches.
+fn staging(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::LevelScanner { .. }
+            | NodeKind::Repeater { .. }
+            | NodeKind::Reducer { .. }
+            | NodeKind::CoordDropper { .. }
+    )
+}
+
+/// Upper-bound stream-size estimates per output port, mirroring the
+/// planner's phase-6 heuristic (scanners multiply by the longest fiber of
+/// the level they read).
+fn estimates(graph: &SamGraph, analysis: &Analysis, bindings: &Bindings<'_>) -> Vec<Vec<u64>> {
+    const EST_CAP: u64 = 1 << 40;
+    let nodes = graph.nodes();
+    let mut sizes: Vec<Vec<u64>> = nodes.iter().map(|k| vec![0u64; k.output_ports().len()]).collect();
+    for &id in &analysis.order {
+        let ins: Vec<u64> = analysis
+            .inputs_of(id)
+            .iter()
+            .map(|s| s.map(|src| sizes[src.node][src.port]).unwrap_or(0))
+            .collect();
+        let outs: Vec<u64> = match &nodes[id] {
+            NodeKind::Root { .. } => vec![2],
+            NodeKind::LevelScanner { tensor, .. } => {
+                let depth = match analysis.ref_annotation(id, 1) {
+                    Some((_, d)) => d - 1,
+                    None => 0,
+                };
+                let longest = bindings
+                    .get(tensor)
+                    .map(|t| {
+                        let level = t.level(depth);
+                        if level.is_dense() {
+                            level.dimension() as u64
+                        } else {
+                            (0..level.num_fibers()).map(|f| level.fiber_len(f) as u64).max().unwrap_or(0)
+                        }
+                    })
+                    .unwrap_or(0);
+                let est = ins[0].saturating_mul(longest + 1).min(EST_CAP);
+                vec![est; 2]
+            }
+            NodeKind::Repeater { .. } => vec![ins[0]],
+            NodeKind::Intersecter { .. } => {
+                let m = ins[0].min(ins[1]);
+                vec![m, m, m, 1, 1]
+            }
+            NodeKind::Unioner { .. } => {
+                let s = ins[0].saturating_add(ins[1]).min(EST_CAP);
+                vec![s; 3]
+            }
+            NodeKind::Locator { .. } => vec![ins[0]; 3],
+            NodeKind::Array { .. } | NodeKind::ConstVal { .. } => vec![ins[0]],
+            NodeKind::Alu { .. } => vec![ins[0].max(ins[1])],
+            NodeKind::Reducer { order } => match order {
+                0 => vec![ins[0]],
+                1 => vec![ins[0]; 2],
+                _ => vec![ins[1].max(ins[0]); 3],
+            },
+            NodeKind::CoordDropper { .. } => vec![ins[0], ins[1]],
+            _ => vec![0; nodes[id].output_ports().len()],
+        };
+        sizes[id] = outs;
+    }
+    sizes
+}
+
+fn classify(
+    graph: &SamGraph,
+    analysis: &Analysis,
+    bindings: &Bindings<'_>,
+    budget: ChannelBudget,
+    report: &mut Report,
+) {
+    let n = graph.len();
+    let sizes = estimates(graph, analysis, bindings);
+
+    // Forward reachability per node over the data channels (skip feedback
+    // lanes are excluded: they are the whitelisted cycle). Tiny graphs:
+    // the quadratic table is cheaper than being clever.
+    let skip_port =
+        |node: usize, port: usize| matches!(graph.nodes()[node], NodeKind::Intersecter { .. }) && port >= 3;
+    let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    for &id in analysis.order.iter().rev() {
+        let mut row = vec![false; n];
+        row[id] = true;
+        for (port, conns) in analysis.consumers_of(id).iter().enumerate() {
+            if skip_port(id, port) {
+                continue;
+            }
+            for &(to, _) in conns {
+                for k in 0..n {
+                    row[k] |= reach[to][k];
+                }
+            }
+        }
+        reach[id] = row;
+    }
+
+    // Every node with two or more outgoing channels (across all of its
+    // ports — the runtime gives each channel its own bounded queue and the
+    // node emits to all of them as it runs) is a divergence point. For a
+    // pair of channels X and Y from the same node that reconverge at a
+    // join J: if X's estimated stream overflows its bounded capacity while
+    // Y's branch *stages* tokens (an operator between Y's consumer and J
+    // changes token rates, so J cannot make progress until the staged
+    // fiber arrives), the producer blocks on full X and Y starves — a
+    // cycle through bounded channels.
+    let mut flagged: Vec<(usize, usize, usize)> = Vec::new();
+    for (fork, fork_sizes) in sizes.iter().enumerate() {
+        let outs: Vec<(usize, usize)> = analysis
+            .consumers_of(fork)
+            .iter()
+            .enumerate()
+            .filter(|&(port, _)| !skip_port(fork, port))
+            .flat_map(|(port, conns)| conns.iter().map(move |&(to, _)| (port, to)))
+            .collect();
+        if outs.len() < 2 {
+            continue;
+        }
+        for &(px, tx) in &outs {
+            let required = fork_sizes.get(px).copied().unwrap_or(0);
+            if required <= budget.tokens() {
+                continue;
+            }
+            for &(py, ty) in &outs {
+                if (px, tx) == (py, ty) {
+                    continue;
+                }
+                // The earliest common descendant in topological order is
+                // the join where the branches must resynchronize.
+                let join = analysis.order.iter().copied().find(|&x| reach[tx][x] && reach[ty][x]);
+                let Some(join) = join else { continue };
+                let y_stages = (0..n).any(|x| reach[ty][x] && reach[x][join] && staging(&graph.nodes()[x]));
+                if !y_stages || flagged.contains(&(fork, px, join)) {
+                    continue;
+                }
+                flagged.push((fork, px, join));
+                report.push(
+                    Diagnostic::new(
+                        Rule::BoundedDeadlock,
+                        format!(
+                            "`{}` diverges into branches that reconverge at `{}`: the branch \
+                             from output port {px} buffers an estimated {required} tokens but a \
+                             channel holds only {} ({}x{}), while the sibling branch stages — \
+                             without the spill escape this topology can deadlock",
+                            graph.node_label(NodeId(fork)),
+                            graph.node_label(NodeId(join)),
+                            budget.tokens(),
+                            budget.chunk_len,
+                            budget.depth,
+                        ),
+                    )
+                    .at(join, graph.node_label(NodeId(join)))
+                    .on_port(px),
+                );
+            }
+        }
+    }
+}
